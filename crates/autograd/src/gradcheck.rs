@@ -1,0 +1,113 @@
+//! Finite-difference gradient checking used by the test suites of this
+//! crate and of `dgnn-models`.
+
+use dgnn_tensor::Dense;
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+
+/// Outcome of a finite-difference comparison for one parameter coordinate.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckFailure {
+    /// Parameter index in the store.
+    pub param: usize,
+    /// Flat coordinate inside the parameter matrix.
+    pub coord: usize,
+    /// Reverse-mode gradient.
+    pub analytic: f32,
+    /// Central finite difference.
+    pub numeric: f32,
+}
+
+/// Checks reverse-mode gradients of a scalar function against central finite
+/// differences, coordinate by coordinate.
+///
+/// `build` must construct the full forward expression on the given tape from
+/// the current parameter values and return the scalar (`1x1`) loss variable.
+/// Every parameter coordinate is perturbed by ±`eps`; the check passes when
+/// `|analytic - numeric| <= tol * (1 + |numeric|)` everywhere.
+///
+/// f32 arithmetic makes finite differences noisy; callers should use
+/// `eps ~ 1e-2` and `tol ~ 2e-2` with O(1)-scaled inputs.
+pub fn check_param_grads(
+    store: &mut ParamStore,
+    mut build: impl FnMut(&mut Tape, &ParamStore) -> Var,
+    eps: f32,
+    tol: f32,
+) -> Result<(), GradCheckFailure> {
+    // Analytic pass.
+    store.zero_grad();
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, store);
+    assert_eq!(tape.value(loss).shape(), (1, 1), "loss must be scalar");
+    tape.backward_scalar(loss);
+    tape.accumulate_param_grads(store);
+    let analytic: Vec<Vec<f32>> = store
+        .ids()
+        .map(|id| store.grad(id).data().to_vec())
+        .collect();
+
+    // Numeric pass, one coordinate at a time.
+    let ids: Vec<ParamId> = store.ids().collect();
+    for (pi, &id) in ids.iter().enumerate() {
+        let n = store.value(id).len();
+        for k in 0..n {
+            let orig = store.value(id).data()[k];
+
+            store.value_mut(id).data_mut()[k] = orig + eps;
+            let mut t1 = Tape::new();
+            let l1 = build(&mut t1, store);
+            let up = t1.value(l1).get(0, 0);
+
+            store.value_mut(id).data_mut()[k] = orig - eps;
+            let mut t2 = Tape::new();
+            let l2 = build(&mut t2, store);
+            let down = t2.value(l2).get(0, 0);
+
+            store.value_mut(id).data_mut()[k] = orig;
+
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic[pi][k];
+            if (a - numeric).abs() > tol * (1.0 + numeric.abs()) {
+                return Err(GradCheckFailure { param: pi, coord: k, analytic: a, numeric });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the gradient reaching a differentiable *input* leaf against
+/// central finite differences. `build` receives the tape and the current
+/// input value and must return `(input_var, loss_var)`.
+pub fn check_input_grad(
+    input: &Dense,
+    mut build: impl FnMut(&mut Tape, Dense) -> (Var, Var),
+    eps: f32,
+    tol: f32,
+) -> Result<(), GradCheckFailure> {
+    let mut tape = Tape::new();
+    let (x, loss) = build(&mut tape, input.clone());
+    tape.backward_scalar(loss);
+    let analytic = tape.grad(x).expect("input should receive a gradient").clone();
+
+    for k in 0..input.len() {
+        let mut up_in = input.clone();
+        up_in.data_mut()[k] += eps;
+        let mut t1 = Tape::new();
+        let (_, l1) = build(&mut t1, up_in);
+        let up = t1.value(l1).get(0, 0);
+
+        let mut down_in = input.clone();
+        down_in.data_mut()[k] -= eps;
+        let mut t2 = Tape::new();
+        let (_, l2) = build(&mut t2, down_in);
+        let down = t2.value(l2).get(0, 0);
+
+        let numeric = (up - down) / (2.0 * eps);
+        let a = analytic.data()[k];
+        if (a - numeric).abs() > tol * (1.0 + numeric.abs()) {
+            return Err(GradCheckFailure { param: usize::MAX, coord: k, analytic: a, numeric });
+        }
+    }
+    Ok(())
+}

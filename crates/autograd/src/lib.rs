@@ -1,0 +1,23 @@
+//! # dgnn-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over `dgnn-tensor`
+//! matrices — the stand-in for PyTorch autograd in this reproduction.
+//!
+//! The engine is deliberately scoped to what dynamic-GNN training needs:
+//! dense matmul, sparse-constant SpMM, element-wise ops, activations, column
+//! concat/slice (LSTM gates, CD-GCN skip connections), row gather
+//! (link-prediction lookups), linear combinations (M-product), and fused
+//! softmax cross-entropy. Gradient checkpointing and distributed
+//! redistribution are realised *between* tapes by the trainers in
+//! `dgnn-core`: block outputs leave one tape as plain matrices and re-enter
+//! the next as [`Tape::input`] leaves, and incoming gradients are injected
+//! as [`Tape::backward`] seeds.
+
+pub mod gradcheck;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};

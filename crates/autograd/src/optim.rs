@@ -1,0 +1,184 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use dgnn_tensor::Dense;
+
+use crate::params::ParamStore;
+
+/// A gradient-descent style optimizer.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently in `store`,
+    /// then leaves the gradients untouched (callers zero them).
+    fn step(&mut self, store: &mut ParamStore);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay added to the gradient.
+    pub weight_decay: f32,
+    velocity: Vec<Dense>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.velocity.len() != ids.len() {
+            self.velocity = ids
+                .iter()
+                .map(|&id| {
+                    let (r, c) = store.value(id).shape();
+                    Dense::zeros(r, c)
+                })
+                .collect();
+        }
+        for (slot, id) in ids.into_iter().enumerate() {
+            let mut g = store.grad(id).clone();
+            if self.weight_decay != 0.0 {
+                g.axpy(self.weight_decay, store.value(id));
+            }
+            if self.momentum != 0.0 {
+                let v = &mut self.velocity[slot];
+                v.scale_assign(self.momentum);
+                v.add_assign(&g);
+                g = v.clone();
+            }
+            store.value_mut(id).axpy(-self.lr, &g);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u32,
+    m: Vec<Dense>,
+    v: Vec<Dense>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.m.len() != ids.len() {
+            let zeros = |store: &ParamStore| {
+                ids.iter()
+                    .map(|&id| {
+                        let (r, c) = store.value(id).shape();
+                        Dense::zeros(r, c)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            self.m = zeros(store);
+            self.v = zeros(store);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (slot, id) in ids.into_iter().enumerate() {
+            let g = store.grad(id).clone();
+            let m = &mut self.m[slot];
+            m.scale_assign(self.beta1);
+            m.axpy(1.0 - self.beta1, &g);
+            let v = &mut self.v[slot];
+            v.scale_assign(self.beta2);
+            let g2 = g.hadamard(&g);
+            v.axpy(1.0 - self.beta2, &g2);
+            let update = Dense::from_fn(g.rows(), g.cols(), |r, c| {
+                let mh = m.get(r, c) / bc1;
+                let vh = v.get(r, c) / bc2;
+                mh / (vh.sqrt() + self.eps)
+            });
+            store.value_mut(id).axpy(-self.lr, &update);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_store() -> (ParamStore, crate::params::ParamId) {
+        let mut store = ParamStore::new();
+        let id = store.add("x", Dense::from_vec(1, 1, vec![10.0]));
+        (store, id)
+    }
+
+    /// Gradient of f(x) = x² is 2x; both optimizers must shrink |x|.
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let (mut store, id) = quadratic_store();
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..50 {
+            store.zero_grad();
+            let x = store.value(id).get(0, 0);
+            store.add_grad(id, &Dense::from_vec(1, 1, vec![2.0 * x]));
+            opt.step(&mut store);
+        }
+        assert!(store.value(id).get(0, 0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let (mut store, id) = quadratic_store();
+        let mut opt = Sgd::with_momentum(0.02, 0.9);
+        for _ in 0..300 {
+            store.zero_grad();
+            let x = store.value(id).get(0, 0);
+            store.add_grad(id, &Dense::from_vec(1, 1, vec![2.0 * x]));
+            opt.step(&mut store);
+        }
+        assert!(store.value(id).get(0, 0).abs() < 0.05);
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let (mut store, id) = quadratic_store();
+        let mut opt = Adam::new(0.5);
+        for _ in 0..200 {
+            store.zero_grad();
+            let x = store.value(id).get(0, 0);
+            store.add_grad(id, &Dense::from_vec(1, 1, vec![2.0 * x]));
+            opt.step(&mut store);
+        }
+        assert!(store.value(id).get(0, 0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let (mut store, id) = quadratic_store();
+        let mut opt = Sgd::new(0.1);
+        opt.weight_decay = 0.5;
+        store.zero_grad();
+        opt.step(&mut store);
+        // x' = x - lr * wd * x = 10 * (1 - 0.05)
+        assert!((store.value(id).get(0, 0) - 9.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,597 @@
+//! A tape (Wengert list) based reverse-mode automatic-differentiation engine
+//! over [`Dense`] matrices, with sparse-constant SpMM for GCN aggregation.
+//!
+//! The original system relies on PyTorch autograd; this module reproduces the
+//! subset of it the three dynamic-GNN architectures need. One `Tape` holds
+//! one forward expression graph; [`Tape::backward`] seeds one or more output
+//! variables with gradients and accumulates into every reachable node.
+//! Cross-tape boundaries (gradient checkpointing blocks, all-to-all
+//! redistributions) are handled by the trainers: block outputs are extracted
+//! as plain matrices and re-enter the next tape as [`Tape::input`] leaves,
+//! while incoming gradients are injected as extra seeds.
+
+use std::rc::Rc;
+
+use dgnn_tensor::{Csr, Dense};
+
+use crate::params::{ParamId, ParamStore};
+
+/// A handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// The differentiable operations recorded on the tape.
+enum Op {
+    /// Input, constant, or parameter copy.
+    Leaf,
+    /// Dense matrix product `a * b`.
+    MatMul(Var, Var),
+    /// Sparse-constant × dense product `A * x` (the GCN aggregation).
+    Spmm { a: Rc<Csr>, x: Var },
+    /// Element-wise sum.
+    Add(Var, Var),
+    /// Element-wise difference.
+    Sub(Var, Var),
+    /// Element-wise product.
+    Hadamard(Var, Var),
+    /// Row-broadcast bias addition: `x + 1ᵀ·bias`.
+    AddBias { x: Var, bias: Var },
+    /// Scalar multiple.
+    Scale { x: Var, alpha: f32 },
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Horizontal concatenation `[a | b]`.
+    ConcatCols(Var, Var),
+    /// Vertical concatenation (row stacking) of chunks.
+    ConcatRows(Vec<Var>),
+    /// Column slice copy.
+    NarrowCols { x: Var, start: usize },
+    /// Row gather `out[i] = x[idx[i]]`.
+    GatherRows { x: Var, idx: Rc<Vec<u32>> },
+    /// Linear combination `Σ cᵢ · xᵢ` (M-product rows, residual sums).
+    LinComb(Vec<(f32, Var)>),
+    /// Mean over all elements, producing a `1x1` value.
+    MeanAll(Var),
+    /// Sum over all elements, producing a `1x1` value.
+    SumAll(Var),
+    /// Fused softmax + cross-entropy against integer labels; value is the
+    /// `1x1` mean loss and `probs` caches the softmax for the backward pass.
+    SoftmaxXent { logits: Var, labels: Rc<Vec<u32>>, probs: Dense },
+}
+
+struct Node {
+    op: Op,
+    value: Dense,
+    requires_grad: bool,
+    propagated: bool,
+}
+
+/// A single-use forward/backward expression tape.
+///
+/// `backward` may be called several times on one tape with different seed
+/// sets — the staged-backward protocol of the distributed trainers, where
+/// gradient all-to-alls are interleaved with partial sweeps. A node is
+/// propagated at most once; seeding an already-propagated node is a bug and
+/// panics.
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Dense>>,
+    param_bindings: Vec<(Var, ParamId)>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), grads: Vec::new(), param_bindings: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total `f32` elements held by node values — the "activation memory" of
+    /// this tape, used by the memory-accounting cross-checks.
+    pub fn value_elems(&self) -> usize {
+        self.nodes.iter().map(|n| n.value.len()).sum()
+    }
+
+    fn push(&mut self, op: Op, value: Dense, requires_grad: bool) -> Var {
+        self.nodes.push(Node { op, value, requires_grad, propagated: false });
+        self.grads.push(None);
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Dense {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v`, if any was produced by `backward`.
+    pub fn grad(&self, v: Var) -> Option<&Dense> {
+        self.grads[v.0].as_ref()
+    }
+
+    /// Records a non-differentiable constant.
+    pub fn constant(&mut self, value: Dense) -> Var {
+        self.push(Op::Leaf, value, false)
+    }
+
+    /// Records a differentiable input leaf (block-carry states, activations
+    /// arriving from another rank). Its gradient is available after
+    /// `backward` via [`Tape::grad`].
+    pub fn input(&mut self, value: Dense) -> Var {
+        self.push(Op::Leaf, value, true)
+    }
+
+    /// Records a leaf bound to a parameter in `store`. After `backward`,
+    /// call [`Tape::accumulate_param_grads`] to flush gradients into the
+    /// store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(Op::Leaf, store.value(id).clone(), true);
+        self.param_bindings.push((v, id));
+        v
+    }
+
+    /// Dense matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::MatMul(a, b), value, rg)
+    }
+
+    /// Sparse-constant × dense product (GCN aggregation `Ã · X`).
+    pub fn spmm(&mut self, a: Rc<Csr>, x: Var) -> Var {
+        let value = a.spmm(self.value(x));
+        let rg = self.rg(x);
+        self.push(Op::Spmm { a, x }, value, rg)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Add(a, b), value, rg)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Sub(a, b), value, rg)
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Hadamard(a, b), value, rg)
+    }
+
+    /// Adds a `1 x C` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let value = self.value(x).add_row_broadcast(self.value(bias));
+        let rg = self.rg(x) || self.rg(bias);
+        self.push(Op::AddBias { x, bias }, value, rg)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, x: Var, alpha: f32) -> Var {
+        let value = self.value(x).scale(alpha);
+        let rg = self.rg(x);
+        self.push(Op::Scale { x, alpha }, value, rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+        let rg = self.rg(x);
+        self.push(Op::Sigmoid(x), value, rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(f32::tanh);
+        let rg = self.rg(x);
+        self.push(Op::Tanh(x), value, rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| v.max(0.0));
+        let rg = self.rg(x);
+        self.push(Op::Relu(x), value, rg)
+    }
+
+    /// Horizontal concatenation `[a | b]` (CD-GCN skip connection).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::ConcatCols(a, b), value, rg)
+    }
+
+    /// Vertical (row) concatenation of chunks — reassembly of vertex-chunk
+    /// row blocks in the vertex-partitioned and hybrid schemes.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let refs: Vec<&Dense> = parts.iter().map(|&v| self.value(v)).collect();
+        let value = Dense::vstack(&refs);
+        let rg = parts.iter().any(|&v| self.rg(v));
+        self.push(Op::ConcatRows(parts.to_vec()), value, rg)
+    }
+
+    /// Column slice `x[:, start..start+len]` (LSTM gate split).
+    pub fn narrow_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let value = self.value(x).narrow_cols(start, len);
+        let rg = self.rg(x);
+        let _ = len;
+        self.push(Op::NarrowCols { x, start }, value, rg)
+    }
+
+    /// Row gather (embedding lookup for link-prediction endpoints).
+    pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<u32>>) -> Var {
+        let value = self.value(x).gather_rows(&idx);
+        let rg = self.rg(x);
+        self.push(Op::GatherRows { x, idx }, value, rg)
+    }
+
+    /// Linear combination `Σ cᵢ · xᵢ`; all terms must share a shape.
+    pub fn lin_comb(&mut self, terms: &[(f32, Var)]) -> Var {
+        assert!(!terms.is_empty(), "lin_comb of nothing");
+        let shape = self.value(terms[0].1).shape();
+        let mut value = Dense::zeros(shape.0, shape.1);
+        let mut rg = false;
+        for &(c, v) in terms {
+            value.axpy(c, self.value(v));
+            rg |= self.rg(v);
+        }
+        self.push(Op::LinComb(terms.to_vec()), value, rg)
+    }
+
+    /// Mean over all elements (`1x1` output).
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let value = Dense::from_vec(1, 1, vec![self.value(x).mean()]);
+        let rg = self.rg(x);
+        self.push(Op::MeanAll(x), value, rg)
+    }
+
+    /// Sum over all elements (`1x1` output).
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let value = Dense::from_vec(1, 1, vec![self.value(x).sum()]);
+        let rg = self.rg(x);
+        self.push(Op::SumAll(x), value, rg)
+    }
+
+    /// Fused mean softmax cross-entropy of `logits` (`S x C`) against integer
+    /// `labels` (length `S`, entries `< C`). Returns a `1x1` loss node.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: Rc<Vec<u32>>) -> Var {
+        let z = self.value(logits);
+        let (s, c) = z.shape();
+        assert_eq!(labels.len(), s, "labels/logits row mismatch");
+        let mut probs = Dense::zeros(s, c);
+        let mut loss = 0.0f64;
+        for r in 0..s {
+            let row = z.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - max).exp();
+                probs.set(r, j, e);
+                denom += e;
+            }
+            for j in 0..c {
+                let p = probs.get(r, j) / denom;
+                probs.set(r, j, p);
+            }
+            let label = labels[r] as usize;
+            assert!(label < c, "label out of range");
+            loss -= f64::from(probs.get(r, label).max(1e-12).ln());
+        }
+        let value = Dense::from_vec(1, 1, vec![(loss / s as f64) as f32]);
+        let rg = self.rg(logits);
+        self.push(Op::SoftmaxXent { logits, labels, probs }, value, rg)
+    }
+
+    /// Runs reverse-mode accumulation from the given `(variable, gradient)`
+    /// seeds. A plain scalar loss is seeded with `Dense::ones(1, 1)`.
+    ///
+    /// Gradients accumulate across repeated calls on the same tape only if
+    /// the caller seeds disjoint sinks; typical use is a single call.
+    pub fn backward(&mut self, seeds: &[(Var, Dense)]) {
+        for (v, g) in seeds {
+            assert_eq!(
+                self.nodes[v.0].value.shape(),
+                g.shape(),
+                "seed gradient shape mismatch"
+            );
+            assert!(
+                !self.nodes[v.0].propagated,
+                "seeding a node that was already propagated in an earlier \
+                 backward stage"
+            );
+            match &mut self.grads[v.0] {
+                Some(acc) => acc.add_assign(g),
+                slot => *slot = Some(g.clone()),
+            }
+        }
+        for i in (0..self.nodes.len()).rev() {
+            if !self.nodes[i].requires_grad || self.nodes[i].propagated {
+                continue;
+            }
+            let Some(g) = self.grads[i].take() else { continue };
+            self.nodes[i].propagated = true;
+            self.propagate(i, &g);
+            self.grads[i] = Some(g);
+        }
+    }
+
+    /// Convenience: backward from a scalar loss node with unit seed.
+    pub fn backward_scalar(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be 1x1");
+        self.backward(&[(loss, Dense::ones(1, 1))]);
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Dense) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.grads[v.0] {
+            Some(acc) => acc.add_assign(&delta),
+            slot => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, g: &Dense) {
+        // `g` is the output gradient of node `i`; dispatch per op. Inputs of
+        // a node always precede it on the tape, so accumulation is safe.
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = g.matmul_transb(self.value(b));
+                let db = self.value(a).matmul_transa(g);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Spmm { a, x } => {
+                let x = *x;
+                let dx = a.spmm_transa(g);
+                self.accumulate(x, dx);
+            }
+            Op::Add(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.scale(-1.0));
+            }
+            Op::Hadamard(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = g.hadamard(self.value(b));
+                let db = g.hadamard(self.value(a));
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::AddBias { x, bias } => {
+                let (x, bias) = (*x, *bias);
+                self.accumulate(x, g.clone());
+                self.accumulate(bias, g.sum_rows());
+            }
+            Op::Scale { x, alpha } => {
+                let (x, alpha) = (*x, *alpha);
+                self.accumulate(x, g.scale(alpha));
+            }
+            Op::Sigmoid(x) => {
+                let x = *x;
+                let y = &self.nodes[i].value;
+                let dx = g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv));
+                self.accumulate(x, dx);
+            }
+            Op::Tanh(x) => {
+                let x = *x;
+                let y = &self.nodes[i].value;
+                let dx = g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv));
+                self.accumulate(x, dx);
+            }
+            Op::Relu(x) => {
+                let x = *x;
+                let xin = self.value(x);
+                let dx = g.zip_map(xin, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                self.accumulate(x, dx);
+            }
+            Op::ConcatCols(a, b) => {
+                let (a, b) = (*a, *b);
+                let ca = self.value(a).cols();
+                let cb = self.value(b).cols();
+                let da = g.narrow_cols(0, ca);
+                let db = g.narrow_cols(ca, cb);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::ConcatRows(parts) => {
+                let parts = parts.clone();
+                let mut start = 0usize;
+                for v in parts {
+                    let rows = self.value(v).rows();
+                    let dv = g.row_block(start, rows);
+                    start += rows;
+                    self.accumulate(v, dv);
+                }
+            }
+            Op::NarrowCols { x, start } => {
+                let (x, start) = (*x, *start);
+                let (rows, cols) = self.value(x).shape();
+                let mut dx = Dense::zeros(rows, cols);
+                dx.add_into_cols(start, g);
+                self.accumulate(x, dx);
+            }
+            Op::GatherRows { x, idx } => {
+                let x = *x;
+                let idx = Rc::clone(idx);
+                let (rows, cols) = self.value(x).shape();
+                let mut dx = Dense::zeros(rows, cols);
+                dx.scatter_add_rows(&idx, g);
+                self.accumulate(x, dx);
+            }
+            Op::LinComb(terms) => {
+                let terms = terms.clone();
+                for (c, v) in terms {
+                    self.accumulate(v, g.scale(c));
+                }
+            }
+            Op::MeanAll(x) => {
+                let x = *x;
+                let (rows, cols) = self.value(x).shape();
+                let gs = g.get(0, 0) / (rows * cols) as f32;
+                self.accumulate(x, Dense::full(rows, cols, gs));
+            }
+            Op::SumAll(x) => {
+                let x = *x;
+                let (rows, cols) = self.value(x).shape();
+                self.accumulate(x, Dense::full(rows, cols, g.get(0, 0)));
+            }
+            Op::SoftmaxXent { logits, labels, probs } => {
+                let logits = *logits;
+                let labels = Rc::clone(labels);
+                let gs = g.get(0, 0);
+                let s = probs.rows();
+                let mut dz = probs.clone();
+                for (r, &label) in labels.iter().enumerate() {
+                    let cur = dz.get(r, label as usize);
+                    dz.set(r, label as usize, cur - 1.0);
+                }
+                dz.scale_assign(gs / s as f32);
+                self.accumulate(logits, dz);
+            }
+        }
+    }
+
+    /// Flushes gradients of parameter-bound leaves into the store
+    /// (accumulating — call [`ParamStore::zero_grad`] between steps).
+    pub fn accumulate_param_grads(&self, store: &mut ParamStore) {
+        for &(v, id) in &self.param_bindings {
+            if let Some(g) = self.grads[v.0].as_ref() {
+                store.add_grad(id, g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_backward_matches_manual() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1.
+        let mut tape = Tape::new();
+        let a = tape.input(Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = tape.input(Dense::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let y = tape.matmul(a, b);
+        let loss = tape.sum_all(y);
+        tape.backward_scalar(loss);
+        let ones = Dense::ones(2, 2);
+        let da = ones.matmul_transb(tape.value(b));
+        let db = tape.value(a).matmul_transa(&ones);
+        assert!(tape.grad(a).unwrap().approx_eq(&da, 1e-6));
+        assert!(tape.grad(b).unwrap().approx_eq(&db, 1e-6));
+    }
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let mut tape = Tape::new();
+        let c = tape.constant(Dense::ones(2, 2));
+        let x = tape.input(Dense::ones(2, 2));
+        let y = tape.hadamard(c, x);
+        let loss = tape.sum_all(y);
+        tape.backward_scalar(loss);
+        assert!(tape.grad(c).is_none());
+        assert!(tape.grad(x).is_some());
+    }
+
+    #[test]
+    fn spmm_backward_is_transpose_spmm() {
+        let a = Rc::new(Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]));
+        let mut tape = Tape::new();
+        let x = tape.input(Dense::from_fn(3, 2, |r, c| (r + c) as f32));
+        let y = tape.spmm(Rc::clone(&a), x);
+        let loss = tape.sum_all(y);
+        tape.backward_scalar(loss);
+        let expected = a.spmm_transa(&Dense::ones(3, 2));
+        assert!(tape.grad(x).unwrap().approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn diamond_accumulates_both_paths() {
+        // y = x + x  =>  dy/dx = 2.
+        let mut tape = Tape::new();
+        let x = tape.input(Dense::ones(1, 3));
+        let y = tape.add(x, x);
+        let loss = tape.sum_all(y);
+        tape.backward_scalar(loss);
+        assert!(tape.grad(x).unwrap().approx_eq(&Dense::full(1, 3, 2.0), 1e-6));
+    }
+
+    #[test]
+    fn softmax_xent_gradient_shape_and_sign() {
+        let mut tape = Tape::new();
+        let logits = tape.input(Dense::from_vec(2, 2, vec![2.0, -1.0, 0.0, 0.5]));
+        let labels = Rc::new(vec![0u32, 1]);
+        let loss = tape.softmax_cross_entropy(logits, labels);
+        assert!(tape.value(loss).get(0, 0) > 0.0);
+        tape.backward_scalar(loss);
+        let g = tape.grad(logits).unwrap();
+        // Gradient rows sum to zero (softmax simplex tangent).
+        for r in 0..2 {
+            let s: f32 = g.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+        // True-label coordinate has negative gradient.
+        assert!(g.get(0, 0) < 0.0);
+        assert!(g.get(1, 1) < 0.0);
+    }
+
+    #[test]
+    fn multi_seed_backward_accumulates() {
+        let mut tape = Tape::new();
+        let x = tape.input(Dense::ones(2, 2));
+        let y1 = tape.scale(x, 2.0);
+        let y2 = tape.scale(x, 3.0);
+        tape.backward(&[(y1, Dense::ones(2, 2)), (y2, Dense::ones(2, 2))]);
+        assert!(tape.grad(x).unwrap().approx_eq(&Dense::full(2, 2, 5.0), 1e-6));
+    }
+
+    #[test]
+    fn narrow_concat_roundtrip_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.input(Dense::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let a = tape.narrow_cols(x, 0, 2);
+        let b = tape.narrow_cols(x, 2, 2);
+        let y = tape.concat_cols(a, b);
+        let loss = tape.sum_all(y);
+        tape.backward_scalar(loss);
+        assert!(tape.grad(x).unwrap().approx_eq(&Dense::ones(1, 4), 1e-6));
+    }
+}

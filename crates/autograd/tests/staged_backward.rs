@@ -1,0 +1,136 @@
+//! Property tests for the staged-backward protocol: running `backward`
+//! several times with partitioned seed sets must equal one full backward,
+//! provided later stages only seed nodes untouched by earlier sweeps —
+//! the invariant the distributed trainers rely on.
+
+use dgnn_autograd::{ParamStore, Tape};
+use dgnn_tensor::init::glorot_uniform;
+use dgnn_tensor::Dense;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds two disconnected chains x -> a1 -> a2 and y -> b1 -> b2 sharing a
+/// parameter w, mirroring the layer-cut structure of the trainers.
+fn two_chains(
+    tape: &mut Tape,
+    store: &ParamStore,
+    w: dgnn_autograd::ParamId,
+    x0: &Dense,
+    y0: &Dense,
+) -> (dgnn_autograd::Var, dgnn_autograd::Var) {
+    let wv = tape.param(store, w);
+    let x = tape.input(x0.clone());
+    let a1 = tape.matmul(x, wv);
+    let a2 = tape.tanh(a1);
+    let y = tape.input(y0.clone());
+    let b1 = tape.matmul(y, wv);
+    let b2 = tape.sigmoid(b1);
+    (a2, b2)
+}
+
+#[test]
+fn staged_equals_single_sweep() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x0 = glorot_uniform(3, 4, &mut rng);
+    let y0 = glorot_uniform(2, 4, &mut rng);
+    let w0 = glorot_uniform(4, 4, &mut rng);
+    let ga = Dense::full(3, 4, 0.3);
+    let gb = Dense::full(2, 4, -0.7);
+
+    // Single call with both seeds.
+    let mut store = ParamStore::new();
+    let w = store.add("w", w0.clone());
+    let mut tape = Tape::new();
+    let (a2, b2) = two_chains(&mut tape, &store, w, &x0, &y0);
+    tape.backward(&[(a2, ga.clone()), (b2, gb.clone())]);
+    tape.accumulate_param_grads(&mut store);
+    let reference = store.grads_flat();
+
+    // Two staged calls.
+    let mut store2 = ParamStore::new();
+    let w2 = store2.add("w", w0);
+    let mut tape2 = Tape::new();
+    let (a2, b2) = two_chains(&mut tape2, &store2, w2, &x0, &y0);
+    tape2.backward(&[(a2, ga)]);
+    tape2.backward(&[(b2, gb)]);
+    tape2.accumulate_param_grads(&mut store2);
+    let staged = store2.grads_flat();
+
+    for (r, s) in reference.iter().zip(&staged) {
+        assert!((r - s).abs() < 1e-6, "staged backward diverges: {r} vs {s}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "already propagated")]
+fn reseeding_a_propagated_node_panics() {
+    let mut tape = Tape::new();
+    let x = tape.input(Dense::ones(2, 2));
+    let y = tape.tanh(x);
+    tape.backward(&[(y, Dense::ones(2, 2))]);
+    // y was propagated in the first sweep; a second seed must be rejected
+    // (silent double-propagation is the bug class this guards against).
+    tape.backward(&[(y, Dense::ones(2, 2))]);
+}
+
+#[test]
+fn concat_rows_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut store = ParamStore::new();
+    let a = store.add("a", glorot_uniform(2, 3, &mut rng));
+    let b = store.add("b", glorot_uniform(4, 3, &mut rng));
+    dgnn_autograd::gradcheck::check_param_grads(
+        &mut store,
+        |tape, store| {
+            let av = tape.param(store, a);
+            let bv = tape.param(store, b);
+            let stacked = tape.concat_rows(&[av, bv]);
+            let y = tape.tanh(stacked);
+            tape.mean_all(y)
+        },
+        1e-2,
+        2e-2,
+    )
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Leaves keep accumulating across stages: grads of a shared parameter
+    /// equal the sum of per-stage contributions in any stage order.
+    #[test]
+    fn stage_order_does_not_matter(
+        xs in proptest::collection::vec(-2.0f32..2.0, 12),
+        ys in proptest::collection::vec(-2.0f32..2.0, 8),
+        swap in any::<bool>(),
+    ) {
+        let x0 = Dense::from_vec(3, 4, xs);
+        let y0 = Dense::from_vec(2, 4, ys);
+        let w0 = Dense::from_fn(4, 4, |r, c| ((r * 4 + c) as f32 * 0.1) - 0.7);
+        let ga = Dense::full(3, 4, 1.0);
+        let gb = Dense::full(2, 4, 1.0);
+
+        let run = |first_a: bool| {
+            let mut store = ParamStore::new();
+            let w = store.add("w", w0.clone());
+            let mut tape = Tape::new();
+            let (a2, b2) = two_chains(&mut tape, &store, w, &x0, &y0);
+            if first_a {
+                tape.backward(&[(a2, ga.clone())]);
+                tape.backward(&[(b2, gb.clone())]);
+            } else {
+                tape.backward(&[(b2, gb.clone())]);
+                tape.backward(&[(a2, ga.clone())]);
+            }
+            tape.accumulate_param_grads(&mut store);
+            store.grads_flat()
+        };
+        let fwd = run(true);
+        let rev = run(!swap);
+        for (f, r) in fwd.iter().zip(&rev) {
+            prop_assert!((f - r).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Criterion micro-benchmarks of the kernel layer and of small end-to-end
+//! training epochs. Sample counts are kept small: these run on whatever
+//! box executes `cargo bench`, not the paper's testbed — the tables and
+//! figures come from the harness binaries instead.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
+use dgnn_graph::diff::{chunk_transfer, diff, reconstruct};
+use dgnn_graph::gen::{churn, churn_skewed};
+use dgnn_partition::{partition, Hypergraph, PartitionerConfig};
+use dgnn_tensor::init::glorot_uniform;
+use dgnn_tensor::{m_banded, normalized_laplacian, Dense};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &(n, m) in &[(1_000usize, 5_000usize), (5_000, 50_000)] {
+        let g = churn(n, 1, m, 0.0, 1);
+        let lap = g.snapshot(0).laplacian();
+        let x = Dense::from_fn(n, 16, |r, c| ((r * 16 + c) % 17) as f32 * 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(lap.spmm(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 256] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = glorot_uniform(n, n, &mut rng);
+        let b_m = glorot_uniform(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |bch, ()| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b_m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_step");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let cell = dgnn_models::LstmCell::new(&mut store, "l", 8, 8, &mut rng);
+    let x_val = glorot_uniform(2_000, 8, &mut rng);
+    group.bench_function("rows=2000,h=8", |b| {
+        b.iter(|| {
+            let mut tape = dgnn_autograd::Tape::new();
+            let vars = cell.bind(&mut tape, &store);
+            let state = cell.zero_state(&mut tape, 2_000);
+            let x = tape.constant(x_val.clone());
+            let out = cell.step(&mut tape, vars, x, state);
+            std::hint::black_box(tape.value(out.h).sum())
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_diff");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let g = churn(5_000, 2, 40_000, 0.2, 4);
+    let (a, b) = (g.snapshot(0).adj(), g.snapshot(1).adj());
+    group.bench_function("diff_40k_edges", |bch| {
+        bch.iter(|| std::hint::black_box(diff(a, b)))
+    });
+    let d = diff(a, b);
+    group.bench_function("reconstruct_40k_edges", |bch| {
+        bch.iter(|| std::hint::black_box(reconstruct(a, &d)))
+    });
+    group.bench_function("chunk_transfer_8_snapshots", |bch| {
+        let g = churn(2_000, 8, 16_000, 0.2, 5);
+        let slices: Vec<&dgnn_tensor::Csr> = (0..8).map(|t| g.snapshot(t).adj()).collect();
+        bch.iter(|| std::hint::black_box(chunk_transfer(&slices)))
+    });
+    group.finish();
+}
+
+fn bench_mproduct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m_product");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let g = churn(2_000, 16, 10_000, 0.3, 6);
+    let tensor = g.to_sparse_tensor();
+    let m = m_banded(16, 4);
+    group.bench_function("sparse_ttm_T16_w4", |b| {
+        b.iter(|| std::hint::black_box(tensor.ttm_mode1(&m)))
+    });
+    group.finish();
+}
+
+fn bench_laplacian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplacian");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let g = churn(5_000, 1, 40_000, 0.0, 7);
+    group.bench_function("normalize_40k_edges", |b| {
+        b.iter(|| std::hint::black_box(normalized_laplacian(g.snapshot(0).adj(), true)))
+    });
+    group.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypergraph_partitioner");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let g = churn(1_000, 4, 6_000, 0.2, 8);
+    let hg = Hypergraph::column_net_model(&g);
+    group.bench_function("n1000_p8", |b| {
+        b.iter(|| std::hint::black_box(partition(&hg, &PartitionerConfig::new(8))))
+    });
+    group.finish();
+}
+
+fn bench_autograd_tape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autograd");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let g = churn(2_000, 1, 10_000, 0.0, 9);
+    let lap = Rc::new(g.snapshot(0).laplacian());
+    let mut rng = StdRng::seed_from_u64(10);
+    let x_val = glorot_uniform(2_000, 8, &mut rng);
+    let w_val = glorot_uniform(8, 8, &mut rng);
+    group.bench_function("gcn_forward_backward", |b| {
+        b.iter(|| {
+            let mut tape = dgnn_autograd::Tape::new();
+            let x = tape.input(x_val.clone());
+            let w = tape.input(w_val.clone());
+            let agg = tape.spmm(Rc::clone(&lap), x);
+            let lin = tape.matmul(agg, w);
+            let act = tape.relu(lin);
+            let loss = tape.mean_all(act);
+            tape.backward_scalar(loss);
+            std::hint::black_box(tape.grad(w).unwrap().sum())
+        })
+    });
+    group.finish();
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_epoch");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let g = churn_skewed(100, 8, 400, 0.3, 0.9, 11);
+    for kind in ModelKind::all() {
+        let cfg = ModelConfig {
+            kind,
+            input_f: 2,
+            hidden: 6,
+            mprod_window: 3,
+            smoothing_window: 3,
+        };
+        let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut store = ParamStore::new();
+                let model = Model::new(cfg, &mut store, &mut rng);
+                let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+                let stats = train_single(
+                    &model,
+                    &head,
+                    &mut store,
+                    &task,
+                    &TrainOptions { epochs: 1, lr: 0.05, nb: 2, seed: 7 },
+                );
+                std::hint::black_box(stats[0].loss)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_gemm,
+    bench_lstm_step,
+    bench_graph_diff,
+    bench_mproduct,
+    bench_laplacian,
+    bench_partitioner,
+    bench_autograd_tape,
+    bench_training_epoch
+);
+criterion_main!(benches);

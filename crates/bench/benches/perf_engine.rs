@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the analytic performance engine itself and the
+//! collective cost models — these are what the table/figure harnesses call
+//! thousands of times.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgnn_graph::datasets::AMLSIM;
+use dgnn_graph::Smoothing;
+use dgnn_sim::collective::{all_reduce_us, all_to_all_us};
+use dgnn_sim::perf::{estimate_epoch, ModelKind, PerfConfig};
+use dgnn_sim::MachineSpec;
+
+fn bench_estimate_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_epoch");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let spec = AMLSIM;
+    let stats = spec.stats(Smoothing::MProduct(spec.calibrated_mproduct_window()));
+    for &p in &[1usize, 16, 128] {
+        let cfg = PerfConfig::new(ModelKind::TmGcn, stats.clone(), p, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(estimate_epoch(&cfg).total_ms()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collective_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_cost_models");
+    group.sample_size(50).measurement_time(Duration::from_secs(1));
+    let spec = MachineSpec::aimos_like();
+    group.bench_function("all_to_all_128", |b| {
+        b.iter(|| std::hint::black_box(all_to_all_us(&spec, 128, 1 << 20)))
+    });
+    group.bench_function("all_reduce_128", |b| {
+        b.iter(|| std::hint::black_box(all_reduce_us(&spec, 128, 1 << 20)))
+    });
+    group.finish();
+}
+
+fn bench_closed_form_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form_stats");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("amlsim_mproduct", |b| {
+        b.iter(|| {
+            let spec = AMLSIM;
+            std::hint::black_box(
+                spec.stats(Smoothing::MProduct(spec.calibrated_mproduct_window()))
+                    .total_nnz(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_estimate_epoch,
+    bench_collective_models,
+    bench_closed_form_stats
+);
+criterion_main!(benches);

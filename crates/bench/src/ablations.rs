@@ -1,0 +1,113 @@
+//! Experiment E8 — ablations of the design choices the paper calls out:
+//!
+//! * checkpoint block count `nb`: memory vs time (paper §3.1 tunes it),
+//! * pinned vs pageable host memory (paper §3.2 uses pinned),
+//! * first-layer `Ã·X` pre-computation (paper §5.5),
+//! * graph-difference gains on raw vs smoothed inputs (paper §6.2).
+
+use dgnn_graph::datasets::AMLSIM;
+use dgnn_graph::Smoothing;
+use dgnn_sim::perf::{estimate_epoch, ModelKind, PerfConfig};
+
+use crate::{gib, ms, smoothing_for};
+
+/// Runs the ablation harness.
+pub fn run(_fast: bool) {
+    let spec = AMLSIM;
+
+    println!("== Ablation A: checkpoint blocks (TM-GCN / AML-Sim, P=8) ==");
+    println!("{:>4} {:>10} {:>10} {:>10} {:>10}", "nb", "total", "transfer", "mem", "fits?");
+    let stats = spec.stats(smoothing_for(ModelKind::TmGcn, &spec));
+    for nb in [0usize, 1, 2, 4, 8, 16, 32, 64] {
+        let cfg = PerfConfig::new(ModelKind::TmGcn, stats.clone(), 8, nb);
+        let r = estimate_epoch(&cfg);
+        println!(
+            "{:>4} {:>10} {:>10} {:>10} {:>10}",
+            if nb == 0 { "base".to_string() } else { nb.to_string() },
+            ms(r.total_ms()),
+            ms(r.transfer_ms),
+            gib(r.peak_mem_bytes),
+            if r.oom { "OOM" } else { "yes" }
+        );
+    }
+    println!("(baseline = no checkpointing: everything resident, single transfer pass)");
+
+    println!("\n== Ablation B: pinned vs pageable host memory (TM-GCN, P=1, nb=8) ==");
+    for pinned in [true, false] {
+        let cfg = PerfConfig {
+            pinned,
+            ..PerfConfig::new(ModelKind::TmGcn, stats.clone(), 1, 8)
+        };
+        let r = estimate_epoch(&cfg);
+        println!(
+            "  pinned={pinned:<5} transfer={:>10} total={:>10}",
+            ms(r.transfer_ms),
+            ms(r.total_ms())
+        );
+    }
+
+    println!("\n== Ablation C: first-layer pre-aggregation (paper §5.5) ==");
+    for model in ModelKind::all() {
+        let st = spec.stats(smoothing_for(model, &spec));
+        let with = estimate_epoch(&PerfConfig {
+            precompute_first_layer: true,
+            ..PerfConfig::new(model, st.clone(), 8, 8)
+        });
+        let without = estimate_epoch(&PerfConfig {
+            precompute_first_layer: false,
+            ..PerfConfig::new(model, st, 8, 8)
+        });
+        println!(
+            "  {:<6} with={:>10}  without={:>10}  saving={:>5.1}%",
+            model.name(),
+            ms(with.total_ms()),
+            ms(without.total_ms()),
+            (1.0 - with.total_ms() / without.total_ms()) * 100.0
+        );
+    }
+
+    println!("\n== Ablation D: GD speedup vs smoothing (AML-Sim stand-in, P=1, nb=8) ==");
+    println!("{:>22} {:>12} {:>12} {:>8}", "input", "Base xfer", "GD xfer", "speedup");
+    let w = spec.calibrated_mproduct_window();
+    let l = spec.calibrated_edge_life();
+    for (label, smoothing) in [
+        ("raw (CD-GCN)", Smoothing::None),
+        ("edge-life (EvolveGCN)", Smoothing::EdgeLife(l)),
+        ("M-product (TM-GCN)", Smoothing::MProduct(w)),
+    ] {
+        let st = spec.stats(smoothing);
+        let base = estimate_epoch(&PerfConfig {
+            gd: false,
+            ..PerfConfig::new(ModelKind::TmGcn, st.clone(), 1, 8)
+        });
+        let gd = estimate_epoch(&PerfConfig {
+            gd: true,
+            ..PerfConfig::new(ModelKind::TmGcn, st, 1, 8)
+        });
+        println!(
+            "{label:>22} {:>12} {:>12} {:>7.2}x",
+            ms(base.transfer_ms),
+            ms(gd.transfer_ms),
+            base.transfer_ms / gd.transfer_ms
+        );
+    }
+    println!("\n(smoothing magnifies snapshot overlap, which is where GD gains come from)");
+
+    println!("\n== Ablation E: computation-communication overlap (paper §6.5 proposal) ==");
+    println!("{:>4} {:>12} {:>12} {:>8}", "P", "sequential", "overlapped", "saving");
+    let st = spec.stats(smoothing_for(ModelKind::TmGcn, &spec));
+    for p in [8usize, 16, 32, 64, 128] {
+        let seq = estimate_epoch(&PerfConfig::new(ModelKind::TmGcn, st.clone(), p, 1));
+        let ovl = estimate_epoch(&PerfConfig {
+            overlap: true,
+            ..PerfConfig::new(ModelKind::TmGcn, st.clone(), p, 1)
+        });
+        println!(
+            "{p:>4} {:>12} {:>12} {:>7.1}%",
+            ms(seq.total_ms()),
+            ms(ovl.total_ms()),
+            (1.0 - ovl.total_ms() / seq.total_ms()) * 100.0
+        );
+    }
+    println!("(the paper leaves overlap as future work; the model bounds its benefit)");
+}

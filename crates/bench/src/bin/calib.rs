@@ -1,0 +1,21 @@
+//! Machine-constant calibration utility: prints the strong-scaling
+//! breakdown of TM-GCN on AML-Sim so `MachineSpec` can be tuned against the
+//! paper's Table 2 anchors (3396 ms at P=4, 593 ms at P=64).
+use dgnn_graph::datasets::AMLSIM;
+use dgnn_graph::stats::Smoothing;
+use dgnn_sim::perf::{tune_nb, ModelKind, PerfConfig};
+
+fn main() {
+    let spec = AMLSIM;
+    let stats = spec.stats(Smoothing::MProduct(spec.calibrated_mproduct_window()));
+    for p in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let cfg = PerfConfig::new(ModelKind::TmGcn, stats.clone(), p, 1);
+        match tune_nb(&cfg) {
+            Some((nb, r)) => println!(
+                "P={p:>3} nb={nb:>2} total={:>9.1}ms transfer={:>9.1} compute={:>9.1} comm={:>9.1} mem={}GiB",
+                r.total_ms(), r.transfer_ms, r.compute_ms, r.comm_ms, r.peak_mem_bytes >> 30
+            ),
+            None => println!("P={p:>3} OOM at all nb"),
+        }
+    }
+}

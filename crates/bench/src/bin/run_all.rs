@@ -1,0 +1,19 @@
+//! Runs every experiment harness in sequence (pass `--fast` to shrink).
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::table1::run(fast);
+    println!("\n{}\n", "=".repeat(78));
+    dgnn_bench::fig4::run(fast);
+    println!("\n{}\n", "=".repeat(78));
+    dgnn_bench::fig5::run(fast);
+    println!("\n{}\n", "=".repeat(78));
+    dgnn_bench::fig6::run(fast);
+    println!("\n{}\n", "=".repeat(78));
+    dgnn_bench::fig7::run(fast);
+    println!("\n{}\n", "=".repeat(78));
+    dgnn_bench::table2::run(fast);
+    println!("\n{}\n", "=".repeat(78));
+    dgnn_bench::table3::run(fast);
+    println!("\n{}\n", "=".repeat(78));
+    dgnn_bench::ablations::run(fast);
+}

@@ -1,0 +1,6 @@
+//! Harness binary for the `table2` experiment; pass `--fast` for a
+//! reduced sweep.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::table2::run(fast);
+}

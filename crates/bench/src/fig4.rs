@@ -1,0 +1,77 @@
+//! Experiment E2 — paper Figure 4: naive (Base) vs graph-difference (GD)
+//! snapshot transfer, per dataset-model pair, across GPU counts.
+//!
+//! Reproduced analytically at full paper scale: the engine consumes the
+//! closed-form per-snapshot statistics of the calibrated stand-ins.
+//! Expected shape (paper §6.2): GD transfer speedups up to ~4.1x on the
+//! smoothed inputs of TM-GCN/EvolveGCN, up to ~2x on CD-GCN's raw inputs,
+//! overall time reductions up to ~40%, and gains that shrink as P grows
+//! (the `(bsize_p − 1)/bsize_p` benefit fraction).
+
+use dgnn_graph::datasets::paper_datasets;
+use dgnn_sim::perf::{estimate_epoch, tune_nb, ModelKind, PerfConfig};
+
+use crate::{ms, smoothing_for, P_SWEEP};
+
+/// Runs the Figure 4 harness. `fast` restricts the P sweep.
+pub fn run(fast: bool) {
+    println!("== Figure 4: Base vs GD snapshot transfer ==");
+    let sweep: &[usize] = if fast { &[1, 8, 128] } else { &P_SWEEP };
+    let mut max_speedup: f64 = 0.0;
+    let mut max_reduction: f64 = 0.0;
+    let mut max_speedup_cd: f64 = 0.0;
+    for model in ModelKind::all() {
+        for spec in paper_datasets() {
+            println!("\n-- {} / {} --", model.name(), spec.name);
+            println!(
+                "{:>4} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+                "P", "Base xfer", "GD xfer", "Base tot", "GD tot", "xfer spd", "tot red"
+            );
+            let stats = spec.stats(smoothing_for(model, &spec));
+            for &p in sweep {
+                let base_cfg = PerfConfig {
+                    gd: false,
+                    ..PerfConfig::new(model, stats.clone(), p, 1)
+                };
+                // Tune nb once (on the GD config) and share it, as the
+                // paper does per configuration.
+                let Some((nb, _)) = tune_nb(&PerfConfig {
+                    gd: true,
+                    ..base_cfg.clone()
+                }) else {
+                    println!("{p:>4} {:>10}", "OOM");
+                    continue;
+                };
+                let base = estimate_epoch(&PerfConfig { nb, ..base_cfg.clone() });
+                let gd = estimate_epoch(&PerfConfig { nb, gd: true, ..base_cfg });
+                let spd = base.transfer_ms / gd.transfer_ms.max(1e-9);
+                let red = 1.0 - gd.total_ms() / base.total_ms();
+                println!(
+                    "{p:>4} {:>10} {:>10} {:>10} {:>10} {:>7.2}x {:>7.1}%",
+                    ms(base.transfer_ms),
+                    ms(gd.transfer_ms),
+                    ms(base.total_ms()),
+                    ms(gd.total_ms()),
+                    spd,
+                    red * 100.0
+                );
+                if model == ModelKind::CdGcn {
+                    max_speedup_cd = max_speedup_cd.max(spd);
+                } else {
+                    max_speedup = max_speedup.max(spd);
+                }
+                max_reduction = max_reduction.max(red);
+            }
+        }
+    }
+    println!();
+    println!("summary vs paper:");
+    println!(
+        "  max GD transfer speedup (smoothed models): {max_speedup:.2}x   (paper: up to 4.1x)"
+    );
+    println!("  max GD transfer speedup (CD-GCN, raw):     {max_speedup_cd:.2}x   (paper: up to 2x)");
+    println!(
+        "  max overall time reduction:                {:.1}%   (paper: up to 40%)",
+        max_reduction * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! Experiment E3 — paper Figure 5: strong scaling of the GD-endowed
+//! implementation, with the execution time split into snapshot transfer,
+//! computation and communication.
+//!
+//! Expected shape (paper §6.3): computation scales well for every model;
+//! communication becomes the bottleneck for TM-GCN and CD-GCN at high P
+//! with a visible dip when crossing the node boundary at P = 16; EvolveGCN
+//! is communication-free. Speedups reach tens of x at P = 128 (the paper
+//! reports up to 30x). Following the paper, when P = 1 cannot execute the
+//! smallest feasible P is the reference and its speedup is taken as P.
+
+use dgnn_graph::datasets::paper_datasets;
+use dgnn_sim::perf::{tune_nb, ModelKind, PerfConfig};
+
+use crate::{ms, smoothing_for, P_SWEEP};
+
+/// Runs the Figure 5 harness. `fast` restricts the sweep.
+pub fn run(fast: bool) {
+    println!("== Figure 5: strong scaling (with GD transfer) ==");
+    let sweep: &[usize] = if fast { &[1, 8, 16, 128] } else { &P_SWEEP };
+    for model in ModelKind::all() {
+        let mut summary: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+        for spec in paper_datasets() {
+            println!("\n-- {} / {} --", model.name(), spec.name);
+            println!(
+                "{:>4} {:>3} {:>10} {:>10} {:>10} {:>10} {:>9}",
+                "P", "nb", "transfer", "compute", "comm", "total", "mem"
+            );
+            let stats = spec.stats(smoothing_for(model, &spec));
+            let mut reference: Option<(usize, f64)> = None;
+            let mut speedups = Vec::new();
+            for &p in sweep {
+                let cfg = PerfConfig::new(model, stats.clone(), p, 1);
+                match tune_nb(&cfg) {
+                    Some((nb, r)) => {
+                        println!(
+                            "{p:>4} {nb:>3} {:>10} {:>10} {:>10} {:>10} {:>9}",
+                            ms(r.all_transfer_ms()),
+                            ms(r.compute_ms),
+                            ms(r.comm_ms),
+                            ms(r.total_ms()),
+                            crate::gib(r.peak_mem_bytes),
+                        );
+                        let total = r.total_ms();
+                        if reference.is_none() {
+                            reference = Some((p, total));
+                        }
+                        let (p_ref, t_ref) = reference.unwrap();
+                        // Paper convention: the reference point's speedup is
+                        // taken as P_ref.
+                        speedups.push((p, t_ref / total * p_ref as f64));
+                    }
+                    None => println!("{p:>4}     {:>10}", "OOM"),
+                }
+            }
+            summary.push((spec.name.to_string(), speedups));
+        }
+        println!("\n-- {} speedup summary (reference speedup = P_ref) --", model.name());
+        print!("{:<10}", "dataset");
+        for &p in sweep {
+            print!(" {p:>7}");
+        }
+        println!();
+        for (name, speedups) in &summary {
+            print!("{name:<10}");
+            let mut cursor = speedups.iter();
+            let mut next = cursor.next();
+            for &p in sweep {
+                match next {
+                    Some(&(sp, s)) if sp == p => {
+                        print!(" {s:>6.1}x");
+                        next = cursor.next();
+                    }
+                    _ => print!(" {:>7}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+    println!("\npaper reference: up to 30x speedup at P=128; dip at the node boundary (P=16).");
+}

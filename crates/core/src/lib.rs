@@ -1,0 +1,50 @@
+//! # dgnn-core
+//!
+//! The paper's primary contribution: efficient training of dynamic GNNs at
+//! scale. Four trainers share the model/segment machinery of `dgnn-models`:
+//!
+//! * [`single::train_single`] — gradient-checkpointed single-GPU training
+//!   with graph-difference transfer accounting (paper §3).
+//! * [`distributed::train_distributed`] — snapshot partitioning with
+//!   all-to-all redistribution over real rank threads (paper §4.2).
+//! * [`vertex_dist::train_vertex_partitioned`] — the hypergraph-based
+//!   vertex-partitioning baseline (paper §4.1, §6.4).
+//! * [`hybrid::train_hybrid`] — intra-snapshot row splitting for snapshots
+//!   too large for one GPU (paper §6.5).
+//!
+//! All four faithfully simulate the sequential algorithm: identical seeds
+//! produce matching loss/accuracy trajectories (paper Fig. 6), which the
+//! integration tests assert.
+
+pub mod classification;
+pub mod distributed;
+pub mod hybrid;
+pub mod metrics;
+pub mod single;
+pub mod task;
+pub mod vertex_dist;
+
+pub use classification::{train_single_classification, ClassEpochStats};
+pub use distributed::train_distributed;
+pub use hybrid::train_hybrid;
+pub use metrics::{EpochStats, TrainOptions};
+pub use single::train_single;
+pub use task::{prepare_task, prepare_task_holdout, Task, TaskOptions};
+pub use vertex_dist::train_vertex_partitioned;
+
+/// Convenience re-exports of the whole stack.
+pub mod prelude {
+    pub use crate::metrics::{EpochStats, TrainOptions};
+    pub use crate::task::{prepare_task, prepare_task_holdout, Task, TaskOptions};
+    pub use crate::{
+        train_distributed, train_hybrid, train_single, train_vertex_partitioned,
+    };
+    pub use dgnn_autograd::{Adam, Optimizer, ParamStore, Sgd, Tape, Var};
+    pub use dgnn_graph::{
+        DatasetSpec, DynamicGraph, EdgeSamples, Smoothing, Snapshot, TemporalStats,
+    };
+    pub use dgnn_models::{accuracy, LinkPredHead, Model, ModelConfig, ModelKind};
+    pub use dgnn_partition::{Hypergraph, PartitionerConfig, SnapshotPartition, VertexChunks};
+    pub use dgnn_sim::{estimate_epoch, MachineSpec, PerfConfig, PerfReport};
+    pub use dgnn_tensor::{Csr, Dense, SparseTensor3, Tensor3};
+}

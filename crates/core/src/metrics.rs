@@ -1,0 +1,62 @@
+//! Training options and per-epoch statistics.
+
+/// Options shared by the trainers.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainOptions {
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient-checkpoint blocks (`nb` of paper §3.1). 1 = single block.
+    pub nb: usize,
+    /// Parameter-initialisation seed (all ranks must agree).
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self { epochs: 10, lr: 0.01, nb: 1, seed: 42 }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochStats {
+    /// Mean cross-entropy over all timesteps.
+    pub loss: f64,
+    /// Training accuracy over all sampled pairs.
+    pub train_acc: f64,
+    /// Test accuracy on the held-out snapshot.
+    pub test_acc: f64,
+    /// Bytes a naive CPU→GPU snapshot transfer would move this epoch.
+    pub transfer_naive_bytes: u64,
+    /// Bytes the graph-difference transfer moves this epoch.
+    pub transfer_gd_bytes: u64,
+    /// Inter-rank payload bytes this rank sent during the epoch (0 for the
+    /// single-rank trainer).
+    pub comm_bytes: u64,
+}
+
+impl EpochStats {
+    /// Transfer speedup of graph-difference over naive for this epoch.
+    pub fn gd_speedup(&self) -> f64 {
+        if self.transfer_gd_bytes == 0 {
+            1.0
+        } else {
+            self.transfer_naive_bytes as f64 / self.transfer_gd_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gd_speedup_handles_zero() {
+        let s = EpochStats::default();
+        assert_eq!(s.gd_speedup(), 1.0);
+        let s = EpochStats { transfer_naive_bytes: 100, transfer_gd_bytes: 40, ..s };
+        assert!((s.gd_speedup() - 2.5).abs() < 1e-12);
+    }
+}

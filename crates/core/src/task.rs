@@ -1,0 +1,146 @@
+//! Training-task preparation: smoothing, Laplacians, degree features,
+//! optional first-layer pre-aggregation (paper §5.5), and link-prediction
+//! samples — everything a trainer consumes.
+
+use dgnn_graph::features::degree_features;
+use dgnn_graph::linkpred::build_linkpred;
+use dgnn_graph::smoothing::m_transform_features;
+use dgnn_graph::{DynamicGraph, EdgeSamples, Smoothing, Snapshot};
+use dgnn_models::ModelConfig;
+use dgnn_tensor::{Csr, Dense};
+
+/// A fully prepared training task.
+pub struct Task {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of training timesteps.
+    pub t: usize,
+    /// The smoothed dynamic graph the model trains on.
+    pub graph: DynamicGraph,
+    /// Normalized Laplacians `Ã_t` of the smoothed snapshots.
+    pub laps: Vec<Csr>,
+    /// Input features per timestep (`N x F`), M-transformed for TM-GCN.
+    pub features: Vec<Dense>,
+    /// Pre-computed `Ã_t · X_t` for the first layer (paper §5.5), when the
+    /// optimization is enabled.
+    pub preagg: Option<Vec<Dense>>,
+    /// Link-prediction training samples per timestep (drawn from the raw,
+    /// unsmoothed snapshots — the task predicts real edges).
+    pub train: Vec<EdgeSamples>,
+    /// Test samples from the held-out snapshot at `T+1`.
+    pub test: EdgeSamples,
+}
+
+/// Options controlling task preparation.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskOptions {
+    /// Fraction of each snapshot's edges sampled as positives (paper: 0.1).
+    pub theta: f64,
+    /// Enable the first-layer `Ã·X` pre-computation.
+    pub precompute_first_layer: bool,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for TaskOptions {
+    fn default() -> Self {
+        Self { theta: 0.1, precompute_first_layer: true, seed: 17 }
+    }
+}
+
+/// Prepares a task from a raw dynamic graph: applies the model's smoothing,
+/// builds Laplacians and degree features (M-transformed alongside the
+/// adjacency for TM-GCN), pre-aggregates the first layer if requested, and
+/// samples the link-prediction sets. `next` is the held-out snapshot at
+/// `T+1` that the test set is drawn from.
+pub fn prepare_task(
+    raw: &DynamicGraph,
+    next: &Snapshot,
+    cfg: &ModelConfig,
+    opts: &TaskOptions,
+) -> Task {
+    let smoothing = cfg.smoothing();
+    let graph = smoothing.apply(raw);
+    let laps: Vec<Csr> = graph.snapshots().iter().map(Snapshot::laplacian).collect();
+
+    let mut features = degree_features(raw);
+    if let Smoothing::MProduct(w) = smoothing {
+        // TM-GCN smooths the feature tensor with the same M (paper §5.4).
+        features = m_transform_features(&features, w);
+    }
+    let features: Vec<Dense> = features.into_frames();
+
+    let preagg = opts.precompute_first_layer.then(|| {
+        laps.iter().zip(&features).map(|(a, x)| a.spmm(x)).collect::<Vec<Dense>>()
+    });
+
+    let data = build_linkpred(raw, next, opts.theta, opts.seed);
+    Task {
+        n: raw.n(),
+        t: raw.t(),
+        graph,
+        laps,
+        features,
+        preagg,
+        train: data.train,
+        test: data.test,
+    }
+}
+
+/// Convenience: split off the final snapshot of `g` as the held-out test
+/// snapshot and prepare a task on the rest.
+pub fn prepare_task_holdout(g: &DynamicGraph, cfg: &ModelConfig, opts: &TaskOptions) -> Task {
+    assert!(g.t() >= 2, "need at least two snapshots");
+    let train_graph = g.time_slice(0, g.t() - 1);
+    let next = g.snapshot(g.t() - 1).clone();
+    prepare_task(&train_graph, &next, cfg, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_graph::gen::churn;
+    use dgnn_models::ModelKind;
+
+    #[test]
+    fn tmgcn_task_smooths_graph_and_features() {
+        let g = churn(50, 6, 150, 0.4, 1);
+        let cfg = ModelConfig::paper_defaults(ModelKind::TmGcn);
+        let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+        assert_eq!(task.t, 5);
+        // Smoothing grows snapshots.
+        assert!(task.graph.total_nnz() > g.time_slice(0, 5).total_nnz());
+        assert_eq!(task.laps.len(), 5);
+        assert_eq!(task.features.len(), 5);
+        assert!(task.preagg.is_some());
+    }
+
+    #[test]
+    fn cdgcn_task_keeps_raw_graph() {
+        let g = churn(50, 4, 150, 0.4, 2);
+        let cfg = ModelConfig::paper_defaults(ModelKind::CdGcn);
+        let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+        assert_eq!(task.graph.total_nnz(), g.time_slice(0, 3).total_nnz());
+    }
+
+    #[test]
+    fn preagg_matches_explicit_spmm() {
+        let g = churn(40, 3, 100, 0.3, 3);
+        let cfg = ModelConfig::paper_defaults(ModelKind::EvolveGcn);
+        let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+        let preagg = task.preagg.as_ref().unwrap();
+        for t in 0..task.t {
+            let expected = task.laps[t].spmm(&task.features[t]);
+            assert!(preagg[t].approx_eq(&expected, 1e-6));
+        }
+    }
+
+    #[test]
+    fn samples_cover_all_timesteps() {
+        let g = churn(40, 5, 120, 0.2, 4);
+        let cfg = ModelConfig::paper_defaults(ModelKind::CdGcn);
+        let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+        assert_eq!(task.train.len(), task.t);
+        assert!(!task.test.is_empty());
+    }
+}

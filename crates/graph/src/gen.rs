@@ -1,0 +1,392 @@
+//! Temporal graph generators.
+//!
+//! Three generators cover the paper's workloads:
+//!
+//! * [`uniform_random`] — the weak-scaling generator of §6.3: every snapshot
+//!   is an independent uniform random graph with `m = N · f` edges.
+//! * [`churn`] — an evolving-edge model for the real-dataset stand-ins: an
+//!   edge set of fixed size `m` where a fraction `rho` of edges is replaced
+//!   at every step. This matches the paper's observation that "dynamic
+//!   graphs change gradually" and gives closed-form overlap statistics.
+//! * [`amlsim_like`] — a community-structured transaction generator with
+//!   planted laundering rings, standing in for the AML-Sim dataset so that
+//!   link prediction has learnable structure.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::snapshot::{DynamicGraph, Snapshot};
+
+fn key(n: usize, u: u32, v: u32) -> u64 {
+    u as u64 * n as u64 + v as u64
+}
+
+fn random_edge(n: usize, rng: &mut impl Rng) -> (u32, u32) {
+    loop {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            return (u, v);
+        }
+    }
+}
+
+/// Samples vertices with probability `∝ 1/(i+1)^s` — the heavy-tailed
+/// endpoint distribution of real interaction graphs. `s = 0` is uniform.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` vertices with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0 && s >= 0.0);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Draws one vertex.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < x) as u32
+    }
+
+    /// Draws a non-self-loop edge.
+    pub fn sample_edge(&self, rng: &mut impl Rng) -> (u32, u32) {
+        loop {
+            let u = self.sample(rng);
+            let v = self.sample(rng);
+            if u != v {
+                return (u, v);
+            }
+        }
+    }
+}
+
+/// Independent uniform snapshots: `T` graphs over `n` vertices, each with
+/// `m = n * density_f` random directed edges (duplicates collapse).
+///
+/// This is exactly the weak-scaling workload of the paper: "the generator
+/// constructs each snapshot independently by adding N vertices and randomly
+/// selecting m = N·f pairs of vertices as edges".
+pub fn uniform_random(n: usize, t: usize, density_f: f64, seed: u64) -> DynamicGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = (n as f64 * density_f).round() as usize;
+    let snapshots = (0..t)
+        .map(|_| {
+            let edges: Vec<(u32, u32)> = (0..m).map(|_| random_edge(n, &mut rng)).collect();
+            Snapshot::from_edges(n, &edges)
+        })
+        .collect();
+    DynamicGraph::new(n, snapshots)
+}
+
+/// Evolving edge set with per-step churn.
+///
+/// The first snapshot holds `m` distinct random edges. At every subsequent
+/// step, `round(rho * m)` randomly chosen edges die and the same number of
+/// fresh random edges are born, keeping `|E_t| = m`. Consecutive snapshots
+/// therefore overlap in a `1 - rho` fraction of their structure, which is
+/// the property the graph-difference transfer exploits.
+pub fn churn(n: usize, t: usize, m: usize, rho: f64, seed: u64) -> DynamicGraph {
+    churn_with(n, t, m, rho, seed, random_edge)
+}
+
+/// [`churn`] with Zipf-skewed endpoint sampling (exponent `s`): the edge
+/// set still replaces a `rho` fraction per step, but endpoints follow the
+/// heavy-tailed popularity distribution of real interaction graphs, which
+/// is what makes degree features informative for link prediction.
+pub fn churn_skewed(n: usize, t: usize, m: usize, rho: f64, s: f64, seed: u64) -> DynamicGraph {
+    let zipf = ZipfSampler::new(n, s);
+    churn_with(n, t, m, rho, seed, move |_, rng| zipf.sample_edge(rng))
+}
+
+fn churn_with(
+    n: usize,
+    t: usize,
+    m: usize,
+    rho: f64,
+    seed: u64,
+    mut sample: impl FnMut(usize, &mut StdRng) -> (u32, u32),
+) -> DynamicGraph {
+    assert!((0.0..=1.0).contains(&rho), "churn rate must be in [0, 1]");
+    assert!(m <= n * (n - 1), "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+    let mut present: HashSet<u64> = HashSet::with_capacity(m * 2);
+    while edges.len() < m {
+        let e = sample(n, &mut rng);
+        if present.insert(key(n, e.0, e.1)) {
+            edges.push(e);
+        }
+    }
+    let replace = (rho * m as f64).round() as usize;
+    let mut snapshots = Vec::with_capacity(t);
+    snapshots.push(Snapshot::from_edges(n, &edges));
+    for _ in 1..t {
+        // Choose `replace` *distinct* victims via a partial Fisher-Yates
+        // shuffle, so a step replaces exactly `rho * m` current edges.
+        for i in 0..replace {
+            let j = rng.gen_range(i..edges.len());
+            edges.swap(i, j);
+        }
+        for slot in edges.iter_mut().take(replace) {
+            present.remove(&key(n, slot.0, slot.1));
+            loop {
+                let e = sample(n, &mut rng);
+                if present.insert(key(n, e.0, e.1)) {
+                    *slot = e;
+                    break;
+                }
+            }
+        }
+        snapshots.push(Snapshot::from_edges(n, &edges));
+    }
+    DynamicGraph::new(n, snapshots)
+}
+
+/// Configuration for the AML-Sim style generator.
+#[derive(Clone, Debug)]
+pub struct AmlSimConfig {
+    /// Number of accounts (vertices).
+    pub n: usize,
+    /// Number of timesteps.
+    pub t: usize,
+    /// Number of communities (banks / regions).
+    pub communities: usize,
+    /// Normal transactions per step.
+    pub transactions_per_step: usize,
+    /// Probability that a normal transaction stays inside its community.
+    pub intra_community_prob: f64,
+    /// Fraction of transactions replaced per step (temporal churn).
+    pub churn: f64,
+    /// Number of laundering rings planted over the timeline.
+    pub rings: usize,
+    /// Accounts per laundering ring.
+    pub ring_size: usize,
+    /// Zipf exponent of account activity (0 = uniform). Real transaction
+    /// data is heavy-tailed: a few accounts transact constantly.
+    pub zipf_s: f64,
+}
+
+impl Default for AmlSimConfig {
+    fn default() -> Self {
+        Self {
+            n: 1000,
+            t: 24,
+            communities: 8,
+            transactions_per_step: 4000,
+            intra_community_prob: 0.9,
+            churn: 0.2,
+            rings: 12,
+            ring_size: 5,
+            zipf_s: 0.9,
+        }
+    }
+}
+
+/// Community-structured transaction graph with planted laundering rings.
+///
+/// Normal transactions connect accounts mostly inside a community; each
+/// planted ring is a directed cycle of accounts whose edges appear over a
+/// run of consecutive timesteps (money moving through a chain), which gives
+/// the link-prediction task persistent temporal structure to learn.
+pub fn amlsim_like(cfg: &AmlSimConfig, seed: u64) -> DynamicGraph {
+    amlsim_with_labels(cfg, seed).0
+}
+
+/// [`amlsim_like`] plus per-timestep vertex labels for the paper's vertex
+/// classification application (§2.2): `labels[t][v] = 1` when account `v`
+/// participates in an active laundering ring at timestep `t`.
+pub fn amlsim_with_labels(cfg: &AmlSimConfig, seed: u64) -> (DynamicGraph, Vec<Vec<u32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.n;
+    let comm_size = n.div_ceil(cfg.communities);
+    let community = |v: u32| (v as usize / comm_size).min(cfg.communities - 1);
+    // Heavy-tailed activity: a Zipf offset inside a community picks its
+    // hub accounts more often; globally, low-id accounts are the hubs.
+    let offset_zipf = ZipfSampler::new(comm_size, cfg.zipf_s);
+    let global_zipf = ZipfSampler::new(n, cfg.zipf_s);
+    let sample_in_community = |c: usize, rng: &mut StdRng| -> u32 {
+        let lo = c * comm_size;
+        let hi = ((c + 1) * comm_size).min(n);
+        let off = offset_zipf.sample(rng) as usize % (hi - lo);
+        (lo + off) as u32
+    };
+
+    let sample_txn = |rng: &mut StdRng| -> (u32, u32) {
+        loop {
+            let u = sample_in_community(community(global_zipf.sample(rng)), rng);
+            let v = if rng.gen_bool(cfg.intra_community_prob) {
+                sample_in_community(community(u), rng)
+            } else {
+                global_zipf.sample(rng)
+            };
+            if u != v {
+                return (u, v);
+            }
+        }
+    };
+
+    // Base transactions with churn.
+    let mut edges: Vec<(u32, u32)> = (0..cfg.transactions_per_step)
+        .map(|_| sample_txn(&mut rng))
+        .collect();
+    let replace = (cfg.churn * edges.len() as f64).round() as usize;
+
+    // Plant rings: each ring occupies a run of consecutive timesteps. While
+    // a ring is active its members also burst fan-out transactions
+    // ("smurfing"), the activity signature AML systems look for.
+    let mut ring_edges_at: Vec<Vec<(u32, u32)>> = vec![Vec::new(); cfg.t];
+    let fanout = 6usize;
+    for _ in 0..cfg.rings {
+        let members: Vec<u32> =
+            (0..cfg.ring_size).map(|_| rng.gen_range(0..n as u32)).collect();
+        let start = rng.gen_range(0..cfg.t);
+        let span = rng.gen_range(2..=(cfg.t - start).clamp(2, 8));
+        for dt in 0..span {
+            let t = start + dt;
+            if t >= cfg.t {
+                break;
+            }
+            for i in 0..members.len() {
+                let u = members[i];
+                let v = members[(i + 1) % members.len()];
+                if u != v {
+                    ring_edges_at[t].push((u, v));
+                }
+                for _ in 0..fanout {
+                    let w = rng.gen_range(0..n as u32);
+                    if w != u {
+                        ring_edges_at[t].push((u, w));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut snapshots = Vec::with_capacity(cfg.t);
+    let mut labels: Vec<Vec<u32>> = Vec::with_capacity(cfg.t);
+    for t in 0..cfg.t {
+        if t > 0 {
+            for _ in 0..replace {
+                let victim = rng.gen_range(0..edges.len());
+                edges[victim] = sample_txn(&mut rng);
+            }
+        }
+        let mut all = edges.clone();
+        all.extend_from_slice(&ring_edges_at[t]);
+        snapshots.push(Snapshot::from_edges(n, &all));
+        let mut lab = vec![0u32; n];
+        for &(u, v) in &ring_edges_at[t] {
+            lab[u as usize] = 1;
+            lab[v as usize] = 1;
+        }
+        labels.push(lab);
+    }
+    (DynamicGraph::new(n, snapshots), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_shapes() {
+        let g = uniform_random(100, 5, 3.0, 1);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.t(), 5);
+        for t in 0..5 {
+            // Duplicates collapse, so nnz <= m, but should be close.
+            let nnz = g.snapshot(t).nnz();
+            assert!(nnz > 250 && nnz <= 300, "nnz {nnz}");
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic() {
+        let a = uniform_random(50, 3, 2.0, 42);
+        let b = uniform_random(50, 3, 2.0, 42);
+        for t in 0..3 {
+            assert_eq!(a.snapshot(t).adj(), b.snapshot(t).adj());
+        }
+    }
+
+    #[test]
+    fn churn_keeps_size_and_overlap() {
+        let n = 200;
+        let m = 800;
+        let rho = 0.25;
+        let g = churn(n, 6, m, rho, 7);
+        for t in 0..6 {
+            assert_eq!(g.snapshot(t).nnz(), m);
+        }
+        // Consecutive overlap should be ~ (1 - rho) * m.
+        for t in 0..5 {
+            let a: HashSet<(u32, u32)> = g.snapshot(t).edges().into_iter().collect();
+            let b: HashSet<(u32, u32)> = g.snapshot(t + 1).edges().into_iter().collect();
+            let common = a.intersection(&b).count();
+            let expected = ((1.0 - rho) * m as f64) as usize;
+            assert!(
+                common.abs_diff(expected) <= m / 20,
+                "common {common}, expected about {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_zero_means_static() {
+        let g = churn(50, 4, 100, 0.0, 3);
+        for t in 1..4 {
+            assert_eq!(g.snapshot(t).adj(), g.snapshot(0).adj());
+        }
+    }
+
+    #[test]
+    fn churn_one_means_independent() {
+        let g = churn(100, 3, 200, 1.0, 3);
+        let a: HashSet<(u32, u32)> = g.snapshot(0).edges().into_iter().collect();
+        let b: HashSet<(u32, u32)> = g.snapshot(1).edges().into_iter().collect();
+        let common = a.intersection(&b).count();
+        // A few collisions are possible but the sets are essentially disjoint.
+        assert!(common < 20, "common {common}");
+    }
+
+    #[test]
+    fn amlsim_has_community_bias() {
+        let cfg = AmlSimConfig { n: 400, t: 4, communities: 4, ..Default::default() };
+        let g = amlsim_like(&cfg, 11);
+        let comm_size = 100u32;
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for t in 0..g.t() {
+            for (u, v) in g.snapshot(t).edges() {
+                total += 1;
+                if u / comm_size == v / comm_size {
+                    intra += 1;
+                }
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        assert!(frac > 0.7, "intra-community fraction {frac}");
+    }
+
+    #[test]
+    fn amlsim_deterministic() {
+        let cfg = AmlSimConfig { n: 100, t: 3, ..Default::default() };
+        let a = amlsim_like(&cfg, 5);
+        let b = amlsim_like(&cfg, 5);
+        for t in 0..3 {
+            assert_eq!(a.snapshot(t).adj(), b.snapshot(t).adj());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # dgnn-graph
+//!
+//! Discrete-time dynamic graphs (DTDG) for the SC'21 reproduction:
+//! snapshot sequences, temporal generators (including churn-model stand-ins
+//! for the paper's datasets), the edge-life and M-transform smoothing of
+//! §5.4, the graph-difference transfer encoding of §3.2, degree features,
+//! link-prediction sampling, and exact/closed-form temporal statistics.
+
+pub mod datasets;
+pub mod diff;
+pub mod features;
+pub mod gen;
+pub mod linkpred;
+pub mod smoothing;
+pub mod snapshot;
+pub mod stats;
+
+pub use datasets::DatasetSpec;
+pub use diff::{chunk_transfer, diff, naive_transfer_bytes, reconstruct, GraphDiff};
+pub use features::degree_features;
+pub use linkpred::{build_linkpred, EdgeSamples, LinkPredData};
+pub use smoothing::{edge_life, m_transform_adj, m_transform_features};
+pub use snapshot::{DynamicGraph, Snapshot};
+pub use stats::{Smoothing, TemporalStats};

@@ -1,0 +1,205 @@
+//! Temporal statistics of a dynamic graph: per-snapshot sizes and
+//! consecutive-snapshot differences.
+//!
+//! Two constructions exist:
+//!
+//! * [`TemporalStats::from_graph`] measures a materialised graph exactly —
+//!   used for functional runs and for validating the closed form.
+//! * [`TemporalStats::churn_closed_form`] predicts the same quantities for
+//!   the churn model analytically, which lets the performance engine reason
+//!   about paper-scale (billion-edge) datasets without materialising them.
+
+use crate::diff::diff;
+use crate::smoothing::{edge_life, m_transform_adj};
+use crate::snapshot::DynamicGraph;
+
+/// The smoothing applied to the adjacency tensor before training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Smoothing {
+    /// No smoothing (CD-GCN).
+    None,
+    /// Edge-life transformation with life `l` (EvolveGCN).
+    EdgeLife(usize),
+    /// M-transform with window `w` (TM-GCN).
+    MProduct(usize),
+}
+
+impl Smoothing {
+    /// Applies the smoothing to a materialised graph.
+    pub fn apply(&self, g: &DynamicGraph) -> DynamicGraph {
+        match *self {
+            Smoothing::None => g.clone(),
+            Smoothing::EdgeLife(l) => edge_life(g, l),
+            Smoothing::MProduct(w) => m_transform_adj(g, w),
+        }
+    }
+
+    /// The structural union window: how many consecutive raw snapshots
+    /// contribute structure to one smoothed snapshot.
+    pub fn window(&self) -> usize {
+        match *self {
+            Smoothing::None => 1,
+            Smoothing::EdgeLife(l) => l,
+            Smoothing::MProduct(w) => w,
+        }
+    }
+}
+
+/// Per-snapshot size and difference statistics of a (possibly smoothed)
+/// dynamic graph.
+#[derive(Clone, Debug)]
+pub struct TemporalStats {
+    /// Number of vertices.
+    pub n: u64,
+    /// Number of timesteps.
+    pub t: usize,
+    /// Stored edges of each snapshot.
+    pub nnz: Vec<u64>,
+    /// `|A_i \ A_{i+1}|` for `i = 0..t-1`.
+    pub ext_prev: Vec<u64>,
+    /// `|A_{i+1} \ A_i|` for `i = 0..t-1`.
+    pub ext_next: Vec<u64>,
+}
+
+impl TemporalStats {
+    /// Total stored edges across the timeline.
+    pub fn total_nnz(&self) -> u64 {
+        self.nnz.iter().sum()
+    }
+
+    /// Measures a materialised graph exactly.
+    pub fn from_graph(g: &DynamicGraph) -> Self {
+        let t = g.t();
+        let nnz = g.nnz_series();
+        let mut ext_prev = Vec::with_capacity(t.saturating_sub(1));
+        let mut ext_next = Vec::with_capacity(t.saturating_sub(1));
+        for i in 0..t.saturating_sub(1) {
+            let d = diff(g.snapshot(i).adj(), g.snapshot(i + 1).adj());
+            ext_prev.push(d.ext_prev.len() as u64);
+            ext_next.push(d.ext_next.len() as u64);
+        }
+        Self { n: g.n() as u64, t, nnz, ext_prev, ext_next }
+    }
+
+    /// Predicts the statistics of a churn-model graph (per-snapshot size
+    /// `m`, per-step replacement fraction `rho`) after `smoothing`, without
+    /// materialising anything.
+    ///
+    /// Model: `R = rho * m` edges are replaced per step. A smoothed snapshot
+    /// at timestep `t` unions the last `k(t) = min(window, t+1)` raw
+    /// snapshots, so it holds `m + (k(t)-1) * R` edges. Between consecutive
+    /// smoothed snapshots, `R` edges leave (those whose last appearance was
+    /// the step that fell out of the window — zero while the window is still
+    /// growing) and `R` edges enter (fresh births). Random re-collisions are
+    /// negligible when `m << N²`.
+    pub fn churn_closed_form(
+        n: u64,
+        t: usize,
+        m: f64,
+        rho: f64,
+        smoothing: Smoothing,
+    ) -> Self {
+        let window = smoothing.window();
+        let r = rho * m;
+        let k = |ti: usize| window.min(ti + 1) as f64;
+        let nnz: Vec<u64> =
+            (0..t).map(|ti| (m + (k(ti) - 1.0) * r).round() as u64).collect();
+        let mut ext_prev = Vec::with_capacity(t.saturating_sub(1));
+        let mut ext_next = Vec::with_capacity(t.saturating_sub(1));
+        for i in 0..t.saturating_sub(1) {
+            // Window still growing at i+1: nothing falls out.
+            let leaving = if i + 1 < window { 0.0 } else { r };
+            ext_prev.push(leaving.round() as u64);
+            ext_next.push(r.round() as u64);
+        }
+        Self { n, t, nnz, ext_prev, ext_next }
+    }
+
+    /// Total smoothed edges predicted by the closed form (used to calibrate
+    /// smoothing windows against the paper's Table 1).
+    pub fn closed_form_total(t: usize, m: f64, rho: f64, window: usize) -> f64 {
+        let r = rho * m;
+        (0..t)
+            .map(|ti| m + (window.min(ti + 1) as f64 - 1.0) * r)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::churn;
+
+    #[test]
+    fn exact_stats_on_tiny_graph() {
+        use crate::snapshot::Snapshot;
+        let g = DynamicGraph::new(
+            3,
+            vec![
+                Snapshot::from_edges(3, &[(0, 1), (1, 2)]),
+                Snapshot::from_edges(3, &[(0, 1), (2, 0)]),
+            ],
+        );
+        let s = TemporalStats::from_graph(&g);
+        assert_eq!(s.nnz, vec![2, 2]);
+        assert_eq!(s.ext_prev, vec![1]); // (1,2) leaves
+        assert_eq!(s.ext_next, vec![1]); // (2,0) enters
+    }
+
+    #[test]
+    fn closed_form_matches_materialised_raw() {
+        let (n, t, m, rho) = (500usize, 12usize, 2000usize, 0.25);
+        let g = churn(n, t, m, rho, 17);
+        let exact = TemporalStats::from_graph(&g);
+        let predicted =
+            TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, Smoothing::None);
+        for ti in 0..t {
+            assert_eq!(exact.nnz[ti], predicted.nnz[ti]);
+        }
+        for i in 0..t - 1 {
+            let e = exact.ext_next[i] as f64;
+            let p = predicted.ext_next[i] as f64;
+            assert!((e - p).abs() / p < 0.15, "ext_next[{i}]: exact {e}, predicted {p}");
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_materialised_smoothed() {
+        let (n, t, m, rho) = (600usize, 16usize, 1500usize, 0.3);
+        let g = churn(n, t, m, rho, 23);
+        let w = 5;
+        let smoothing = Smoothing::MProduct(w);
+        let exact = TemporalStats::from_graph(&smoothing.apply(&g));
+        let predicted =
+            TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, smoothing);
+        for ti in 0..t {
+            let e = exact.nnz[ti] as f64;
+            let p = predicted.nnz[ti] as f64;
+            assert!((e - p).abs() / p < 0.1, "nnz[{ti}]: exact {e}, predicted {p}");
+        }
+        // In the steady state both ext series hover around R = rho * m.
+        let r = rho * m as f64;
+        for i in w..t - 1 {
+            let e = exact.ext_prev[i] as f64;
+            assert!((e - r).abs() / r < 0.3, "ext_prev[{i}]: exact {e}, R {r}");
+        }
+    }
+
+    #[test]
+    fn closed_form_total_monotone_in_window() {
+        let mut prev = 0.0;
+        for w in 1..20 {
+            let total = TemporalStats::closed_form_total(50, 1000.0, 0.2, w);
+            assert!(total > prev);
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn ramp_up_has_no_departures() {
+        let s = TemporalStats::churn_closed_form(100, 10, 100.0, 0.5, Smoothing::MProduct(4));
+        // Windows are still growing for i+1 < 4.
+        assert_eq!(&s.ext_prev[0..3], &[0, 0, 0]);
+        assert!(s.ext_prev[4] > 0);
+    }
+}

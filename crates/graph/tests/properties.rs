@@ -1,0 +1,200 @@
+//! Property tests on graph-side invariants: relabeling, smoothing algebra,
+//! generator guarantees, and closed-form statistics.
+
+use dgnn_graph::gen::{amlsim_with_labels, churn, churn_skewed, AmlSimConfig, ZipfSampler};
+use dgnn_graph::smoothing::{edge_life, m_transform_adj};
+use dgnn_graph::stats::{Smoothing, TemporalStats};
+use dgnn_graph::DynamicGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Relabeling is structure-preserving: degree multisets are invariant.
+    #[test]
+    fn relabel_preserves_degree_multiset(seed in 0u64..500) {
+        let g = churn(30, 3, 90, 0.3, seed);
+        // A deterministic permutation: reverse order.
+        let perm: Vec<u32> = (0..30u32).rev().collect();
+        let renamed = g.relabel(&perm);
+        for t in 0..3 {
+            let mut a: Vec<usize> = g.snapshot(t).adj().row_degrees();
+            let mut b: Vec<usize> = renamed.snapshot(t).adj().row_degrees();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(g.snapshot(t).nnz(), renamed.snapshot(t).nnz());
+        }
+    }
+
+    /// Relabeling twice with a permutation and its inverse is the identity.
+    #[test]
+    fn relabel_roundtrip(seed in 0u64..500) {
+        let g = churn(25, 2, 60, 0.4, seed);
+        let perm: Vec<u32> = (0..25u32).map(|v| (v * 7 + 3) % 25).collect();
+        let mut inv = vec![0u32; 25];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        let back = g.relabel(&perm).relabel(&inv);
+        for t in 0..2 {
+            prop_assert_eq!(back.snapshot(t).adj(), g.snapshot(t).adj());
+        }
+    }
+
+    /// Edge-life of l is the union of the last l raw structures.
+    #[test]
+    fn edge_life_structure_is_window_union(seed in 0u64..200, l in 1usize..5) {
+        let g = churn(40, 6, 100, 0.4, seed);
+        let s = edge_life(&g, l);
+        for t in 0..6usize {
+            let lo = t.saturating_sub(l - 1);
+            let mut union = std::collections::HashSet::new();
+            for i in lo..=t {
+                union.extend(g.snapshot(i).edges());
+            }
+            let got: std::collections::HashSet<_> =
+                s.snapshot(t).edges().into_iter().collect();
+            prop_assert_eq!(got, union);
+        }
+    }
+
+    /// M-transform and edge-life share structure for matching windows.
+    #[test]
+    fn m_transform_structure_equals_edge_life(seed in 0u64..200, w in 1usize..5) {
+        let g = churn(30, 5, 80, 0.5, seed);
+        let a = m_transform_adj(&g, w);
+        let b = edge_life(&g, w);
+        for t in 0..5 {
+            prop_assert_eq!(a.snapshot(t).nnz(), b.snapshot(t).nnz(), "t={}", t);
+        }
+    }
+
+    /// The churn generator honours its size contract exactly and its churn
+    /// contract up to same-step re-collisions (a fresh edge may re-add a
+    /// victim removed earlier in the same step — the approximation the
+    /// closed-form statistics document).
+    #[test]
+    fn churn_replacement_counts_within_collision_tolerance(
+        rho in 0.0f64..=1.0,
+        seed in 0u64..200,
+    ) {
+        let m = 120usize;
+        let g = churn(60, 4, m, rho, seed);
+        let replace = (rho * m as f64).round() as usize;
+        // Expected re-collisions: each of `replace` fresh draws hits one of
+        // the `replace` removed victims with probability ~replace/(n(n-1)).
+        let slack = 3 + replace * replace / (60 * 59) * 3;
+        for t in 0..3 {
+            prop_assert_eq!(g.snapshot(t).nnz(), m);
+            let a: std::collections::HashSet<_> =
+                g.snapshot(t).edges().into_iter().collect();
+            let b: std::collections::HashSet<_> =
+                g.snapshot(t + 1).edges().into_iter().collect();
+            let departures = a.difference(&b).count();
+            prop_assert!(departures <= replace);
+            prop_assert!(
+                departures + slack >= replace,
+                "departures {} vs replace {} (slack {})",
+                departures, replace, slack
+            );
+        }
+    }
+
+    /// Zipf sampling is properly normalised and monotone in popularity.
+    #[test]
+    fn zipf_sampler_is_monotone(s in 0.2f64..1.5) {
+        let sampler = ZipfSampler::new(50, s);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        // Vertex 0 is the most popular by a clear margin.
+        prop_assert!(counts[0] > counts[25]);
+        prop_assert!(counts[0] > counts[49]);
+    }
+}
+
+#[test]
+fn closed_form_total_matches_series_sum() {
+    for (t, m, rho, w) in [(20usize, 500.0, 0.3, 4usize), (50, 1000.0, 0.7, 12)] {
+        let stats =
+            TemporalStats::churn_closed_form(1000, t, m, rho, Smoothing::MProduct(w));
+        let total = TemporalStats::closed_form_total(t, m, rho, w);
+        assert!(
+            (stats.total_nnz() as f64 - total).abs() < t as f64,
+            "series sum and closed form disagree"
+        );
+    }
+}
+
+#[test]
+fn aml_labels_mark_exactly_ring_members() {
+    let cfg = AmlSimConfig { n: 100, t: 8, rings: 4, ..Default::default() };
+    let (g, labels) = amlsim_with_labels(&cfg, 3);
+    assert_eq!(labels.len(), g.t());
+    // Some account is labelled at some timestep, and labels are binary.
+    let positives: usize =
+        labels.iter().map(|l| l.iter().filter(|&&x| x == 1).count()).sum();
+    assert!(positives > 0, "rings should label accounts");
+    assert!(labels.iter().flatten().all(|&x| x <= 1));
+}
+
+#[test]
+fn skewed_and_uniform_share_counting_statistics() {
+    // The closed-form stats consumed by the perf engine hold for the skewed
+    // generator too (sizes and departure counts are exact by construction).
+    let (n, t, m, rho) = (200usize, 8usize, 700usize, 0.25);
+    let g = churn_skewed(n, t, m, rho, 0.9, 13);
+    let stats = TemporalStats::from_graph(&g);
+    let predicted =
+        TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, Smoothing::None);
+    for ti in 0..t {
+        assert_eq!(stats.nnz[ti], predicted.nnz[ti]);
+    }
+    // Zipf endpoints collide more, so departures fall a few percent short
+    // of the closed form.
+    for i in 0..t - 1 {
+        let e = stats.ext_prev[i] as f64;
+        let p = predicted.ext_prev[i] as f64;
+        assert!((e - p).abs() / p < 0.1, "ext_prev[{i}]: {e} vs {p}");
+    }
+}
+
+#[test]
+fn smoothing_never_shrinks_snapshots() {
+    let g = churn(50, 6, 150, 0.5, 21);
+    for smoothing in [Smoothing::EdgeLife(3), Smoothing::MProduct(4)] {
+        let s = smoothing.apply(&g);
+        for t in 0..g.t() {
+            assert!(s.snapshot(t).nnz() >= g.snapshot(t).nnz());
+        }
+    }
+    let id = Smoothing::None.apply(&g);
+    for t in 0..g.t() {
+        assert_eq!(id.snapshot(t).adj(), g.snapshot(t).adj());
+    }
+}
+
+/// Helper used by the doc: DynamicGraph invariants after generation.
+#[test]
+fn generators_produce_consistent_graphs() {
+    for g in [
+        churn(40, 5, 100, 0.2, 1),
+        churn_skewed(40, 5, 100, 0.2, 1.2, 2),
+        dgnn_graph::gen::uniform_random(40, 5, 2.0, 3),
+    ] {
+        let _: DynamicGraph = g.clone();
+        assert_eq!(g.t(), 5);
+        assert_eq!(g.n(), 40);
+        for t in 0..g.t() {
+            // No self loops from the generators.
+            for (u, v) in g.snapshot(t).edges() {
+                assert_ne!(u, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Block-carry state: the `π_b` of gradient checkpointing (paper Fig. 2).
+//!
+//! The information a temporal component passes from one timeline block to
+//! the next — LSTM states for CD-GCN, the last `w−1` feature frames for
+//! TM-GCN's M-product, the weight-LSTM state for EvolveGCN. Carries cross
+//! tape-segment boundaries as plain matrices; their gradients flow back as
+//! backward seeds on the previous segment.
+
+use std::collections::VecDeque;
+
+use dgnn_tensor::Dense;
+
+/// Carried state of one layer's temporal component.
+#[derive(Clone, Debug)]
+pub enum LayerCarry {
+    /// CD-GCN: the feature LSTM's `(h, c)` on this rank's vertex chunk.
+    Lstm {
+        /// Hidden state (`chunk_rows x hidden`).
+        h: Dense,
+        /// Cell memory (`chunk_rows x hidden`).
+        c: Dense,
+    },
+    /// TM-GCN: the last up-to-`w−1` temporal-input frames, oldest first.
+    Window {
+        /// Carried frames; back of the deque is timestep `t_start − 1`.
+        frames: VecDeque<Dense>,
+    },
+    /// EvolveGCN: the weight-LSTM state after producing `W_{t_start−1}`
+    /// (`h` *is* that weight matrix). Ignored for the block starting at
+    /// `t = 0`, where `W_0` is the initial weight parameter itself.
+    Egcn {
+        /// Weight-LSTM hidden state = the current weight matrix.
+        h: Dense,
+        /// Weight-LSTM cell memory.
+        c: Dense,
+    },
+}
+
+/// Per-layer carried state of a whole model.
+#[derive(Clone, Debug)]
+pub struct CarryState {
+    /// One carry per dynamic-GNN layer.
+    pub layers: Vec<LayerCarry>,
+}
+
+impl CarryState {
+    /// Total `f32` elements held — the size of the checkpoint data `π_b`
+    /// (paper §3.1's second memory component).
+    pub fn elems(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerCarry::Lstm { h, c } | LayerCarry::Egcn { h, c } => h.len() + c.len(),
+                LayerCarry::Window { frames } => frames.iter().map(Dense::len).sum(),
+            })
+            .sum()
+    }
+}
+
+/// Gradient of a [`LayerCarry`]; `None` slots mean zero.
+#[derive(Clone, Debug, Default)]
+pub struct LayerCarryGrad {
+    /// Gradient w.r.t. `h` (LSTM/EGCN carries).
+    pub dh: Option<Dense>,
+    /// Gradient w.r.t. `c` (LSTM/EGCN carries).
+    pub dc: Option<Dense>,
+    /// Gradients w.r.t. window frames, aligned with `frames`.
+    pub dframes: Vec<Option<Dense>>,
+}
+
+/// Per-layer carry gradients of a whole model.
+#[derive(Clone, Debug)]
+pub struct CarryGrads {
+    /// One gradient bundle per layer.
+    pub layers: Vec<LayerCarryGrad>,
+}
+
+impl CarryGrads {
+    /// An all-zero gradient for `layers` layers.
+    pub fn zeros(layers: usize) -> Self {
+        Self { layers: (0..layers).map(|_| LayerCarryGrad::default()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_size_accounting() {
+        let carry = CarryState {
+            layers: vec![
+                LayerCarry::Lstm { h: Dense::zeros(10, 4), c: Dense::zeros(10, 4) },
+                LayerCarry::Window {
+                    frames: VecDeque::from(vec![Dense::zeros(10, 4), Dense::zeros(10, 4)]),
+                },
+            ],
+        };
+        assert_eq!(carry.elems(), 80 + 80);
+    }
+
+    #[test]
+    fn zero_grads_have_no_content() {
+        let g = CarryGrads::zeros(2);
+        assert_eq!(g.layers.len(), 2);
+        assert!(g.layers[0].dh.is_none());
+        assert!(g.layers[0].dframes.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! A batched LSTM cell (Hochreiter & Schmidhuber) operating on matrix
+//! "batches" of rows — vertices for CD-GCN's feature LSTM, weight-matrix
+//! rows for EvolveGCN's weight evolution.
+
+use dgnn_autograd::{ParamId, ParamStore, Tape, Var};
+use dgnn_tensor::init::glorot_uniform;
+use dgnn_tensor::Dense;
+use rand::Rng;
+
+/// LSTM cell parameters: fused gate weights `[i f g o]`.
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    /// Input-to-gates weights (`in_f x 4h`).
+    pub wx: ParamId,
+    /// Hidden-to-gates weights (`h x 4h`).
+    pub wh: ParamId,
+    /// Gate bias (`1 x 4h`).
+    pub b: ParamId,
+    in_f: usize,
+    hidden: usize,
+}
+
+/// Per-tape bound variables of an [`LstmCell`].
+#[derive(Clone, Copy, Debug)]
+pub struct LstmVars {
+    wx: Var,
+    wh: Var,
+    b: Var,
+}
+
+/// The recurrent state `(h, c)` as tape variables.
+#[derive(Clone, Copy, Debug)]
+pub struct LstmState {
+    /// Hidden state.
+    pub h: Var,
+    /// Cell memory.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Registers a new cell's parameters. The forget-gate bias is
+    /// initialised to 1, the standard trick for gradient flow over long
+    /// timelines.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_f: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let wx = store.add(format!("{name}.wx"), glorot_uniform(in_f, 4 * hidden, rng));
+        let wh = store.add(format!("{name}.wh"), glorot_uniform(hidden, 4 * hidden, rng));
+        let bias = Dense::from_fn(1, 4 * hidden, |_, c| {
+            if (hidden..2 * hidden).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let b = store.add(format!("{name}.b"), bias);
+        Self { wx, wh, b, in_f, hidden }
+    }
+
+    /// Input width.
+    pub fn in_f(&self) -> usize {
+        self.in_f
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Binds the cell parameters onto a tape segment.
+    pub fn bind(&self, tape: &mut Tape, store: &ParamStore) -> LstmVars {
+        LstmVars {
+            wx: tape.param(store, self.wx),
+            wh: tape.param(store, self.wh),
+            b: tape.param(store, self.b),
+        }
+    }
+
+    /// A zero initial state for a batch of `rows`.
+    pub fn zero_state(&self, tape: &mut Tape, rows: usize) -> LstmState {
+        LstmState {
+            h: tape.input(Dense::zeros(rows, self.hidden)),
+            c: tape.input(Dense::zeros(rows, self.hidden)),
+        }
+    }
+
+    /// One step: consumes `x` (`rows x in_f`) and the previous state,
+    /// returning the new state (`h` is the step output).
+    pub fn step(&self, tape: &mut Tape, vars: LstmVars, x: Var, prev: LstmState) -> LstmState {
+        let h = self.hidden;
+        let gx = tape.matmul(x, vars.wx);
+        let gh = tape.matmul(prev.h, vars.wh);
+        let pre0 = tape.add(gx, gh);
+        let pre = tape.add_bias(pre0, vars.b);
+        let i_pre = tape.narrow_cols(pre, 0, h);
+        let f_pre = tape.narrow_cols(pre, h, h);
+        let g_pre = tape.narrow_cols(pre, 2 * h, h);
+        let o_pre = tape.narrow_cols(pre, 3 * h, h);
+        let i = tape.sigmoid(i_pre);
+        let f = tape.sigmoid(f_pre);
+        let g = tape.tanh(g_pre);
+        let o = tape.sigmoid(o_pre);
+        let keep = tape.hadamard(f, prev.c);
+        let write = tape.hadamard(i, g);
+        let c = tape.add(keep, write);
+        let c_act = tape.tanh(c);
+        let h_new = tape.hadamard(o, c_act);
+        LstmState { h: h_new, c }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_autograd::gradcheck::check_param_grads;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 3, 4, &mut rng);
+        let mut tape = Tape::new();
+        let vars = cell.bind(&mut tape, &store);
+        let state = cell.zero_state(&mut tape, 7);
+        let x = tape.constant(Dense::ones(7, 3));
+        let next = cell.step(&mut tape, vars, x, state);
+        assert_eq!(tape.value(next.h).shape(), (7, 4));
+        assert_eq!(tape.value(next.c).shape(), (7, 4));
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng);
+        let b = store.value(cell.b);
+        assert_eq!(b.get(0, 3), 1.0);
+        assert_eq!(b.get(0, 0), 0.0);
+        assert_eq!(b.get(0, 6), 0.0);
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_bounded_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let vars = cell.bind(&mut tape, &store);
+        let state = cell.zero_state(&mut tape, 4);
+        let x = tape.constant(Dense::zeros(4, 2));
+        let next = cell.step(&mut tape, vars, x, state);
+        // |h| <= 1 because of the tanh.
+        assert!(tape.value(next.h).data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn two_step_sequence_gradients() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng);
+        let x0 = glorot_uniform(4, 2, &mut rng);
+        let x1 = glorot_uniform(4, 2, &mut rng);
+        check_param_grads(
+            &mut store,
+            |tape, store| {
+                let vars = cell.bind(tape, store);
+                let state = cell.zero_state(tape, 4);
+                let xa = tape.constant(x0.clone());
+                let s1 = cell.step(tape, vars, xa, state);
+                let xb = tape.constant(x1.clone());
+                let s2 = cell.step(tape, vars, xb, s1);
+                tape.mean_all(s2.h)
+            },
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+}

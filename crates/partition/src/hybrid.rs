@@ -1,0 +1,115 @@
+//! Hybrid partitioning (paper §6.5): processor groups share individual
+//! snapshots, splitting each snapshot's rows among the group members. This
+//! handles snapshots too large for a single GPU and the `T < P` idle-rank
+//! problem.
+
+use std::ops::Range;
+
+use dgnn_tensor::Csr;
+
+use crate::snapshot_part::{balanced_ranges, SnapshotPartition};
+
+/// A two-level layout: ranks are organised into equally-sized groups;
+/// snapshots are distributed among groups (snapshot partitioning at group
+/// granularity) and split row-wise inside each group.
+#[derive(Clone, Debug)]
+pub struct HybridPartition {
+    n: usize,
+    group_size: usize,
+    groups: usize,
+    snapshot_part: SnapshotPartition,
+}
+
+impl HybridPartition {
+    /// Builds a hybrid layout for `p` ranks in groups of `group_size` over
+    /// `t` timesteps and `n` vertices.
+    pub fn new(n: usize, t: usize, p: usize, group_size: usize) -> Self {
+        assert!(group_size >= 1 && p.is_multiple_of(group_size), "p must be a multiple of group_size");
+        let groups = p / group_size;
+        Self { n, group_size, groups, snapshot_part: SnapshotPartition::contiguous(t, groups) }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Ranks per group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The group a rank belongs to.
+    pub fn group_of_rank(&self, rank: usize) -> usize {
+        rank / self.group_size
+    }
+
+    /// A rank's position inside its group.
+    pub fn member_of_rank(&self, rank: usize) -> usize {
+        rank % self.group_size
+    }
+
+    /// Snapshot assignment at group granularity.
+    pub fn snapshot_part(&self) -> &SnapshotPartition {
+        &self.snapshot_part
+    }
+
+    /// The row range of a snapshot owned by group member `member`.
+    pub fn row_range(&self, member: usize) -> Range<usize> {
+        balanced_ranges(self.n, self.group_size)[member].clone()
+    }
+
+    /// Splits one snapshot into the row blocks of each group member.
+    pub fn split_snapshot(&self, adj: &Csr) -> Vec<Csr> {
+        assert_eq!(adj.rows(), self.n);
+        (0..self.group_size)
+            .map(|m| {
+                let r = self.row_range(m);
+                adj.row_block(r.start, r.len())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_tensor::Dense;
+
+    #[test]
+    fn layout_shapes() {
+        let h = HybridPartition::new(100, 8, 8, 2);
+        assert_eq!(h.groups(), 4);
+        assert_eq!(h.group_of_rank(5), 2);
+        assert_eq!(h.member_of_rank(5), 1);
+        // Each group owns 2 timesteps.
+        assert_eq!(h.snapshot_part().timesteps_of(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn row_split_partitions_rows() {
+        let h = HybridPartition::new(10, 4, 4, 2);
+        assert_eq!(h.row_range(0), 0..5);
+        assert_eq!(h.row_range(1), 5..10);
+    }
+
+    #[test]
+    fn split_spmm_stacks_to_full_spmm() {
+        // The functional core of hybrid SpMM: each member computes its row
+        // block against the *full* feature matrix; stacking reproduces the
+        // single-GPU result.
+        let adj = Csr::from_edges(6, &[(0, 1), (1, 2), (3, 4), (5, 0), (2, 5)]);
+        let h = HybridPartition::new(6, 2, 2, 2);
+        let x = Dense::from_fn(6, 3, |r, c| (r * 3 + c) as f32 * 0.1);
+        let blocks = h.split_snapshot(&adj);
+        let parts: Vec<Dense> = blocks.iter().map(|b| b.spmm(&x)).collect();
+        let stacked = Dense::vstack(&parts.iter().collect::<Vec<_>>());
+        assert!(stacked.approx_eq(&adj.spmm(&x), 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of group_size")]
+    fn group_size_must_divide() {
+        let _ = HybridPartition::new(10, 4, 6, 4);
+    }
+}

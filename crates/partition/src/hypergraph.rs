@@ -1,0 +1,394 @@
+//! Hypergraph model and partitioner — the stand-in for PaToH (paper §4.1).
+//!
+//! The SpMM of a GCN layer under vertex partitioning communicates the
+//! feature row of `v` to every processor owning an in-neighbor of `v`. The
+//! standard column-net hypergraph model captures this: one net per vertex
+//! `v` with pins `{v} ∪ Γ(v)`; the connectivity−1 metric of a partition is
+//! exactly the number of feature-vector transfers per SpMM.
+//!
+//! The partitioner is a greedy-growth + FM-refinement heuristic. It is not
+//! PaToH-quality, but the paper's comparison only needs *a* reasonable
+//! vertex partitioner: the qualitative behaviour (volume grows with P,
+//! irregular communication) is partitioner-independent.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dgnn_graph::DynamicGraph;
+use dgnn_tensor::Csr;
+
+/// A hypergraph in pin-list form.
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    n_vertices: usize,
+    /// Net -> pins.
+    pins: Vec<Vec<u32>>,
+    /// Net weights (e.g. how many timesteps the net is active in).
+    weights: Vec<f32>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from explicit pin lists with unit weights.
+    pub fn new(n_vertices: usize, pins: Vec<Vec<u32>>) -> Self {
+        let weights = vec![1.0; pins.len()];
+        Self { n_vertices, pins, weights }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of nets.
+    pub fn n_nets(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Pins of a net.
+    pub fn net(&self, i: usize) -> &[u32] {
+        &self.pins[i]
+    }
+
+    /// Weight of a net.
+    pub fn weight(&self, i: usize) -> f32 {
+        self.weights[i]
+    }
+
+    /// Column-net model of a dynamic graph's union structure: a net per
+    /// vertex `v` containing `v` and every vertex adjacent to `v` in any
+    /// snapshot (both directions, since the Laplacian is symmetrized). The
+    /// net weight is the number of snapshots in which `v` has at least one
+    /// neighbor — nets active in many timesteps cost more.
+    pub fn column_net_model(g: &DynamicGraph) -> Self {
+        let n = g.n();
+        let union = g.union_graph();
+        let sym = Csr::add_weighted(&[(1.0, &union), (1.0, &union.transpose())]);
+        let mut pins: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut p: Vec<u32> = sym.row_iter(v).map(|(c, _)| c).collect();
+            p.push(v as u32);
+            p.sort_unstable();
+            p.dedup();
+            pins.push(p);
+        }
+        // Active-timestep counts per vertex.
+        let mut weights = vec![0f32; n];
+        for s in g.snapshots() {
+            let out_deg = s.adj().row_degrees();
+            let in_deg = s.adj().col_degrees();
+            for v in 0..n {
+                if out_deg[v] + in_deg[v] > 0 {
+                    weights[v] += 1.0;
+                }
+            }
+        }
+        for w in &mut weights {
+            *w = w.max(1.0);
+        }
+        Self { n_vertices: n, pins, weights }
+    }
+
+    /// Weighted connectivity−1 cost of a partition: `Σ_net w(net) ·
+    /// (parts touched − 1)`.
+    pub fn connectivity_cost(&self, partition: &[usize], p: usize) -> f64 {
+        assert_eq!(partition.len(), self.n_vertices);
+        let mut seen = vec![usize::MAX; p];
+        let mut cost = 0.0f64;
+        for (i, net) in self.pins.iter().enumerate() {
+            let mut parts = 0usize;
+            for &pin in net {
+                let part = partition[pin as usize];
+                if seen[part] != i {
+                    seen[part] = i;
+                    parts += 1;
+                }
+            }
+            if parts > 1 {
+                cost += f64::from(self.weights[i]) * (parts - 1) as f64;
+            }
+        }
+        cost
+    }
+}
+
+/// Configuration of the heuristic partitioner.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionerConfig {
+    /// Number of parts.
+    pub parts: usize,
+    /// Allowed imbalance: part sizes at most `(1 + epsilon) * n / parts`.
+    pub epsilon: f64,
+    /// FM refinement passes.
+    pub refinement_passes: usize,
+    /// RNG seed for the growth order.
+    pub seed: u64,
+}
+
+impl PartitionerConfig {
+    /// Default configuration for `parts` parts.
+    pub fn new(parts: usize) -> Self {
+        Self { parts, epsilon: 0.05, refinement_passes: 4, seed: 0x9a17 }
+    }
+}
+
+/// Partitions the hypergraph vertices into `cfg.parts` balanced parts,
+/// minimising the connectivity−1 objective. Returns the vertex → part map.
+pub fn partition(hg: &Hypergraph, cfg: &PartitionerConfig) -> Vec<usize> {
+    let n = hg.n_vertices();
+    let p = cfg.parts;
+    assert!(p >= 1);
+    if p == 1 {
+        return vec![0; n];
+    }
+    let cap = (((n as f64) / p as f64) * (1.0 + cfg.epsilon)).ceil() as usize;
+
+    // Vertex -> incident nets (nets whose pin list contains the vertex).
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, net) in hg.pins.iter().enumerate() {
+        for &pin in net {
+            incident[pin as usize].push(i as u32);
+        }
+    }
+
+    // --- Phase 1: greedy BFS growth. Grow parts one at a time, preferring
+    // vertices that share nets with the current part.
+    let mut part_of = vec![usize::MAX; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    order.shuffle(&mut rng);
+    let mut order_cursor = 0usize;
+    let mut sizes = vec![0usize; p];
+    let target = n.div_ceil(p);
+
+    for cur in 0..p {
+        let mut frontier: Vec<u32> = Vec::new();
+        while sizes[cur] < target {
+            let v = match frontier.pop() {
+                Some(v) if part_of[v as usize] == usize::MAX => v,
+                Some(_) => continue,
+                None => {
+                    // Take the next unassigned seed.
+                    let mut seed = None;
+                    while order_cursor < n {
+                        let cand = order[order_cursor];
+                        order_cursor += 1;
+                        if part_of[cand as usize] == usize::MAX {
+                            seed = Some(cand);
+                            break;
+                        }
+                    }
+                    match seed {
+                        Some(s) => s,
+                        None => break,
+                    }
+                }
+            };
+            part_of[v as usize] = cur;
+            sizes[cur] += 1;
+            for &net in &incident[v as usize] {
+                for &u in hg.net(net as usize) {
+                    if part_of[u as usize] == usize::MAX {
+                        frontier.push(u);
+                    }
+                }
+            }
+        }
+    }
+    // Any stragglers go to the lightest part.
+    for v in 0..n {
+        if part_of[v] == usize::MAX {
+            let lightest = (0..p).min_by_key(|&q| sizes[q]).unwrap();
+            part_of[v] = lightest;
+            sizes[lightest] += 1;
+        }
+    }
+
+    // --- Phase 2: FM-style refinement on the connectivity objective.
+    // Net -> per-part pin counts, maintained incrementally.
+    let mut net_counts: Vec<Vec<u32>> = hg
+        .pins
+        .iter()
+        .map(|net| {
+            let mut counts = vec![0u32; p];
+            for &pin in net {
+                counts[part_of[pin as usize]] += 1;
+            }
+            counts
+        })
+        .collect();
+
+    for _ in 0..cfg.refinement_passes {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let from = part_of[v];
+            if sizes[from] <= 1 {
+                continue;
+            }
+            // Gain of moving v to part q: for each incident net, removing v
+            // from `from` saves w if v was the last pin there; adding v to q
+            // costs w if q had no pin.
+            let mut best: Option<(usize, f64)> = None;
+            for q in 0..p {
+                if q == from || sizes[q] + 1 > cap {
+                    continue;
+                }
+                let mut gain = 0.0f64;
+                for &net in &incident[v] {
+                    let counts = &net_counts[net as usize];
+                    let w = f64::from(hg.weights[net as usize]);
+                    if counts[from] == 1 {
+                        gain += w;
+                    }
+                    if counts[q] == 0 {
+                        gain -= w;
+                    }
+                }
+                if gain > best.map_or(0.0, |(_, g)| g) {
+                    best = Some((q, gain));
+                }
+            }
+            if let Some((q, _)) = best {
+                for &net in &incident[v] {
+                    let counts = &mut net_counts[net as usize];
+                    counts[from] -= 1;
+                    counts[q] += 1;
+                }
+                sizes[from] -= 1;
+                sizes[q] += 1;
+                part_of[v] = q;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    part_of
+}
+
+/// Renames vertices so that every part is a contiguous range (the paper
+/// renames for implementation efficiency, §6.4). Returns `(perm, inv)`
+/// where `perm[old] = new` and `inv[new] = old`.
+pub fn contiguous_renaming(partition: &[usize], p: usize) -> (Vec<u32>, Vec<u32>) {
+    let n = partition.len();
+    let mut perm = vec![0u32; n];
+    let mut inv = vec![0u32; n];
+    let mut next = 0u32;
+    for q in 0..p {
+        for (v, &part) in partition.iter().enumerate() {
+            if part == q {
+                perm[v] = next;
+                inv[next as usize] = v as u32;
+                next += 1;
+            }
+        }
+    }
+    assert_eq!(next as usize, n);
+    (perm, inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_graph::gen::churn;
+    use dgnn_graph::Snapshot;
+
+    fn two_cliques() -> DynamicGraph {
+        // Two disjoint 4-cliques: a perfect 2-way partition has zero cost.
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        edges.push((base + i, base + j));
+                    }
+                }
+            }
+        }
+        DynamicGraph::new(8, vec![Snapshot::from_edges(8, &edges)])
+    }
+
+    #[test]
+    fn column_net_model_shapes() {
+        let g = two_cliques();
+        let hg = Hypergraph::column_net_model(&g);
+        assert_eq!(hg.n_vertices(), 8);
+        assert_eq!(hg.n_nets(), 8);
+        // Every net covers its clique.
+        assert_eq!(hg.net(0).len(), 4);
+    }
+
+    #[test]
+    fn partitioner_finds_clique_split() {
+        let g = two_cliques();
+        let hg = Hypergraph::column_net_model(&g);
+        let part = partition(&hg, &PartitionerConfig::new(2));
+        let cost = hg.connectivity_cost(&part, 2);
+        assert_eq!(cost, 0.0, "partition {part:?}");
+        // Balanced 4/4.
+        assert_eq!(part.iter().filter(|&&q| q == 0).count(), 4);
+    }
+
+    #[test]
+    fn partition_is_balanced_on_random_graph() {
+        let g = churn(200, 3, 600, 0.2, 5);
+        let hg = Hypergraph::column_net_model(&g);
+        let cfg = PartitionerConfig::new(4);
+        let part = partition(&hg, &cfg);
+        for q in 0..4 {
+            let size = part.iter().filter(|&&x| x == q).count();
+            assert!(size <= 53, "part {q} size {size}"); // 200/4 * 1.05
+            assert!(size >= 40, "part {q} size {size}");
+        }
+    }
+
+    #[test]
+    fn refinement_does_not_increase_cost() {
+        let g = churn(150, 2, 450, 0.3, 8);
+        let hg = Hypergraph::column_net_model(&g);
+        let no_refine =
+            partition(&hg, &PartitionerConfig { refinement_passes: 0, ..PartitionerConfig::new(4) });
+        let refined = partition(&hg, &PartitionerConfig::new(4));
+        assert!(
+            hg.connectivity_cost(&refined, 4) <= hg.connectivity_cost(&no_refine, 4),
+            "refinement regressed"
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_parts() {
+        // The paper's core observation about vertex partitioning.
+        let g = churn(240, 3, 900, 0.2, 9);
+        let hg = Hypergraph::column_net_model(&g);
+        let cost =
+            |p: usize| hg.connectivity_cost(&partition(&hg, &PartitionerConfig::new(p)), p);
+        let c2 = cost(2);
+        let c8 = cost(8);
+        assert!(c8 > c2, "cost should grow with P: {c2} vs {c8}");
+    }
+
+    #[test]
+    fn renaming_is_a_permutation_with_contiguous_parts() {
+        let partition = vec![1usize, 0, 1, 0, 2, 1];
+        let (perm, inv) = contiguous_renaming(&partition, 3);
+        for v in 0..6 {
+            assert_eq!(inv[perm[v] as usize] as usize, v);
+        }
+        // New ids of part 0 come first.
+        let mut new_ids: Vec<(u32, usize)> =
+            (0..6).map(|v| (perm[v], partition[v])).collect();
+        new_ids.sort_unstable();
+        let parts_in_order: Vec<usize> = new_ids.iter().map(|&(_, q)| q).collect();
+        assert_eq!(parts_in_order, vec![0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = two_cliques();
+        let hg = Hypergraph::column_net_model(&g);
+        let part = partition(&hg, &PartitionerConfig::new(1));
+        assert!(part.iter().all(|&q| q == 0));
+        assert_eq!(hg.connectivity_cost(&part, 1), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Snapshot partitioning (paper §4.2): timesteps are distributed among the
+//! ranks in contiguous runs — globally contiguous in the plain scheme, or
+//! contiguous *within each checkpoint block* in the checkpointed scheme
+//! (paper Fig. 3b).
+
+use std::ops::Range;
+
+/// Balanced split of `len` items into `parts` contiguous ranges; the first
+/// `len % parts` ranges get one extra item.
+pub fn balanced_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "need at least one part");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Assignment of timesteps to ranks.
+#[derive(Clone, Debug)]
+pub struct SnapshotPartition {
+    t: usize,
+    p: usize,
+    owner: Vec<usize>,
+}
+
+impl SnapshotPartition {
+    /// Plain contiguous partitioning: rank `p` owns timesteps
+    /// `[p*T/P, (p+1)*T/P)` (paper §4.2, Fig. 3a).
+    pub fn contiguous(t: usize, p: usize) -> Self {
+        let mut owner = vec![0usize; t];
+        for (rank, range) in balanced_ranges(t, p).into_iter().enumerate() {
+            for ti in range {
+                owner[ti] = rank;
+            }
+        }
+        Self { t, p, owner }
+    }
+
+    /// Checkpoint-aware block-wise partitioning: the timeline is cut into
+    /// `nb` blocks and each block is split contiguously among the ranks, so
+    /// every rank participates in every block (paper Fig. 3b).
+    pub fn block_wise(t: usize, p: usize, nb: usize) -> Self {
+        assert!(nb >= 1, "need at least one block");
+        let mut owner = vec![0usize; t];
+        for block in balanced_ranges(t, nb) {
+            let len = block.len();
+            for (rank, local) in balanced_ranges(len, p).into_iter().enumerate() {
+                for ti in local {
+                    owner[block.start + ti] = rank;
+                }
+            }
+        }
+        Self { t, p, owner }
+    }
+
+    /// Number of timesteps.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The rank owning timestep `t`.
+    pub fn owner(&self, t: usize) -> usize {
+        self.owner[t]
+    }
+
+    /// All timesteps owned by `rank`, ascending.
+    pub fn timesteps_of(&self, rank: usize) -> Vec<usize> {
+        (0..self.t).filter(|&ti| self.owner[ti] == rank).collect()
+    }
+
+    /// The contiguous runs of timesteps owned by `rank`, ascending.
+    ///
+    /// Graph-difference transfer operates per run: the first snapshot of a
+    /// run ships naively and the rest ship as differences, which is why the
+    /// GD benefit fraction is `(bsize_p - 1)/bsize_p` (paper §6.2).
+    pub fn runs_of(&self, rank: usize) -> Vec<Range<usize>> {
+        let mut runs = Vec::new();
+        let mut cur: Option<Range<usize>> = None;
+        for ti in 0..self.t {
+            if self.owner[ti] == rank {
+                cur = match cur {
+                    Some(r) if r.end == ti => Some(r.start..ti + 1),
+                    Some(r) => {
+                        runs.push(r);
+                        Some(ti..ti + 1)
+                    }
+                    None => Some(ti..ti + 1),
+                };
+            }
+        }
+        if let Some(r) = cur {
+            runs.push(r);
+        }
+        runs
+    }
+
+    /// Largest number of timesteps owned by any rank.
+    pub fn max_local(&self) -> usize {
+        (0..self.p).map(|r| self.timesteps_of(r).len()).max().unwrap_or(0)
+    }
+}
+
+/// Contiguous vertex chunks used by the RNN redistribution (paper §4.2):
+/// rank `q` owns vertices `[q*N/P, (q+1)*N/P)`.
+#[derive(Clone, Copy, Debug)]
+pub struct VertexChunks {
+    n: usize,
+    p: usize,
+}
+
+impl VertexChunks {
+    /// Chunking of `n` vertices over `p` ranks.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p > 0);
+        Self { n, p }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The vertex range owned by rank `q`.
+    pub fn range(&self, q: usize) -> Range<usize> {
+        let ranges = balanced_ranges(self.n, self.p);
+        ranges[q].clone()
+    }
+
+    /// The rank owning vertex `v`.
+    pub fn owner_of(&self, v: usize) -> usize {
+        // Inverse of balanced_ranges: the first `extra` chunks have size
+        // base+1.
+        let base = self.n / self.p;
+        let extra = self.n % self.p;
+        let big = (base + 1) * extra;
+        if v < big {
+            v / (base + 1)
+        } else {
+            extra + (v - big) / base.max(1)
+        }
+    }
+
+    /// Chunk length of rank `q`.
+    pub fn len_of(&self, q: usize) -> usize {
+        self.range(q).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_ranges_cover_everything() {
+        for (len, parts) in [(10, 3), (12, 4), (7, 8), (0, 2), (5, 1)] {
+            let ranges = balanced_ranges(len, parts);
+            assert_eq!(ranges.len(), parts);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, len);
+            // Contiguous and ordered.
+            let mut pos = 0;
+            for r in &ranges {
+                assert_eq!(r.start, pos);
+                pos = r.end;
+            }
+            // Sizes differ by at most one.
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn contiguous_matches_paper_example() {
+        // T = 6, P = 3: ranks own [0,1], [2,3], [4,5] (paper Fig. 3a).
+        let part = SnapshotPartition::contiguous(6, 3);
+        assert_eq!(part.timesteps_of(0), vec![0, 1]);
+        assert_eq!(part.timesteps_of(1), vec![2, 3]);
+        assert_eq!(part.timesteps_of(2), vec![4, 5]);
+        assert_eq!(part.runs_of(1), vec![2..4]);
+    }
+
+    #[test]
+    fn block_wise_matches_paper_example() {
+        // T = 12, P = 3, nb = 2 (paper Fig. 3b): block 1 = [0..6), block 2 =
+        // [6..12); within each block ranks get 2 contiguous steps.
+        let part = SnapshotPartition::block_wise(12, 3, 2);
+        assert_eq!(part.timesteps_of(0), vec![0, 1, 6, 7]);
+        assert_eq!(part.timesteps_of(1), vec![2, 3, 8, 9]);
+        assert_eq!(part.timesteps_of(2), vec![4, 5, 10, 11]);
+        // Two runs per rank: one per block.
+        assert_eq!(part.runs_of(0), vec![0..2, 6..8]);
+    }
+
+    #[test]
+    fn block_wise_with_one_block_equals_contiguous() {
+        let a = SnapshotPartition::block_wise(9, 3, 1);
+        let b = SnapshotPartition::contiguous(9, 3);
+        for t in 0..9 {
+            assert_eq!(a.owner(t), b.owner(t));
+        }
+    }
+
+    #[test]
+    fn every_timestep_owned_once() {
+        let part = SnapshotPartition::block_wise(23, 4, 3);
+        let mut seen = [false; 23];
+        for r in 0..4 {
+            for t in part.timesteps_of(r) {
+                assert!(!seen[t]);
+                seen[t] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vertex_chunks_owner_inverse() {
+        for (n, p) in [(10, 3), (16, 4), (7, 7), (100, 8)] {
+            let chunks = VertexChunks::new(n, p);
+            for q in 0..p {
+                for v in chunks.range(q) {
+                    assert_eq!(chunks.owner_of(v), q, "n={n} p={p} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_ranks_when_t_less_than_p() {
+        // The §6.5 limitation: T < P leaves ranks idle.
+        let part = SnapshotPartition::contiguous(2, 4);
+        let owned: Vec<usize> = (0..4).map(|r| part.timesteps_of(r).len()).collect();
+        assert_eq!(owned, vec![1, 1, 0, 0]);
+    }
+}

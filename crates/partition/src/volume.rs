@@ -1,0 +1,163 @@
+//! Exact communication-volume accounting for both distribution schemes
+//! (paper §4.2 and Table 2). Volumes are counted in *units* (feature
+//! vectors) or in floats when a feature width is supplied.
+
+use dgnn_graph::DynamicGraph;
+
+/// Per-layer forward redistribution volume of snapshot partitioning, in
+/// units (feature vectors).
+///
+/// Each layer performs two all-to-alls (GCN output → vertex chunks, RNN
+/// output → snapshot owners); each moves every one of the `T·N` feature
+/// vectors except the self-addressed fraction `1/P`, hence
+/// `2 · T · N · (P-1)/P` (paper §6.4 notes the `(P−1)/P` factor).
+pub fn snapshot_layer_units(t: usize, n: usize, p: usize) -> u64 {
+    if p <= 1 {
+        return 0;
+    }
+    (2 * t as u64 * n as u64 * (p as u64 - 1)) / p as u64
+}
+
+/// Full-epoch snapshot-partitioning volume in units across `layers` dynamic
+/// GNN layers, forward plus (symmetric) backward (paper §4.2:
+/// "the procedure involves two gradient re-distributions").
+pub fn snapshot_epoch_units(t: usize, n: usize, p: usize, layers: usize) -> u64 {
+    2 * layers as u64 * snapshot_layer_units(t, n, p)
+}
+
+/// Per-SpMM vertex-partitioning volume in units: for every timestep and
+/// every vertex `v`, the feature row of `v` travels to each non-owner
+/// processor holding an in-neighbor of `u`, i.e. `Σ_t Σ_v (λ_t(v) − 1)`
+/// where λ counts distinct processors among `{v} ∪ Γ_t(v)` (paper §4.1).
+///
+/// The Laplacian symmetrizes the structure, so neighbors are taken in both
+/// directions.
+pub fn vertex_spmm_units(g: &DynamicGraph, partition: &[usize], p: usize) -> u64 {
+    assert_eq!(partition.len(), g.n());
+    let mut total = 0u64;
+    let mut seen = vec![u64::MAX; p];
+    let mut stamp = 0u64;
+    for s in g.snapshots() {
+        let adj = s.adj();
+        let tr = adj.transpose();
+        for v in 0..g.n() {
+            stamp += 1;
+            let mut parts = 0u64;
+            let owner = partition[v];
+            seen[owner] = stamp;
+            parts += 1;
+            for (u, _) in adj.row_iter(v).chain(tr.row_iter(v)) {
+                let q = partition[u as usize];
+                if seen[q] != stamp {
+                    seen[q] = stamp;
+                    parts += 1;
+                }
+            }
+            total += parts - 1;
+        }
+    }
+    total
+}
+
+/// Full-epoch vertex-partitioning volume in units: one SpMM per layer in
+/// the forward pass and a symmetric transfer in the backward pass.
+pub fn vertex_epoch_units(g: &DynamicGraph, partition: &[usize], p: usize, layers: usize) -> u64 {
+    2 * layers as u64 * vertex_spmm_units(g, partition, p)
+}
+
+/// Converts a unit count to floats given a feature width.
+pub fn units_to_floats(units: u64, feature_width: usize) -> u64 {
+    units * feature_width as u64
+}
+
+/// EvolveGCN's only communication: the end-of-epoch gradient all-reduce
+/// over the model parameters — `2 · (P−1)/P · total_params` floats per rank
+/// pair under a ring all-reduce, negligible next to feature volumes
+/// (paper §5.5, Table 2 reports it as 0).
+pub fn evolvegcn_allreduce_floats(total_params: usize, p: usize) -> u64 {
+    if p <= 1 {
+        return 0;
+    }
+    (2 * total_params as u64 * (p as u64 - 1)) / p as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_graph::gen::churn;
+    use dgnn_graph::Snapshot;
+
+    #[test]
+    fn snapshot_volume_is_fixed_in_graph_density() {
+        // The paper's headline property: O(T·N), independent of structure.
+        let u = snapshot_layer_units(100, 1000, 8);
+        assert_eq!(u, 2 * 100 * 1000 * 7 / 8);
+    }
+
+    #[test]
+    fn snapshot_volume_saturates_with_p() {
+        let v16 = snapshot_layer_units(100, 1000, 16);
+        let v128 = snapshot_layer_units(100, 1000, 128);
+        let limit = 2 * 100 * 1000;
+        assert!(v16 < v128);
+        assert!(v128 < limit);
+        assert!((limit - v128) * 64 < limit * 2); // within ~1/64
+    }
+
+    #[test]
+    fn single_rank_communicates_nothing() {
+        assert_eq!(snapshot_layer_units(10, 10, 1), 0);
+        let g = churn(20, 2, 40, 0.2, 1);
+        assert_eq!(vertex_spmm_units(&g, &[0; 20], 1), 0);
+    }
+
+    #[test]
+    fn vertex_volume_counts_boundary_neighbors() {
+        // Path 0-1-2 split as {0,1} | {2}: vertex 1's row is needed by part
+        // 1 (in-neighbor 2 via symmetrized structure), vertex 2's row by
+        // part 0.
+        let g = DynamicGraph::new(3, vec![Snapshot::from_edges(3, &[(0, 1), (1, 2)])]);
+        let partition = vec![0usize, 0, 1];
+        let units = vertex_spmm_units(&g, &partition, 2);
+        assert_eq!(units, 2);
+    }
+
+    #[test]
+    fn vertex_volume_zero_for_separated_components() {
+        let g = DynamicGraph::new(
+            4,
+            vec![Snapshot::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)])],
+        );
+        let partition = vec![0usize, 0, 1, 1];
+        assert_eq!(vertex_spmm_units(&g, &partition, 2), 0);
+    }
+
+    #[test]
+    fn vertex_volume_grows_with_parts_on_random_graphs() {
+        let g = churn(120, 3, 600, 0.2, 3);
+        // Contiguous chunks as a crude partition.
+        let part_for = |p: usize| -> Vec<usize> {
+            (0..120).map(|v| v * p / 120).collect()
+        };
+        let v2 = vertex_spmm_units(&g, &part_for(2), 2);
+        let v8 = vertex_spmm_units(&g, &part_for(8), 8);
+        assert!(v8 > v2, "volume should grow with P: {v2} vs {v8}");
+    }
+
+    #[test]
+    fn epoch_units_double_for_backward() {
+        let g = churn(50, 2, 100, 0.2, 4);
+        let part = vec![0usize; 50];
+        assert_eq!(
+            vertex_epoch_units(&g, &part, 1, 2),
+            2 * 2 * vertex_spmm_units(&g, &part, 1)
+        );
+        assert_eq!(snapshot_epoch_units(10, 10, 4, 2), 4 * snapshot_layer_units(10, 10, 4));
+    }
+
+    #[test]
+    fn allreduce_is_tiny() {
+        let floats = evolvegcn_allreduce_floats(10_000, 64);
+        assert!(floats < 20_000);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on the partitioning invariants the trainers rely on.
+
+use dgnn_graph::gen::churn;
+use dgnn_partition::{
+    balanced_ranges, contiguous_renaming, partition, vertex_spmm_units, Hypergraph,
+    PartitionerConfig, SnapshotPartition, VertexChunks,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn balanced_ranges_partition_exactly(len in 0usize..200, parts in 1usize..17) {
+        let ranges = balanced_ranges(len, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let mut covered = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, len);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn snapshot_partition_owners_consistent(t in 1usize..60, p in 1usize..9, nb in 1usize..7) {
+        let part = SnapshotPartition::block_wise(t, p, nb.min(t));
+        // Ownership from owner() matches timesteps_of().
+        for rank in 0..p {
+            for ti in part.timesteps_of(rank) {
+                prop_assert_eq!(part.owner(ti), rank);
+            }
+        }
+        // Runs cover exactly the owned set and are disjoint/ascending.
+        for rank in 0..p {
+            let owned = part.timesteps_of(rank);
+            let from_runs: Vec<usize> =
+                part.runs_of(rank).into_iter().flatten().collect();
+            prop_assert_eq!(owned, from_runs);
+        }
+    }
+
+    #[test]
+    fn vertex_chunk_owner_matches_range(n in 1usize..300, p in 1usize..17) {
+        let chunks = VertexChunks::new(n, p);
+        let mut total = 0usize;
+        for q in 0..p {
+            let range = chunks.range(q);
+            total += range.len();
+            for v in range {
+                prop_assert_eq!(chunks.owner_of(v), q);
+            }
+        }
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn renaming_is_bijective_and_sorted_by_part(
+        parts in proptest::collection::vec(0usize..4, 1..80),
+    ) {
+        let p = 4;
+        let (perm, inv) = contiguous_renaming(&parts, p);
+        for v in 0..parts.len() {
+            prop_assert_eq!(inv[perm[v] as usize] as usize, v);
+        }
+        // New ids are grouped by part, ascending.
+        let seq: Vec<usize> = (0..parts.len())
+            .map(|new| parts[inv[new] as usize])
+            .collect();
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(seq, sorted);
+    }
+}
+
+#[test]
+fn lambda_volume_brute_force_cross_check() {
+    // vertex_spmm_units against a naive recount on a small graph.
+    let g = churn(24, 3, 80, 0.3, 5);
+    let p = 3;
+    let partition: Vec<usize> = (0..24).map(|v| v % p).collect();
+    let fast = vertex_spmm_units(&g, &partition, p);
+
+    let mut slow = 0u64;
+    for s in g.snapshots() {
+        let adj = s.adj();
+        let tr = adj.transpose();
+        for v in 0..24 {
+            let mut owners = std::collections::HashSet::new();
+            owners.insert(partition[v]);
+            for (u, _) in adj.row_iter(v).chain(tr.row_iter(v)) {
+                owners.insert(partition[u as usize]);
+            }
+            slow += owners.len() as u64 - 1;
+        }
+    }
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn partitioner_beats_random_on_clustered_graphs() {
+    use dgnn_graph::gen::{amlsim_like, AmlSimConfig};
+    let g = amlsim_like(
+        &AmlSimConfig {
+            n: 240,
+            t: 3,
+            communities: 8,
+            transactions_per_step: 900,
+            ..Default::default()
+        },
+        9,
+    );
+    let hg = Hypergraph::column_net_model(&g);
+    let p = 4;
+    let smart = partition(&hg, &PartitionerConfig::new(p));
+    let random: Vec<usize> = (0..240).map(|v| (v * 7 + 3) % p).collect();
+    let smart_cost = hg.connectivity_cost(&smart, p);
+    let random_cost = hg.connectivity_cost(&random, p);
+    assert!(
+        smart_cost < random_cost * 0.8,
+        "partitioner ({smart_cost}) should clearly beat random ({random_cost})"
+    );
+}

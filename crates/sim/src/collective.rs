@@ -1,0 +1,138 @@
+//! Cost models for the collective operations of the distributed trainers.
+//!
+//! The topology follows the paper's analysis (§6.3): nodes hold
+//! `gpus_per_node` GPUs; with `P ≤ 8` ranks everything stays intra-node;
+//! beyond one node, a fraction `(K−1)/K` of the all-to-all volume crosses
+//! the interconnect (`K = P/8` nodes) whose per-node NIC is the bottleneck,
+//! while bisection bandwidth grows with `K`. This is what produces the
+//! paper's speedup dip when crossing the node boundary at `P = 16`.
+
+use crate::machine::MachineSpec;
+
+/// Time in microseconds for an all-to-all exchange where every rank sends
+/// `bytes_per_pair` to each of the other `p − 1` ranks.
+pub fn all_to_all_us(spec: &MachineSpec, p: usize, bytes_per_pair: u64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let g = spec.gpus_per_node;
+    let latency = (p - 1) as f64 * spec.msg_latency_us;
+    if p <= g {
+        // All traffic is intra-node; each GPU drains its egress at the
+        // intra-node rate.
+        let egress = (p - 1) as f64 * bytes_per_pair as f64;
+        return latency + egress / (spec.intra_node_gbps * 1e3);
+    }
+    // Intra-node portion: g−1 peers per rank.
+    let intra = (g - 1) as f64 * bytes_per_pair as f64 / (spec.intra_node_gbps * 1e3);
+    // Inter-node portion: each node's g ranks send to the p−g ranks outside,
+    // bottlenecked by the node NIC.
+    let node_egress = g as f64 * (p - g) as f64 * bytes_per_pair as f64;
+    let inter = node_egress / (spec.inter_node_gbps * 1e3);
+    latency + intra.max(inter)
+}
+
+/// Time in microseconds for a ring all-reduce of `bytes` per rank.
+pub fn all_reduce_us(spec: &MachineSpec, p: usize, bytes: u64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    // Ring moves 2·(p−1)/p · bytes over the slowest link on the ring.
+    let link_gbps = if p <= spec.gpus_per_node {
+        spec.intra_node_gbps
+    } else {
+        // One NIC carries the ring traffic of a node's worth of ranks.
+        spec.inter_node_gbps / spec.gpus_per_node as f64
+    };
+    let moved = 2.0 * (p - 1) as f64 / p as f64 * bytes as f64;
+    2.0 * (p - 1) as f64 * spec.msg_latency_us + moved / (link_gbps * 1e3)
+}
+
+/// Time in microseconds for the irregular neighbor exchange of vertex
+/// partitioning moving `total_bytes` across all rank pairs over
+/// `pair_events` (rank pair, timestep) combinations, including the
+/// buffer-construction and GPU gather/scatter overheads (paper §6.4).
+pub fn irregular_exchange_us(
+    spec: &MachineSpec,
+    p: usize,
+    total_bytes: u64,
+    pair_events: u64,
+) -> f64 {
+    if p <= 1 || (total_bytes == 0 && pair_events == 0) {
+        return 0.0;
+    }
+    let per_rank = total_bytes as f64 / p as f64;
+    let bw = if p <= spec.gpus_per_node {
+        spec.intra_node_gbps
+    } else {
+        spec.inter_node_gbps / spec.gpus_per_node as f64
+    };
+    let wire = per_rank * spec.irregular_overhead_factor / (bw * 1e3);
+    // Index gather/scatter on the GPU for every float moved.
+    let gather = (total_bytes as f64 / 4.0 / p as f64) * spec.gather_ns_per_float * 1e-3;
+    // Send/recv buffer construction per peer per timestep — the term that
+    // grows with P and degrades vertex partitioning at scale.
+    let buffers = pair_events as f64 * spec.irregular_pair_overhead_us;
+    let latency = (p - 1) as f64 * spec.msg_latency_us;
+    latency + wire + gather + buffers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MachineSpec {
+        MachineSpec::aimos_like()
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        assert_eq!(all_to_all_us(&spec(), 1, 1 << 20), 0.0);
+        assert_eq!(all_reduce_us(&spec(), 1, 1 << 20), 0.0);
+        assert_eq!(irregular_exchange_us(&spec(), 1, 1 << 20, 4), 0.0);
+    }
+
+    #[test]
+    fn node_boundary_slows_all_to_all() {
+        // Fixed total volume: per-pair bytes shrink as p grows.
+        let total: u64 = 1 << 30;
+        let t = |p: usize| {
+            let pair = total / (p as u64 * (p as u64 - 1));
+            all_to_all_us(&spec(), p, pair)
+        };
+        // Within a node, more ranks with fixed total volume is faster.
+        assert!(t(8) < t(4));
+        // Crossing the node boundary costs: the paper's P=16 dip.
+        assert!(t(16) > t(8), "t(16)={} t(8)={}", t(16), t(8));
+        // Adding nodes grows bisection bandwidth again.
+        assert!(t(128) < t(16));
+    }
+
+    #[test]
+    fn all_to_all_scales_with_bytes() {
+        let s = spec();
+        let small = all_to_all_us(&s, 8, 1 << 20);
+        let large = all_to_all_us(&s, 8, 1 << 24);
+        assert!(large > small * 8.0);
+    }
+
+    #[test]
+    fn all_reduce_grows_mildly_with_p() {
+        let s = spec();
+        let bytes = 1 << 20;
+        let t8 = all_reduce_us(&s, 8, bytes);
+        let t64 = all_reduce_us(&s, 64, bytes);
+        assert!(t64 > t8);
+        // Volume term is bounded by 2x bytes; growth is latency-driven.
+        assert!(t64 < t8 * 40.0);
+    }
+
+    #[test]
+    fn irregular_costs_more_than_regular() {
+        let s = spec();
+        let p = 16;
+        let total: u64 = 1 << 28;
+        let pair = total / (p as u64 * (p as u64 - 1));
+        assert!(irregular_exchange_us(&s, p, total, 64) > all_to_all_us(&s, p, pair));
+    }
+}

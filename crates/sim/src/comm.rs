@@ -1,0 +1,367 @@
+//! The functional communication layer: rank threads exchanging real data
+//! through channels — the NCCL stand-in used by the distributed trainers.
+//!
+//! Semantics follow SPMD collectives: every rank calls the same sequence of
+//! collective operations; matching is done on a per-rank monotone operation
+//! counter, so out-of-order channel arrivals are buffered and re-ordered.
+//! Point-to-point sends take an explicit user tag in a separate tag space.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dgnn_tensor::{Csr, Dense};
+
+/// Message payloads the trainers exchange.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// A dense matrix (feature chunks).
+    Dense(Dense),
+    /// A flat float vector (gradient all-reduce).
+    Floats(Vec<f32>),
+    /// A sparse matrix (snapshot shipping in the hybrid scheme).
+    Sparse(Csr),
+    /// Synchronisation-only message.
+    Empty,
+}
+
+impl Payload {
+    fn bytes(&self) -> u64 {
+        match self {
+            Payload::Dense(d) => 4 * d.len() as u64,
+            Payload::Floats(f) => 4 * f.len() as u64,
+            Payload::Sparse(s) => 20 * s.nnz() as u64,
+            Payload::Empty => 0,
+        }
+    }
+}
+
+struct Msg {
+    from: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+// Collective ops and point-to-point ops use disjoint tag spaces.
+const COLLECTIVE_BIT: u64 = 1 << 63;
+
+/// One rank's endpoint of the communicator.
+pub struct Comm {
+    rank: usize,
+    world: usize,
+    txs: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+    pending: Vec<Msg>,
+    next_collective: u64,
+    bytes_sent: u64,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Total payload bytes sent by this rank so far (volume accounting).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    fn send(&mut self, to: usize, tag: u64, payload: Payload) {
+        self.bytes_sent += payload.bytes();
+        self.txs[to]
+            .send(Msg { from: self.rank, tag, payload })
+            .expect("peer rank hung up");
+    }
+
+    fn recv(&mut self, from: usize, tag: u64) -> Payload {
+        if let Some(pos) =
+            self.pending.iter().position(|m| m.from == from && m.tag == tag)
+        {
+            return self.pending.swap_remove(pos).payload;
+        }
+        loop {
+            let msg = self.rx.recv().expect("peer rank hung up");
+            if msg.from == from && msg.tag == tag {
+                return msg.payload;
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Point-to-point send with a user tag (unique per sender until consumed).
+    pub fn send_tagged(&mut self, to: usize, tag: u64, payload: Payload) {
+        assert!(tag & COLLECTIVE_BIT == 0, "high bit is reserved");
+        self.send(to, tag, payload);
+    }
+
+    /// Point-to-point receive matching [`Comm::send_tagged`].
+    pub fn recv_tagged(&mut self, from: usize, tag: u64) -> Payload {
+        assert!(tag & COLLECTIVE_BIT == 0, "high bit is reserved");
+        self.recv(from, tag)
+    }
+
+    /// All-to-all: `parts[q]` goes to rank `q`; returns the chunks received,
+    /// indexed by source rank (the self slot passes through untouched).
+    pub fn all_to_all(&mut self, mut parts: Vec<Payload>) -> Vec<Payload> {
+        assert_eq!(parts.len(), self.world, "one part per rank required");
+        let tag = COLLECTIVE_BIT | self.next_collective;
+        self.next_collective += 1;
+        let own = std::mem::replace(&mut parts[self.rank], Payload::Empty);
+        for (q, part) in parts.into_iter().enumerate() {
+            if q != self.rank {
+                self.send(q, tag, part);
+            }
+        }
+        let mut out: Vec<Payload> = Vec::with_capacity(self.world);
+        for q in 0..self.world {
+            if q == self.rank {
+                out.push(Payload::Empty);
+            } else {
+                let received = self.recv(q, tag);
+                out.push(received);
+            }
+        }
+        out[self.rank] = own;
+        out
+    }
+
+    /// All-to-all specialised to dense chunks.
+    pub fn all_to_all_dense(&mut self, parts: Vec<Dense>) -> Vec<Dense> {
+        self.all_to_all(parts.into_iter().map(Payload::Dense).collect())
+            .into_iter()
+            .map(|p| match p {
+                Payload::Dense(d) => d,
+                other => panic!("expected dense payload, got {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Sum all-reduce over a float vector. The reduction order is fixed
+    /// (rank 0, 1, …, P−1) on every rank, so all replicas see bit-identical
+    /// results regardless of message arrival order.
+    pub fn all_reduce_sum(&mut self, data: &mut [f32]) {
+        let tag = COLLECTIVE_BIT | self.next_collective;
+        self.next_collective += 1;
+        for q in 0..self.world {
+            if q != self.rank {
+                self.send(q, tag, Payload::Floats(data.to_vec()));
+            }
+        }
+        let mut contributions: Vec<Option<Vec<f32>>> = vec![None; self.world];
+        contributions[self.rank] = Some(data.to_vec());
+        for q in 0..self.world {
+            if q != self.rank {
+                match self.recv(q, tag) {
+                    Payload::Floats(f) => contributions[q] = Some(f),
+                    other => panic!("expected floats, got {other:?}"),
+                }
+            }
+        }
+        for v in data.iter_mut() {
+            *v = 0.0;
+        }
+        for c in contributions.into_iter().flatten() {
+            assert_eq!(c.len(), data.len(), "all_reduce length mismatch");
+            for (d, x) in data.iter_mut().zip(c) {
+                *d += x;
+            }
+        }
+    }
+
+    /// Broadcast from `root` to every rank.
+    pub fn broadcast(&mut self, root: usize, payload: Payload) -> Payload {
+        let tag = COLLECTIVE_BIT | self.next_collective;
+        self.next_collective += 1;
+        if self.rank == root {
+            for q in 0..self.world {
+                if q != root {
+                    self.send(q, tag, payload.clone());
+                }
+            }
+            payload
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Gathers one payload from every rank onto all ranks (all-gather).
+    pub fn all_gather(&mut self, payload: Payload) -> Vec<Payload> {
+        let tag = COLLECTIVE_BIT | self.next_collective;
+        self.next_collective += 1;
+        for q in 0..self.world {
+            if q != self.rank {
+                self.send(q, tag, payload.clone());
+            }
+        }
+        (0..self.world)
+            .map(|q| if q == self.rank { payload.clone() } else { self.recv(q, tag) })
+            .collect()
+    }
+
+    /// Barrier: completes only when every rank arrives.
+    pub fn barrier(&mut self) {
+        let _ = self.all_gather(Payload::Empty);
+    }
+}
+
+/// Runs `f` on `p` rank threads and returns their results in rank order.
+///
+/// This stands in for the MPI/NCCL process group of the original system.
+/// Payload moves through channels by value, exactly like wire transfers.
+pub fn run_ranks<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    assert!(p >= 1);
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded()).unzip();
+    let mut comms: Vec<Comm> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Comm {
+            rank,
+            world: p,
+            txs: txs.clone(),
+            rx,
+            pending: Vec::new(),
+            next_collective: 0,
+            bytes_sent: 0,
+        })
+        .collect();
+    drop(txs);
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter_mut()
+            .map(|comm| scope.spawn(move |_| f(comm)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+    .expect("scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_routes_chunks() {
+        let results = run_ranks(3, |comm| {
+            let parts: Vec<Dense> = (0..3)
+                .map(|q| Dense::full(1, 1, (comm.rank() * 10 + q) as f32))
+                .collect();
+            let got = comm.all_to_all_dense(parts);
+            got.iter().map(|d| d.get(0, 0)).collect::<Vec<f32>>()
+        });
+        // Rank r receives from rank q the value q*10 + r.
+        for (r, row) in results.iter().enumerate() {
+            for (q, &v) in row.iter().enumerate() {
+                assert_eq!(v, (q * 10 + r) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_identically() {
+        let results = run_ranks(4, |comm| {
+            let mut data = vec![comm.rank() as f32 + 1.0, 1.0];
+            comm.all_reduce_sum(&mut data);
+            data
+        });
+        for row in &results {
+            assert_eq!(row, &vec![10.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let results = run_ranks(3, |comm| {
+            let payload = if comm.rank() == 1 {
+                Payload::Floats(vec![7.0, 8.0])
+            } else {
+                Payload::Empty
+            };
+            match comm.broadcast(1, payload) {
+                Payload::Floats(f) => f,
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        for row in &results {
+            assert_eq!(row, &vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn tagged_p2p_delivery() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_tagged(1, 5, Payload::Floats(vec![3.0]));
+                comm.send_tagged(1, 6, Payload::Floats(vec![4.0]));
+                vec![0.0]
+            } else {
+                // Receive in reverse send order to exercise the buffer.
+                let b = match comm.recv_tagged(0, 6) {
+                    Payload::Floats(f) => f[0],
+                    _ => panic!(),
+                };
+                let a = match comm.recv_tagged(0, 5) {
+                    Payload::Floats(f) => f[0],
+                    _ => panic!(),
+                };
+                vec![a, b]
+            }
+        });
+        assert_eq!(results[1], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn volume_accounting_counts_bytes() {
+        let results = run_ranks(2, |comm| {
+            let parts = vec![Dense::zeros(4, 4), Dense::zeros(4, 4)];
+            let _ = comm.all_to_all_dense(parts);
+            comm.bytes_sent()
+        });
+        // Each rank sends one 4x4 f32 matrix to the other: 64 bytes.
+        assert_eq!(results, vec![64, 64]);
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let results = run_ranks(2, |comm| {
+            let mut out = Vec::new();
+            for round in 0..5 {
+                let parts = vec![
+                    Dense::full(1, 1, round as f32),
+                    Dense::full(1, 1, round as f32 + 100.0),
+                ];
+                let got = comm.all_to_all_dense(parts);
+                out.push(got[1 - comm.rank()].get(0, 0));
+            }
+            out
+        });
+        // Rank 0 receives rank 1's parts[0] (= round); rank 1 receives rank
+        // 0's parts[1] (= round + 100).
+        assert_eq!(results[0], vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(results[1], vec![100.0, 101.0, 102.0, 103.0, 104.0]);
+    }
+
+    #[test]
+    fn sparse_payload_roundtrip() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                let m = Csr::from_edges(3, &[(0, 1), (2, 0)]);
+                comm.send_tagged(1, 1, Payload::Sparse(m));
+                0
+            } else {
+                match comm.recv_tagged(0, 1) {
+                    Payload::Sparse(m) => m.nnz(),
+                    _ => panic!(),
+                }
+            }
+        });
+        assert_eq!(results[1], 2);
+    }
+}

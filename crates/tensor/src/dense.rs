@@ -1,0 +1,540 @@
+//! Dense row-major `f32` matrices and the kernels dynamic-GNN training needs.
+//!
+//! The GPU kernels of the original system (PyTorch/CUDA) are replaced by
+//! straightforward cache-friendly CPU loops; `matmul` uses the i-k-j order so
+//! the inner loop streams over contiguous rows of both operands.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Dense {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Dense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dense({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 36 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Dense {
+    /// An all-zeros matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// An all-ones matrix of the given shape.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// A matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the raw data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul(&self, other: &Dense) -> Dense {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Dense::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ * other` without materialising the transpose.
+    pub fn matmul_transa(&self, other: &Dense) -> Dense {
+        assert_eq!(self.rows, other.rows, "matmul_transa shape mismatch");
+        let mut out = Dense::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * otherᵀ` without materialising the transpose.
+    pub fn matmul_transb(&self, other: &Dense) -> Dense {
+        assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
+        let mut out = Dense::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Dense {
+        let mut out = Dense::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    fn assert_same_shape(&self, other: &Dense, op: &str) {
+        assert_eq!(self.shape(), other.shape(), "{op}: shape mismatch");
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Dense) -> Dense {
+        self.assert_same_shape(other, "add");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Dense) -> Dense {
+        self.assert_same_shape(other, "sub");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Dense) -> Dense {
+        self.assert_same_shape(other, "hadamard");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Dense) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Dense) {
+        self.assert_same_shape(other, "axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scalar multiple `alpha * self`.
+    pub fn scale(&self, alpha: f32) -> Dense {
+        self.map(|v| v * alpha)
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Applies `f` element-wise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Dense {
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two equally-shaped matrices.
+    pub fn zip_map(&self, other: &Dense, f: impl Fn(f32, f32) -> f32) -> Dense {
+        self.assert_same_shape(other, "zip_map");
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Adds a `1 x cols` row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&self, bias: &Dense) -> Dense {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sums the rows into a `1 x cols` vector (the backward of a bias broadcast).
+    pub fn sum_rows(&self) -> Dense {
+        let mut out = Dense::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn concat_cols(&self, other: &Dense) -> Dense {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Dense::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Copies columns `[start, start+len)` into a new matrix.
+    pub fn narrow_cols(&self, start: usize, len: usize) -> Dense {
+        assert!(start + len <= self.cols, "narrow_cols out of range");
+        let mut out = Dense::zeros(self.rows, len);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + len]);
+        }
+        out
+    }
+
+    /// Adds `src` into columns `[start, start+src.cols)` (backward of `narrow_cols`).
+    pub fn add_into_cols(&mut self, start: usize, src: &Dense) {
+        assert_eq!(self.rows, src.rows, "add_into_cols row mismatch");
+        assert!(start + src.cols <= self.cols, "add_into_cols out of range");
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols + start..r * self.cols + start + src.cols];
+            for (d, &s) in dst.iter_mut().zip(src.row(r)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Copies rows `[start, start+len)` into a new matrix.
+    pub fn row_block(&self, start: usize, len: usize) -> Dense {
+        assert!(start + len <= self.rows, "row_block out of range");
+        Dense {
+            rows: len,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + len) * self.cols].to_vec(),
+        }
+    }
+
+    /// Vertically stacks matrices that share a column count.
+    pub fn vstack(parts: &[&Dense]) -> Dense {
+        assert!(!parts.is_empty(), "vstack of nothing");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Dense { rows, cols, data }
+    }
+
+    /// Gathers the given rows into a new matrix (`out[i] = self[idx[i]]`).
+    pub fn gather_rows(&self, idx: &[u32]) -> Dense {
+        let mut out = Dense::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r as usize));
+        }
+        out
+    }
+
+    /// Scatter-add of `src` rows back into `self` (`self[idx[i]] += src[i]`).
+    ///
+    /// This is the backward of [`Dense::gather_rows`]; duplicate indices
+    /// accumulate.
+    pub fn scatter_add_rows(&mut self, idx: &[u32], src: &Dense) {
+        assert_eq!(idx.len(), src.rows, "scatter_add_rows length mismatch");
+        assert_eq!(self.cols, src.cols, "scatter_add_rows width mismatch");
+        for (i, &r) in idx.iter().enumerate() {
+            let dst = &mut self.data[r as usize * self.cols..(r as usize + 1) * self.cols];
+            for (d, &s) in dst.iter_mut().zip(src.row(i)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element difference against `other`.
+    pub fn max_abs_diff(&self, other: &Dense) -> f32 {
+        self.assert_same_shape(other, "max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// True when every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Dense, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, data: &[f32]) -> Dense {
+        Dense::from_vec(rows, cols, data.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matmul(&Dense::eye(2)), a);
+        assert_eq!(Dense::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(a.matmul_transa(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(2, 3, &[1.0, 0.0, 2.0, 0.0, 1.0, 2.0]);
+        assert_eq!(a.matmul_transb(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b), m(1, 3, &[5.0, 7.0, 9.0]));
+        assert_eq!(b.sub(&a), m(1, 3, &[3.0, 3.0, 3.0]));
+        assert_eq!(a.hadamard(&b), m(1, 3, &[4.0, 10.0, 18.0]));
+        assert_eq!(a.scale(2.0), m(1, 3, &[2.0, 4.0, 6.0]));
+    }
+
+    #[test]
+    fn bias_broadcast_and_backward() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let bias = m(1, 2, &[10.0, 20.0]);
+        let out = a.add_row_broadcast(&bias);
+        assert_eq!(out, m(2, 2, &[11.0, 22.0, 13.0, 24.0]));
+        assert_eq!(a.sum_rows(), m(1, 2, &[4.0, 6.0]));
+    }
+
+    #[test]
+    fn concat_and_narrow_roundtrip() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 1, &[9.0, 8.0]);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.shape(), (2, 3));
+        assert_eq!(cat.narrow_cols(0, 2), a);
+        assert_eq!(cat.narrow_cols(2, 1), b);
+    }
+
+    #[test]
+    fn add_into_cols_accumulates() {
+        let mut a = Dense::zeros(2, 3);
+        a.add_into_cols(1, &m(2, 2, &[1.0, 2.0, 3.0, 4.0]));
+        a.add_into_cols(1, &m(2, 2, &[1.0, 1.0, 1.0, 1.0]));
+        assert_eq!(a, m(2, 3, &[0.0, 2.0, 3.0, 0.0, 4.0, 5.0]));
+    }
+
+    #[test]
+    fn vstack_row_block_roundtrip() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let b = m(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let s = Dense::vstack(&[&a, &b]);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row_block(0, 1), a);
+        assert_eq!(s.row_block(1, 2), b);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g, m(3, 2, &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]));
+        let mut acc = Dense::zeros(3, 2);
+        acc.scatter_add_rows(&[2, 0, 2], &g);
+        // Row 2 was gathered twice, so it accumulates twice.
+        assert_eq!(acc, m(3, 2, &[1.0, 2.0, 0.0, 0.0, 10.0, 12.0]));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert!((a.frob_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_panics() {
+        let a = Dense::zeros(2, 3);
+        let b = Dense::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

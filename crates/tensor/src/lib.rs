@@ -1,0 +1,20 @@
+//! # dgnn-tensor
+//!
+//! Dense and sparse linear-algebra kernels for the SC'21 dynamic-GNN
+//! reproduction. This crate stands in for the PyTorch/CUDA kernel layer of
+//! the original system: row-major `f32` dense matrices, CSR sparse matrices
+//! with the SpMM aggregation kernel, third-order tensors stored as frame
+//! sequences, and the banded M-product matrix of TM-GCN.
+//!
+//! Everything downstream (`dgnn-autograd`, the models, the trainers) builds
+//! on these types, so their semantics are pinned by extensive unit and
+//! property tests.
+
+pub mod dense;
+pub mod init;
+pub mod sparse;
+pub mod tensor3;
+
+pub use dense::Dense;
+pub use sparse::{normalized_laplacian, Csr};
+pub use tensor3::{m_banded, SparseTensor3, Tensor3};

@@ -1,0 +1,460 @@
+//! Compressed-sparse-row matrices, SpMM, and the normalized graph Laplacian
+//! used by every GCN layer (paper Eq. 1).
+
+use crate::dense::Dense;
+
+/// A sparse matrix in compressed-sparse-row form with `f32` values.
+///
+/// Column indices within a row are kept sorted and unique, which the
+/// graph-difference machinery in `dgnn-graph` relies on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// An empty (all-zero) matrix of the given shape.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSR matrix from COO triplets; duplicate positions are summed.
+    pub fn from_coo(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of bounds");
+            if let (Some(&last_c), true) = (indices.last(), indptr[r as usize + 1] > 0) {
+                // Same row as the previous entry and same column: merge.
+                if last_c == c && indices.len() > indptr[r as usize] {
+                    *values.last_mut().unwrap() += v;
+                    continue;
+                }
+            }
+            // Close out any rows between the previous entry's row and r.
+            indices.push(c);
+            values.push(v);
+            indptr[r as usize + 1] = indices.len();
+        }
+        // Make indptr cumulative: rows with no entries inherit the previous end.
+        for r in 1..=rows {
+            if indptr[r] == 0 {
+                indptr[r] = indptr[r - 1];
+            }
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds an unweighted adjacency matrix from directed edges.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let triplets: Vec<(u32, u32, f32)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        Self::from_coo(n, n, &triplets)
+    }
+
+    /// Builds directly from CSR parts.
+    ///
+    /// # Panics
+    /// Panics when the parts are structurally inconsistent.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indices.len(), values.len(), "indices/values length");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end");
+        debug_assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr monotone");
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The row-pointer array (length `rows + 1`).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The column-index array.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable value array (topology is fixed; only weights may change).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// `(column, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Out-degree (stored entries) of every row.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.indptr[r + 1] - self.indptr[r]).collect()
+    }
+
+    /// In-degree (stored entries) of every column.
+    pub fn col_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.cols];
+        for &c in &self.indices {
+            deg[c as usize] += 1;
+        }
+        deg
+    }
+
+    /// Converts back to COO triplets in row-major order.
+    pub fn to_coo(&self) -> Vec<(u32, u32, f32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.push((r as u32, c, v));
+            }
+        }
+        out
+    }
+
+    /// Materialises a dense copy (tests only; quadratic memory).
+    pub fn to_dense(&self) -> Dense {
+        let mut out = Dense::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c as usize, out.get(r, c as usize) + v);
+            }
+        }
+        out
+    }
+
+    /// The transposed matrix (CSR of the transpose, built by counting sort).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=self.cols {
+            counts[i] += counts[i - 1];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                let slot = cursor[c as usize];
+                indices[slot] = r as u32;
+                values[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Sparse-matrix × dense-matrix product (`self * x`), the GCN aggregation
+    /// kernel. `x` must have `self.cols` rows.
+    pub fn spmm(&self, x: &Dense) -> Dense {
+        assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        let f = x.cols();
+        let mut out = Dense::zeros(self.rows, f);
+        for r in 0..self.rows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let out_row = &mut out.data_mut()[r * f..(r + 1) * f];
+            for k in lo..hi {
+                let c = self.indices[k] as usize;
+                let v = self.values[k];
+                let x_row = &x.data()[c * f..(c + 1) * f];
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * x` without materialising the transpose (backward of SpMM).
+    pub fn spmm_transa(&self, x: &Dense) -> Dense {
+        assert_eq!(self.rows, x.rows(), "spmm_transa shape mismatch");
+        let f = x.cols();
+        let mut out = Dense::zeros(self.cols, f);
+        for r in 0..self.rows {
+            let x_row = &x.data()[r * f..(r + 1) * f];
+            for (c, v) in self.row_iter(r) {
+                let out_row = &mut out.data_mut()[c as usize * f..(c as usize + 1) * f];
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Weighted sum `Σ wᵢ · Aᵢ` of same-shaped sparse matrices.
+    ///
+    /// This is the kernel behind both the edge-life transformation and the
+    /// M-transform smoothing of the adjacency tensor (paper §5.4): entries
+    /// present in several operands merge into one.
+    pub fn add_weighted(terms: &[(f32, &Csr)]) -> Csr {
+        assert!(!terms.is_empty(), "add_weighted of nothing");
+        let rows = terms[0].1.rows;
+        let cols = terms[0].1.cols;
+        for (_, a) in terms {
+            assert_eq!((a.rows, a.cols), (rows, cols), "add_weighted shape mismatch");
+        }
+        let cap: usize = terms.iter().map(|(_, a)| a.nnz()).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(cap);
+        let mut values = Vec::with_capacity(cap);
+        indptr.push(0);
+        // Merge the sorted rows of all operands with a scratch accumulator.
+        let mut merged: Vec<(u32, f32)> = Vec::new();
+        for r in 0..rows {
+            merged.clear();
+            for &(w, a) in terms {
+                if w == 0.0 {
+                    continue;
+                }
+                for (c, v) in a.row_iter(r) {
+                    merged.push((c, w * v));
+                }
+            }
+            merged.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < merged.len() {
+                let c = merged[i].0;
+                let mut acc = 0.0;
+                while i < merged.len() && merged[i].0 == c {
+                    acc += merged[i].1;
+                    i += 1;
+                }
+                indices.push(c);
+                values.push(acc);
+            }
+            indptr.push(indices.len());
+        }
+        Csr { rows, cols, indptr, indices, values }
+    }
+
+    /// Extracts rows `[start, start + len)` into a standalone `len x cols`
+    /// matrix — the row-block split used by the hybrid partitioning scheme.
+    pub fn row_block(&self, start: usize, len: usize) -> Csr {
+        assert!(start + len <= self.rows, "row_block out of range");
+        let lo = self.indptr[start];
+        let hi = self.indptr[start + len];
+        let indptr = self.indptr[start..=start + len].iter().map(|&p| p - lo).collect();
+        Csr {
+            rows: len,
+            cols: self.cols,
+            indptr,
+            indices: self.indices[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
+    /// True if the matrix equals its transpose (used by tests).
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.indptr != self.indptr || t.indices != self.indices {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(&t.values)
+            .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+/// The symmetric-normalized Laplacian `Ã = D^{-1/2} (A + I) D^{-1/2}` of
+/// paper Eq. (1), where `D[u,u] = 1 + deg(u)`.
+///
+/// The input adjacency is treated as undirected for degree purposes: the
+/// degree of `u` counts stored neighbors in row `u` of `A + Aᵀ` when
+/// `symmetrize` is set, otherwise just row `u` of `A`. The paper's datasets
+/// store directed interactions; the models symmetrize before normalizing.
+pub fn normalized_laplacian(adj: &Csr, symmetrize: bool) -> Csr {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+    let n = adj.rows();
+    // Strip any self-loops from the input: the "+ I" term below supplies the
+    // canonical unit self-loop, and double-counting would break the spectral
+    // bound of the normalized operator.
+    let no_loops = {
+        let triplets: Vec<(u32, u32, f32)> =
+            adj.to_coo().into_iter().filter(|&(r, c, _)| r != c).collect();
+        Csr::from_coo(n, n, &triplets)
+    };
+    let base = if symmetrize {
+        Csr::add_weighted(&[(0.5, &no_loops), (0.5, &no_loops.transpose())])
+    } else {
+        no_loops
+    };
+    let with_loops = Csr::add_weighted(&[(1.0, &base), (1.0, &Csr::identity(n))]);
+    // D[u,u] = 1 + deg(u) where deg counts structural neighbors (self-loop
+    // already contributes the "+1").
+    let mut inv_sqrt_deg = vec![0f32; n];
+    for u in 0..n {
+        let deg: f32 = with_loops.row_iter(u).map(|_| 1.0).sum();
+        inv_sqrt_deg[u] = 1.0 / deg.max(1.0).sqrt();
+    }
+    let mut out = with_loops;
+    for r in 0..n {
+        let lo = out.indptr[r];
+        let hi = out.indptr[r + 1];
+        for k in lo..hi {
+            let c = out.indices[k] as usize;
+            out.values[k] *= inv_sqrt_deg[r] * inv_sqrt_deg[c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
+        Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn from_coo_sorts_and_merges() {
+        let a = Csr::from_coo(2, 2, &[(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)]);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.to_coo(), vec![(0, 0, 1.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn from_coo_handles_empty_rows() {
+        let a = Csr::from_coo(4, 4, &[(3, 0, 1.0)]);
+        assert_eq!(a.indptr(), &[0, 0, 0, 0, 1]);
+        assert_eq!(a.row_degrees(), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = sample();
+        let x = Dense::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        let y = a.spmm(&x);
+        let expected = a.to_dense().matmul(&x);
+        assert!(y.approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn spmm_transa_matches_dense() {
+        let a = sample();
+        let x = Dense::from_fn(3, 2, |r, c| (r + c) as f32);
+        let y = a.spmm_transa(&x);
+        let expected = a.to_dense().transpose().matmul(&x);
+        assert!(y.approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_weighted_merges_overlap() {
+        let a = Csr::from_coo(2, 2, &[(0, 0, 1.0), (0, 1, 1.0)]);
+        let b = Csr::from_coo(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let s = Csr::add_weighted(&[(2.0, &a), (3.0, &b)]);
+        assert_eq!(s.to_coo(), vec![(0, 0, 2.0), (0, 1, 5.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn row_block_roundtrip() {
+        let a = sample();
+        let top = a.row_block(0, 1);
+        let rest = a.row_block(1, 2);
+        assert_eq!(top.nnz() + rest.nnz(), a.nnz());
+        assert_eq!(top.rows(), 1);
+        assert_eq!(rest.rows(), 2);
+        // SpMM over blocks stacks to full SpMM.
+        let x = Dense::from_fn(3, 2, |r, c| (r + 2 * c) as f32);
+        let stacked = Dense::vstack(&[&top.spmm(&x), &rest.spmm(&x)]);
+        assert!(stacked.approx_eq(&a.spmm(&x), 1e-6));
+    }
+
+    #[test]
+    fn laplacian_is_symmetric_with_unit_diagonal_scaling() {
+        let a = sample();
+        let lap = normalized_laplacian(&a, true);
+        assert!(lap.is_symmetric(1e-6));
+        // Diagonal entries are exactly 1/(1 + deg(u)).
+        let degs = Csr::add_weighted(&[(0.5, &a), (0.5, &a.transpose())]).row_degrees();
+        for u in 0..lap.rows() {
+            let diag = lap
+                .row_iter(u)
+                .find(|&(c, _)| c as usize == u)
+                .map(|(_, v)| v)
+                .unwrap();
+            let expected = 1.0 / (1.0 + degs[u] as f32);
+            assert!((diag - expected).abs() < 1e-6, "diag[{u}] = {diag}, want {expected}");
+        }
+    }
+
+    #[test]
+    fn laplacian_identity_graph() {
+        // Graph with no edges: Ã = D^{-1/2} I D^{-1/2} = I (deg = 1).
+        let a = Csr::empty(3, 3);
+        let lap = normalized_laplacian(&a, false);
+        assert_eq!(lap.to_coo(), vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+    }
+
+    #[test]
+    fn degrees() {
+        let a = sample();
+        assert_eq!(a.row_degrees(), vec![2, 1, 1]);
+        assert_eq!(a.col_degrees(), vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Third-order tensors stored as `T` matrix slices, plus the mode-1
+//! tensor-times-matrix (TTM) product that realises the M-transform of
+//! TM-GCN (paper §5.3).
+
+use crate::dense::Dense;
+use crate::sparse::Csr;
+
+/// A dense `T x N x F` tensor stored as `T` frames of `N x F` matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor3 {
+    frames: Vec<Dense>,
+}
+
+impl Tensor3 {
+    /// Wraps a sequence of equally-shaped frames.
+    pub fn new(frames: Vec<Dense>) -> Self {
+        if let Some(first) = frames.first() {
+            let shape = first.shape();
+            assert!(
+                frames.iter().all(|f| f.shape() == shape),
+                "all frames must share a shape"
+            );
+        }
+        Self { frames }
+    }
+
+    /// A zero tensor with `t` frames of shape `rows x cols`.
+    pub fn zeros(t: usize, rows: usize, cols: usize) -> Self {
+        Self { frames: (0..t).map(|_| Dense::zeros(rows, cols)).collect() }
+    }
+
+    /// Number of timesteps (mode-1 extent).
+    pub fn t(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Shape of each frame.
+    pub fn frame_shape(&self) -> (usize, usize) {
+        self.frames.first().map(Dense::shape).unwrap_or((0, 0))
+    }
+
+    /// Frame at timestep `t`.
+    pub fn frame(&self, t: usize) -> &Dense {
+        &self.frames[t]
+    }
+
+    /// Mutable frame at timestep `t`.
+    pub fn frame_mut(&mut self, t: usize) -> &mut Dense {
+        &mut self.frames[t]
+    }
+
+    /// All frames.
+    pub fn frames(&self) -> &[Dense] {
+        &self.frames
+    }
+
+    /// Consumes the tensor into its frames.
+    pub fn into_frames(self) -> Vec<Dense> {
+        self.frames
+    }
+
+    /// Mode-1 TTM product `Y = M ×₁ X`, i.e. `Y_t = Σ_k M[t,k] · X_k`.
+    ///
+    /// `m` must be `T x T`. Zero entries of `M` are skipped, so a banded `M`
+    /// costs O(band · T · N · F).
+    pub fn ttm_mode1(&self, m: &Dense) -> Tensor3 {
+        let t = self.t();
+        assert_eq!(m.shape(), (t, t), "M must be TxT");
+        let (rows, cols) = self.frame_shape();
+        let mut out = Vec::with_capacity(t);
+        for ti in 0..t {
+            let mut acc = Dense::zeros(rows, cols);
+            for k in 0..t {
+                let w = m.get(ti, k);
+                if w != 0.0 {
+                    acc.axpy(w, &self.frames[k]);
+                }
+            }
+            out.push(acc);
+        }
+        Tensor3 { frames: out }
+    }
+}
+
+/// A sparse `T x N x N` tensor stored as `T` CSR slices — the adjacency
+/// tensor `A` of a DTDG.
+#[derive(Clone, Debug)]
+pub struct SparseTensor3 {
+    slices: Vec<Csr>,
+}
+
+impl SparseTensor3 {
+    /// Wraps a sequence of equally-shaped CSR slices.
+    pub fn new(slices: Vec<Csr>) -> Self {
+        if let Some(first) = slices.first() {
+            let shape = (first.rows(), first.cols());
+            assert!(
+                slices.iter().all(|s| (s.rows(), s.cols()) == shape),
+                "all slices must share a shape"
+            );
+        }
+        Self { slices }
+    }
+
+    /// Number of timesteps.
+    pub fn t(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Slice at timestep `t`.
+    pub fn slice(&self, t: usize) -> &Csr {
+        &self.slices[t]
+    }
+
+    /// All slices.
+    pub fn slices(&self) -> &[Csr] {
+        &self.slices
+    }
+
+    /// Consumes into the slice vector.
+    pub fn into_slices(self) -> Vec<Csr> {
+        self.slices
+    }
+
+    /// Total stored entries across all slices.
+    pub fn total_nnz(&self) -> usize {
+        self.slices.iter().map(Csr::nnz).sum()
+    }
+
+    /// Mode-1 TTM with a `T x T` matrix: `Y_t = Σ_k M[t,k] · A_k` where each
+    /// term is a sparse weighted sum. This is the M-transform smoothing of
+    /// the adjacency tensor (paper §5.4).
+    pub fn ttm_mode1(&self, m: &Dense) -> SparseTensor3 {
+        let t = self.t();
+        assert_eq!(m.shape(), (t, t), "M must be TxT");
+        let mut out = Vec::with_capacity(t);
+        for ti in 0..t {
+            let terms: Vec<(f32, &Csr)> = (0..t)
+                .filter(|&k| m.get(ti, k) != 0.0)
+                .map(|k| (m.get(ti, k), &self.slices[k]))
+                .collect();
+            if terms.is_empty() {
+                let (r, c) = (self.slices[ti].rows(), self.slices[ti].cols());
+                out.push(Csr::empty(r, c));
+            } else {
+                out.push(Csr::add_weighted(&terms));
+            }
+        }
+        SparseTensor3 { slices: out }
+    }
+}
+
+/// The banded lower-triangular averaging matrix `M` of TM-GCN (paper §5.3):
+///
+/// `M[t,k] = 1 / min(w, t+1)` for `max(0, t-w+1) <= k <= t` (0-indexed),
+/// zero elsewhere. Every row sums to 1, so the M-product averages each
+/// timestep with its `w-1` predecessors.
+pub fn m_banded(t: usize, w: usize) -> Dense {
+    assert!(w >= 1, "window must be at least 1");
+    Dense::from_fn(t, t, |ti, k| {
+        let lo = ti.saturating_sub(w - 1);
+        if k >= lo && k <= ti {
+            1.0 / (ti - lo + 1) as f32
+        } else {
+            0.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_banded_rows_sum_to_one() {
+        for (t, w) in [(1, 1), (5, 1), (5, 3), (8, 8), (6, 20)] {
+            let m = m_banded(t, w);
+            for r in 0..t {
+                let s: f32 = m.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-6, "row {r} of m_banded({t},{w}) sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn m_banded_window_one_is_identity() {
+        assert_eq!(m_banded(4, 1), Dense::eye(4));
+    }
+
+    #[test]
+    fn ttm_dense_averages() {
+        let x = Tensor3::new(vec![
+            Dense::full(2, 2, 1.0),
+            Dense::full(2, 2, 3.0),
+            Dense::full(2, 2, 5.0),
+        ]);
+        let y = x.ttm_mode1(&m_banded(3, 2));
+        assert!(y.frame(0).approx_eq(&Dense::full(2, 2, 1.0), 1e-6));
+        assert!(y.frame(1).approx_eq(&Dense::full(2, 2, 2.0), 1e-6));
+        assert!(y.frame(2).approx_eq(&Dense::full(2, 2, 4.0), 1e-6));
+    }
+
+    #[test]
+    fn ttm_sparse_matches_dense() {
+        let a0 = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let a1 = Csr::from_edges(3, &[(0, 1), (2, 0)]);
+        let a2 = Csr::from_edges(3, &[(2, 1)]);
+        let sp = SparseTensor3::new(vec![a0.clone(), a1.clone(), a2.clone()]);
+        let m = m_banded(3, 3);
+        let smoothed = sp.ttm_mode1(&m);
+        // Cross-check every slice against the dense TTM.
+        let dense = Tensor3::new(vec![a0.to_dense(), a1.to_dense(), a2.to_dense()]);
+        let dense_smoothed = dense.ttm_mode1(&m);
+        for t in 0..3 {
+            assert!(smoothed.slice(t).to_dense().approx_eq(dense_smoothed.frame(t), 1e-6));
+        }
+        // Smoothing only adds structure.
+        assert!(smoothed.slice(2).nnz() >= a2.nnz());
+    }
+
+    #[test]
+    fn tensor3_shape_checks() {
+        let t = Tensor3::zeros(4, 3, 2);
+        assert_eq!(t.t(), 4);
+        assert_eq!(t.frame_shape(), (3, 2));
+    }
+}

@@ -1,0 +1,71 @@
+//! Anti-money-laundering scenario (the paper's AML-Sim motivation): learn
+//! to predict transactions on a community-structured transaction graph
+//! with planted laundering rings, trained *distributed* with snapshot
+//! partitioning across simulated GPUs.
+//!
+//! Run with: `cargo run --release --example fraud_detection`
+
+use dgnn_core::prelude::*;
+use dgnn_graph::gen::{amlsim_like, AmlSimConfig};
+
+fn main() {
+    // A small bank network: 300 accounts in 8 communities, 1200
+    // transactions per step, a fifth of them churning, plus laundering
+    // rings cycling money over consecutive timesteps.
+    let aml = AmlSimConfig {
+        n: 300,
+        t: 13,
+        communities: 8,
+        transactions_per_step: 1200,
+        intra_community_prob: 0.9,
+        churn: 0.2,
+        rings: 10,
+        ring_size: 5,
+        zipf_s: 0.9,
+    };
+    let graph = amlsim_like(&aml, 2024);
+    println!(
+        "transaction graph: {} accounts, {} timesteps, {} transactions",
+        graph.n(),
+        graph.t(),
+        graph.total_nnz()
+    );
+
+    let raw = graph.time_slice(0, graph.t() - 1);
+    let next = graph.snapshot(graph.t() - 1).clone();
+
+    // EvolveGCN: the weights evolve over time to track regime changes —
+    // and its distributed training is communication-free (paper §5.5).
+    let cfg = ModelConfig::paper_defaults(ModelKind::EvolveGcn);
+    let p = 2; // simulated GPUs
+    println!("training EvolveGCN on {p} simulated GPUs (snapshot partitioning)\n");
+
+    let stats = train_distributed(
+        &raw,
+        &next,
+        cfg,
+        &TaskOptions::default(),
+        &TrainOptions { epochs: 25, lr: 0.05, nb: 2, seed: 11 },
+        p,
+    );
+
+    println!(
+        "{:>5} {:>10} {:>11} {:>10} {:>12}",
+        "epoch", "loss", "train acc", "test acc", "comm/epoch"
+    );
+    for (e, s) in stats.iter().enumerate() {
+        if e % 3 == 0 || e + 1 == stats.len() {
+            println!(
+                "{e:>5} {:>10.4} {:>10.1}% {:>9.1}% {:>10.1}KB",
+                s.loss,
+                s.train_acc * 100.0,
+                s.test_acc * 100.0,
+                s.comm_bytes as f64 / 1e3
+            );
+        }
+    }
+    println!(
+        "\nEvolveGCN's only traffic is the parameter all-reduce — compare the KB/epoch above\n\
+         with the MB-scale feature redistributions TM-GCN/CD-GCN would move."
+    );
+}

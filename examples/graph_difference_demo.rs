@@ -1,0 +1,72 @@
+//! Graph-difference transfer in action (paper §3.2): watch the payloads of
+//! naive vs difference-encoded snapshot shipping on a real evolving graph,
+//! and see how the paper's smoothing preprocessing magnifies the gains.
+//!
+//! Run with: `cargo run --release --example graph_difference_demo`
+
+use dgnn_graph::diff::{chunk_transfer, diff, naive_transfer_bytes};
+use dgnn_graph::gen::churn_skewed;
+use dgnn_graph::smoothing::{edge_life, m_transform_adj};
+use dgnn_graph::DynamicGraph;
+use dgnn_tensor::Csr;
+
+fn report(label: &str, g: &DynamicGraph) {
+    let slices: Vec<&Csr> = (0..g.t()).map(|t| g.snapshot(t).adj()).collect();
+    println!("\n== {label} ==");
+    println!(
+        "{:>4} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "t", "edges", "dropped", "added", "naive", "graph-diff"
+    );
+    for t in 0..g.t().min(6) {
+        let adj = g.snapshot(t).adj();
+        if t == 0 {
+            println!(
+                "{t:>4} {:>9} {:>9} {:>9} {:>10.1}KB {:>10.1}KB   (first: shipped whole)",
+                adj.nnz(),
+                "-",
+                "-",
+                naive_transfer_bytes(adj) as f64 / 1e3,
+                naive_transfer_bytes(adj) as f64 / 1e3,
+            );
+        } else {
+            let d = diff(g.snapshot(t - 1).adj(), adj);
+            println!(
+                "{t:>4} {:>9} {:>9} {:>9} {:>10.1}KB {:>10.1}KB",
+                adj.nnz(),
+                d.ext_prev.len(),
+                d.ext_next.len(),
+                naive_transfer_bytes(adj) as f64 / 1e3,
+                d.transfer_bytes() as f64 / 1e3,
+            );
+        }
+    }
+    let acc = chunk_transfer(&slices);
+    println!(
+        "whole timeline: naive {:.2} MB vs GD {:.2} MB  ->  {:.2}x speedup",
+        acc.naive_bytes as f64 / 1e6,
+        acc.gd_bytes as f64 / 1e6,
+        acc.speedup()
+    );
+}
+
+fn main() {
+    // A heavy-tailed evolving graph: 30% of edges replaced per snapshot.
+    let g = churn_skewed(2_000, 12, 10_000, 0.3, 0.9, 7);
+
+    report("raw snapshots (what CD-GCN trains on)", &g);
+    report(
+        "edge-life smoothed, l=4 (what EvolveGCN trains on)",
+        &edge_life(&g, 4),
+    );
+    report(
+        "M-product smoothed, w=4 (what TM-GCN trains on)",
+        &m_transform_adj(&g, 4),
+    );
+
+    println!(
+        "\nWhy smoothing helps: each smoothed snapshot unions a window of raw snapshots, so\n\
+         consecutive smoothed snapshots share most structure — the difference encoding then\n\
+         ships only the window boundary. With 16-byte COO indices + 4-byte values the\n\
+         speedup is bounded by 5x; the paper reports up to 4.1x on its datasets."
+    );
+}

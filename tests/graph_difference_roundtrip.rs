@@ -1,0 +1,105 @@
+//! Property tests for the graph-difference transfer encoding (paper §3.2):
+//! exact reconstruction and byte-accounting invariants across generators
+//! and smoothings.
+
+use dgnn_graph::diff::{chunk_transfer, diff, naive_transfer_bytes, reconstruct};
+use dgnn_graph::gen::{amlsim_like, churn, churn_skewed, uniform_random, AmlSimConfig};
+use dgnn_graph::smoothing::{edge_life, m_transform_adj};
+use dgnn_graph::DynamicGraph;
+use dgnn_tensor::Csr;
+use proptest::prelude::*;
+
+fn roundtrip_all(g: &DynamicGraph) {
+    for t in 0..g.t() - 1 {
+        let prev = g.snapshot(t).adj();
+        let next = g.snapshot(t + 1).adj();
+        let d = diff(prev, next);
+        assert_eq!(&reconstruct(prev, &d), next, "t = {t}");
+        // Byte accounting: the diff payload is indices-of-edits plus all
+        // values of the new snapshot.
+        assert_eq!(
+            d.transfer_bytes(),
+            16 * (d.ext_prev.len() + d.ext_next.len()) as u64 + 4 * next.nnz() as u64
+        );
+    }
+}
+
+#[test]
+fn roundtrip_on_all_generators() {
+    roundtrip_all(&churn(80, 8, 300, 0.3, 1));
+    roundtrip_all(&churn_skewed(80, 8, 300, 0.3, 0.9, 2));
+    roundtrip_all(&uniform_random(80, 6, 3.0, 3));
+    roundtrip_all(&amlsim_like(&AmlSimConfig { n: 120, t: 6, ..Default::default() }, 4));
+}
+
+#[test]
+fn roundtrip_on_smoothed_graphs() {
+    let g = churn_skewed(60, 8, 250, 0.4, 0.8, 5);
+    roundtrip_all(&edge_life(&g, 3));
+    roundtrip_all(&m_transform_adj(&g, 4));
+}
+
+#[test]
+fn gd_speedup_bounded_by_five() {
+    // With 16-byte COO indices and 4-byte values, even a zero-edit diff
+    // moves the values: speedup < 20/4 = 5 (paper observes up to 4.1x).
+    for rho in [0.0, 0.1, 0.3, 0.7, 1.0] {
+        let g = churn(100, 10, 400, rho, 7);
+        let slices: Vec<&Csr> = (0..10).map(|t| g.snapshot(t).adj()).collect();
+        let acc = chunk_transfer(&slices);
+        assert!(acc.speedup() <= 5.0, "rho={rho}: speedup {}", acc.speedup());
+        assert!(acc.gd_bytes <= acc.naive_bytes + 16 * 2 * 400 * 10);
+    }
+}
+
+#[test]
+fn static_graph_reaches_near_max_speedup() {
+    let g = churn(100, 12, 500, 0.0, 9);
+    let slices: Vec<&Csr> = (0..12).map(|t| g.snapshot(t).adj()).collect();
+    let acc = chunk_transfer(&slices);
+    // First snapshot naive, 11 value-only transfers: speedup -> ~4.2.
+    assert!(acc.speedup() > 3.5, "speedup {}", acc.speedup());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reconstruction_exact_for_arbitrary_pairs(
+        e1 in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
+        e2 in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
+    ) {
+        let a = Csr::from_edges(30, &e1);
+        let b = Csr::from_edges(30, &e2);
+        let d = diff(&a, &b);
+        prop_assert_eq!(reconstruct(&a, &d), b.clone());
+        // Symmetry: swapping the roles swaps the ext sets.
+        let back = diff(&b, &a);
+        prop_assert_eq!(d.ext_prev.len(), back.ext_next.len());
+        prop_assert_eq!(d.ext_next.len(), back.ext_prev.len());
+    }
+
+    #[test]
+    fn naive_bytes_are_20_per_edge(
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 0..80),
+    ) {
+        let a = Csr::from_edges(20, &edges);
+        prop_assert_eq!(naive_transfer_bytes(&a), 20 * a.nnz() as u64);
+    }
+
+    #[test]
+    fn diff_edit_count_bounds_union(
+        e1 in proptest::collection::vec((0u32..25, 0u32..25), 0..100),
+        e2 in proptest::collection::vec((0u32..25, 0u32..25), 0..100),
+    ) {
+        let a = Csr::from_edges(25, &e1);
+        let b = Csr::from_edges(25, &e2);
+        let d = diff(&a, &b);
+        // Edits never exceed the combined sizes.
+        prop_assert!(d.ext_prev.len() <= a.nnz());
+        prop_assert!(d.ext_next.len() <= b.nnz());
+        // Identical inputs produce no edits.
+        let d_same = diff(&a, &a);
+        prop_assert_eq!(d_same.edits(), 0);
+    }
+}

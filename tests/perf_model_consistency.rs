@@ -1,0 +1,131 @@
+//! Consistency of the analytic performance engine with the functional
+//! implementation: the closed-form statistics it consumes match
+//! materialised graphs, and its transfer-byte accounting matches the
+//! functional trainer's.
+
+use dgnn_core::prelude::*;
+use dgnn_autograd::ParamStore;
+use dgnn_graph::stats::Smoothing as St;
+use dgnn_sim::perf::{estimate_epoch, ModelKind as PerfModel, PerfConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn closed_form_stats_match_materialised_graph() {
+    let (n, t, m, rho, w) = (400usize, 14usize, 1600usize, 0.3, 4usize);
+    let g = dgnn_graph::gen::churn(n, t, m, rho, 23);
+    let smoothed = St::MProduct(w).apply(&g);
+    let exact = TemporalStats::from_graph(&smoothed);
+    let predicted =
+        TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, St::MProduct(w));
+    for ti in 0..t {
+        let e = exact.nnz[ti] as f64;
+        let p = predicted.nnz[ti] as f64;
+        assert!((e - p).abs() / p < 0.1, "nnz[{ti}]: {e} vs {p}");
+    }
+    // Steady-state diffs within 30% (collision noise at this scale).
+    for i in w..t - 1 {
+        let e = exact.ext_next[i] as f64;
+        let p = predicted.ext_next[i] as f64;
+        assert!((e - p).abs() / p < 0.3, "ext_next[{i}]: {e} vs {p}");
+    }
+}
+
+#[test]
+fn perf_engine_transfer_matches_functional_accounting() {
+    // Build a materialised graph, feed its EXACT stats to the engine, and
+    // compare the engine's transfer bytes (converted back from time) with
+    // the functional trainer's byte accounting.
+    let g = dgnn_graph::gen::churn_skewed(64, 9, 260, 0.3, 0.9, 31);
+    let kind = ModelKind::TmGcn;
+    let cfg = ModelConfig {
+        kind,
+        input_f: 2,
+        hidden: 4,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+
+    // Functional trainer accounting (COO payloads only).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    let nb = 2;
+    let stats = train_single(
+        &model,
+        &head,
+        &mut store,
+        &task,
+        &TrainOptions { epochs: 1, lr: 0.01, nb, seed: 7 },
+    );
+    let functional_gd = stats[0].transfer_gd_bytes;
+    let functional_naive = stats[0].transfer_naive_bytes;
+
+    // Engine on the same exact statistics; its transfer_ms component covers
+    // exactly the adjacency payload the functional trainer accounts.
+    let exact = TemporalStats::from_graph(&task.graph);
+    let mk = |gd: bool| PerfConfig {
+        gd,
+        pinned: true,
+        precompute_first_layer: true,
+        ..PerfConfig::new(PerfModel::TmGcn, exact.clone(), 1, nb)
+    };
+    let engine_bytes = |gd: bool| {
+        // Invert the time model: bytes = (time - latency) * bandwidth.
+        let spec = dgnn_sim::MachineSpec::aimos_like();
+        let report = estimate_epoch(&mk(gd));
+        let transfers = 2.0 * task.t as f64; // two passes, one call per snapshot
+        (report.transfer_ms * 1e3 - transfers * spec.transfer_latency_us)
+            * spec.pcie_gbps
+            * 1e3
+    };
+    let engine_gd = engine_bytes(true) as u64;
+    let engine_naive = engine_bytes(false) as u64;
+
+    let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / b as f64;
+    assert!(
+        rel(engine_naive, functional_naive) < 0.02,
+        "naive: engine {engine_naive} vs functional {functional_naive}"
+    );
+    assert!(
+        rel(engine_gd, functional_gd) < 0.02,
+        "gd: engine {engine_gd} vs functional {functional_gd}"
+    );
+}
+
+#[test]
+fn engine_oom_behaviour_is_monotone_in_p() {
+    // If a configuration fits on P GPUs it must also fit on 2P.
+    let stats = dgnn_graph::datasets::AMLSIM.stats(St::MProduct(40));
+    let mut last_fit = false;
+    for p in [1usize, 2, 4, 8, 16] {
+        let cfg = PerfConfig::new(PerfModel::TmGcn, stats.clone(), p, 8);
+        let report = estimate_epoch(&cfg);
+        if last_fit {
+            assert!(!report.oom, "P={p} should fit when P/2 already did");
+        }
+        last_fit = !report.oom;
+    }
+    assert!(last_fit, "AMLSim should fit by P=16");
+}
+
+#[test]
+fn engine_speedups_land_in_paper_band() {
+    // Strong scaling at paper scale should deliver the paper's order of
+    // speedup at 128 GPUs (they report up to 30x, §6.3).
+    let spec = dgnn_graph::datasets::AMLSIM;
+    let stats = spec.stats(St::MProduct(spec.calibrated_mproduct_window()));
+    let time_at = |p: usize| {
+        let cfg = PerfConfig::new(PerfModel::TmGcn, stats.clone(), p, 1);
+        dgnn_sim::perf::tune_nb(&cfg).expect("feasible").1.total_ms()
+    };
+    let t1 = time_at(1);
+    let t128 = time_at(128);
+    let speedup = t1 / t128;
+    assert!(
+        (8.0..80.0).contains(&speedup),
+        "speedup at 128 GPUs should be tens, got {speedup:.1}"
+    );
+}
