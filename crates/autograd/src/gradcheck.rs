@@ -69,7 +69,12 @@ pub fn check_param_grads(
             let numeric = (up - down) / (2.0 * eps);
             let a = analytic[pi][k];
             if (a - numeric).abs() > tol * (1.0 + numeric.abs()) {
-                return Err(GradCheckFailure { param: pi, coord: k, analytic: a, numeric });
+                return Err(GradCheckFailure {
+                    param: pi,
+                    coord: k,
+                    analytic: a,
+                    numeric,
+                });
             }
         }
     }
@@ -88,7 +93,10 @@ pub fn check_input_grad(
     let mut tape = Tape::new();
     let (x, loss) = build(&mut tape, input.clone());
     tape.backward_scalar(loss);
-    let analytic = tape.grad(x).expect("input should receive a gradient").clone();
+    let analytic = tape
+        .grad(x)
+        .expect("input should receive a gradient")
+        .clone();
 
     for k in 0..input.len() {
         let mut up_in = input.clone();
@@ -106,7 +114,12 @@ pub fn check_input_grad(
         let numeric = (up - down) / (2.0 * eps);
         let a = analytic.data()[k];
         if (a - numeric).abs() > tol * (1.0 + numeric.abs()) {
-            return Err(GradCheckFailure { param: usize::MAX, coord: k, analytic: a, numeric });
+            return Err(GradCheckFailure {
+                param: usize::MAX,
+                coord: k,
+                analytic: a,
+                numeric,
+            });
         }
     }
     Ok(())

@@ -25,12 +25,22 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -80,7 +90,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 

@@ -32,13 +32,19 @@ pub struct ParamStore {
 impl ParamStore {
     /// An empty store.
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Registers a parameter with an initial value; returns its id.
     pub fn add(&mut self, name: impl Into<String>, value: Dense) -> ParamId {
         let (r, c) = value.shape();
-        self.entries.push(Entry { name: name.into(), grad: Dense::zeros(r, c), value });
+        self.entries.push(Entry {
+            name: name.into(),
+            grad: Dense::zeros(r, c),
+            value,
+        });
         ParamId(self.entries.len() - 1)
     }
 
@@ -107,7 +113,11 @@ impl ParamStore {
     /// Overwrites all gradients from a flat vector produced by
     /// [`ParamStore::grads_flat`] (after an all-reduce).
     pub fn set_grads_from_flat(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.total_elems(), "flat gradient length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.total_elems(),
+            "flat gradient length mismatch"
+        );
         let mut offset = 0;
         for e in &mut self.entries {
             let n = e.grad.len();
@@ -131,7 +141,9 @@ impl ParamStore {
         let mut offset = 0;
         for e in &mut self.entries {
             let n = e.value.len();
-            e.value.data_mut().copy_from_slice(&flat[offset..offset + n]);
+            e.value
+                .data_mut()
+                .copy_from_slice(&flat[offset..offset + n]);
             offset += n;
         }
     }

@@ -60,7 +60,11 @@ enum Op {
     SumAll(Var),
     /// Fused softmax + cross-entropy against integer labels; value is the
     /// `1x1` mean loss and `probs` caches the softmax for the backward pass.
-    SoftmaxXent { logits: Var, labels: Rc<Vec<u32>>, probs: Dense },
+    SoftmaxXent {
+        logits: Var,
+        labels: Rc<Vec<u32>>,
+        probs: Dense,
+    },
 }
 
 struct Node {
@@ -92,7 +96,11 @@ impl Default for Tape {
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), grads: Vec::new(), param_bindings: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            param_bindings: Vec::new(),
+        }
     }
 
     /// Number of recorded nodes.
@@ -112,7 +120,12 @@ impl Tape {
     }
 
     fn push(&mut self, op: Op, value: Dense, requires_grad: bool) -> Var {
-        self.nodes.push(Node { op, value, requires_grad, propagated: false });
+        self.nodes.push(Node {
+            op,
+            value,
+            requires_grad,
+            propagated: false,
+        });
         self.grads.push(None);
         Var(self.nodes.len() - 1)
     }
@@ -308,7 +321,15 @@ impl Tape {
         }
         let value = Dense::from_vec(1, 1, vec![(loss / s as f64) as f32]);
         let rg = self.rg(logits);
-        self.push(Op::SoftmaxXent { logits, labels, probs }, value, rg)
+        self.push(
+            Op::SoftmaxXent {
+                logits,
+                labels,
+                probs,
+            },
+            value,
+            rg,
+        )
     }
 
     /// Runs reverse-mode accumulation from the given `(variable, gradient)`
@@ -337,7 +358,9 @@ impl Tape {
             if !self.nodes[i].requires_grad || self.nodes[i].propagated {
                 continue;
             }
-            let Some(g) = self.grads[i].take() else { continue };
+            let Some(g) = self.grads[i].take() else {
+                continue;
+            };
             self.nodes[i].propagated = true;
             self.propagate(i, &g);
             self.grads[i] = Some(g);
@@ -472,7 +495,11 @@ impl Tape {
                 let (rows, cols) = self.value(x).shape();
                 self.accumulate(x, Dense::full(rows, cols, g.get(0, 0)));
             }
-            Op::SoftmaxXent { logits, labels, probs } => {
+            Op::SoftmaxXent {
+                logits,
+                labels,
+                probs,
+            } => {
                 let logits = *logits;
                 let labels = Rc::clone(labels);
                 let gs = g.get(0, 0);
@@ -551,7 +578,10 @@ mod tests {
         let y = tape.add(x, x);
         let loss = tape.sum_all(y);
         tape.backward_scalar(loss);
-        assert!(tape.grad(x).unwrap().approx_eq(&Dense::full(1, 3, 2.0), 1e-6));
+        assert!(tape
+            .grad(x)
+            .unwrap()
+            .approx_eq(&Dense::full(1, 3, 2.0), 1e-6));
     }
 
     #[test]
@@ -580,7 +610,10 @@ mod tests {
         let y1 = tape.scale(x, 2.0);
         let y2 = tape.scale(x, 3.0);
         tape.backward(&[(y1, Dense::ones(2, 2)), (y2, Dense::ones(2, 2))]);
-        assert!(tape.grad(x).unwrap().approx_eq(&Dense::full(2, 2, 5.0), 1e-6));
+        assert!(tape
+            .grad(x)
+            .unwrap()
+            .approx_eq(&Dense::full(2, 2, 5.0), 1e-6));
     }
 
     #[test]

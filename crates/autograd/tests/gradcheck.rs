@@ -39,7 +39,10 @@ fn matmul_grads() {
 
 #[test]
 fn spmm_grads() {
-    let adj = Rc::new(Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]));
+    let adj = Rc::new(Csr::from_edges(
+        4,
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+    ));
     let mut rng = rng();
     let mut store = ParamStore::new();
     let x = store.add("x", glorot_uniform(4, 3, &mut rng));

@@ -20,21 +20,27 @@ use rand::SeedableRng;
 
 fn bench_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for &(n, m) in &[(1_000usize, 5_000usize), (5_000, 50_000)] {
         let g = churn(n, 1, m, 0.0, 1);
         let lap = g.snapshot(0).laplacian();
         let x = Dense::from_fn(n, 16, |r, c| ((r * 16 + c) % 17) as f32 * 0.1);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &(), |b, ()| {
-            b.iter(|| std::hint::black_box(lap.spmm(&x)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &(),
+            |b, ()| b.iter(|| std::hint::black_box(lap.spmm(&x))),
+        );
     }
     group.finish();
 }
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[64usize, 256] {
         let mut rng = StdRng::seed_from_u64(2);
         let a = glorot_uniform(n, n, &mut rng);
@@ -48,7 +54,9 @@ fn bench_gemm(c: &mut Criterion) {
 
 fn bench_lstm_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("lstm_step");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(3);
     let mut store = ParamStore::new();
     let cell = dgnn_models::LstmCell::new(&mut store, "l", 8, 8, &mut rng);
@@ -68,7 +76,9 @@ fn bench_lstm_step(c: &mut Criterion) {
 
 fn bench_graph_diff(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_diff");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let g = churn(5_000, 2, 40_000, 0.2, 4);
     let (a, b) = (g.snapshot(0).adj(), g.snapshot(1).adj());
     group.bench_function("diff_40k_edges", |bch| {
@@ -88,7 +98,9 @@ fn bench_graph_diff(c: &mut Criterion) {
 
 fn bench_mproduct(c: &mut Criterion) {
     let mut group = c.benchmark_group("m_product");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let g = churn(2_000, 16, 10_000, 0.3, 6);
     let tensor = g.to_sparse_tensor();
     let m = m_banded(16, 4);
@@ -100,7 +112,9 @@ fn bench_mproduct(c: &mut Criterion) {
 
 fn bench_laplacian(c: &mut Criterion) {
     let mut group = c.benchmark_group("laplacian");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let g = churn(5_000, 1, 40_000, 0.0, 7);
     group.bench_function("normalize_40k_edges", |b| {
         b.iter(|| std::hint::black_box(normalized_laplacian(g.snapshot(0).adj(), true)))
@@ -110,7 +124,9 @@ fn bench_laplacian(c: &mut Criterion) {
 
 fn bench_partitioner(c: &mut Criterion) {
     let mut group = c.benchmark_group("hypergraph_partitioner");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let g = churn(1_000, 4, 6_000, 0.2, 8);
     let hg = Hypergraph::column_net_model(&g);
     group.bench_function("n1000_p8", |b| {
@@ -121,7 +137,9 @@ fn bench_partitioner(c: &mut Criterion) {
 
 fn bench_autograd_tape(c: &mut Criterion) {
     let mut group = c.benchmark_group("autograd");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let g = churn(2_000, 1, 10_000, 0.0, 9);
     let lap = Rc::new(g.snapshot(0).laplacian());
     let mut rng = StdRng::seed_from_u64(10);
@@ -145,7 +163,9 @@ fn bench_autograd_tape(c: &mut Criterion) {
 
 fn bench_training_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("training_epoch");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let g = churn_skewed(100, 8, 400, 0.3, 0.9, 11);
     for kind in ModelKind::all() {
         let cfg = ModelConfig {
@@ -167,7 +187,12 @@ fn bench_training_epoch(c: &mut Criterion) {
                     &head,
                     &mut store,
                     &task,
-                    &TrainOptions { epochs: 1, lr: 0.05, nb: 2, seed: 7 },
+                    &TrainOptions {
+                        epochs: 1,
+                        lr: 0.05,
+                        nb: 2,
+                        seed: 7,
+                    },
                 );
                 std::hint::black_box(stats[0].loss)
             })

@@ -13,7 +13,9 @@ use dgnn_sim::MachineSpec;
 
 fn bench_estimate_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimate_epoch");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let spec = AMLSIM;
     let stats = spec.stats(Smoothing::MProduct(spec.calibrated_mproduct_window()));
     for &p in &[1usize, 16, 128] {
@@ -27,7 +29,9 @@ fn bench_estimate_epoch(c: &mut Criterion) {
 
 fn bench_collective_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("collective_cost_models");
-    group.sample_size(50).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
     let spec = MachineSpec::aimos_like();
     group.bench_function("all_to_all_128", |b| {
         b.iter(|| std::hint::black_box(all_to_all_us(&spec, 128, 1 << 20)))
@@ -40,7 +44,9 @@ fn bench_collective_models(c: &mut Criterion) {
 
 fn bench_closed_form_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("closed_form_stats");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("amlsim_mproduct", |b| {
         b.iter(|| {
             let spec = AMLSIM;

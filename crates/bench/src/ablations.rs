@@ -16,14 +16,21 @@ pub fn run(_fast: bool) {
     let spec = AMLSIM;
 
     println!("== Ablation A: checkpoint blocks (TM-GCN / AML-Sim, P=8) ==");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>10}", "nb", "total", "transfer", "mem", "fits?");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10}",
+        "nb", "total", "transfer", "mem", "fits?"
+    );
     let stats = spec.stats(smoothing_for(ModelKind::TmGcn, &spec));
     for nb in [0usize, 1, 2, 4, 8, 16, 32, 64] {
         let cfg = PerfConfig::new(ModelKind::TmGcn, stats.clone(), 8, nb);
         let r = estimate_epoch(&cfg);
         println!(
             "{:>4} {:>10} {:>10} {:>10} {:>10}",
-            if nb == 0 { "base".to_string() } else { nb.to_string() },
+            if nb == 0 {
+                "base".to_string()
+            } else {
+                nb.to_string()
+            },
             ms(r.total_ms()),
             ms(r.transfer_ms),
             gib(r.peak_mem_bytes),
@@ -67,7 +74,10 @@ pub fn run(_fast: bool) {
     }
 
     println!("\n== Ablation D: GD speedup vs smoothing (AML-Sim stand-in, P=1, nb=8) ==");
-    println!("{:>22} {:>12} {:>12} {:>8}", "input", "Base xfer", "GD xfer", "speedup");
+    println!(
+        "{:>22} {:>12} {:>12} {:>8}",
+        "input", "Base xfer", "GD xfer", "speedup"
+    );
     let w = spec.calibrated_mproduct_window();
     let l = spec.calibrated_edge_life();
     for (label, smoothing) in [
@@ -94,7 +104,10 @@ pub fn run(_fast: bool) {
     println!("\n(smoothing magnifies snapshot overlap, which is where GD gains come from)");
 
     println!("\n== Ablation E: computation-communication overlap (paper §6.5 proposal) ==");
-    println!("{:>4} {:>12} {:>12} {:>8}", "P", "sequential", "overlapped", "saving");
+    println!(
+        "{:>4} {:>12} {:>12} {:>8}",
+        "P", "sequential", "overlapped", "saving"
+    );
     let st = spec.stats(smoothing_for(ModelKind::TmGcn, &spec));
     for p in [8usize, 16, 32, 64, 128] {
         let seq = estimate_epoch(&PerfConfig::new(ModelKind::TmGcn, st.clone(), p, 1));

@@ -1,0 +1,6 @@
+//! Harness binary for the streaming-ingestion benchmark; pass `--fast`
+//! for a reduced workload.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::streaming::run(fast);
+}

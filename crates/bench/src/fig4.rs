@@ -42,8 +42,15 @@ pub fn run(fast: bool) {
                     println!("{p:>4} {:>10}", "OOM");
                     continue;
                 };
-                let base = estimate_epoch(&PerfConfig { nb, ..base_cfg.clone() });
-                let gd = estimate_epoch(&PerfConfig { nb, gd: true, ..base_cfg });
+                let base = estimate_epoch(&PerfConfig {
+                    nb,
+                    ..base_cfg.clone()
+                });
+                let gd = estimate_epoch(&PerfConfig {
+                    nb,
+                    gd: true,
+                    ..base_cfg
+                });
                 let spd = base.transfer_ms / gd.transfer_ms.max(1e-9);
                 let red = 1.0 - gd.total_ms() / base.total_ms();
                 println!(
@@ -69,7 +76,9 @@ pub fn run(fast: bool) {
     println!(
         "  max GD transfer speedup (smoothed models): {max_speedup:.2}x   (paper: up to 4.1x)"
     );
-    println!("  max GD transfer speedup (CD-GCN, raw):     {max_speedup_cd:.2}x   (paper: up to 2x)");
+    println!(
+        "  max GD transfer speedup (CD-GCN, raw):     {max_speedup_cd:.2}x   (paper: up to 2x)"
+    );
     println!(
         "  max overall time reduction:                {:.1}%   (paper: up to 40%)",
         max_reduction * 100.0

@@ -55,7 +55,10 @@ pub fn run(fast: bool) {
             }
             summary.push((spec.name.to_string(), speedups));
         }
-        println!("\n-- {} speedup summary (reference speedup = P_ref) --", model.name());
+        println!(
+            "\n-- {} speedup summary (reference speedup = P_ref) --",
+            model.name()
+        );
         print!("{:<10}", "dataset");
         for &p in sweep {
             print!(" {p:>7}");

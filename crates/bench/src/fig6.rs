@@ -9,21 +9,43 @@
 use dgnn_core::prelude::*;
 
 fn cfg(kind: ModelKind) -> ModelConfig {
-    ModelConfig { kind, input_f: 2, hidden: 6, mprod_window: 3, smoothing_window: 3 }
+    ModelConfig {
+        kind,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    }
 }
 
 /// Runs the Figure 6 harness. `fast` reduces epochs and problem size.
 pub fn run(fast: bool) {
     println!("== Figure 6: convergence under snapshot vs hypergraph partitioning ==");
-    let (n, t, m, epochs) = if fast { (60, 7, 240, 3) } else { (120, 13, 600, 10) };
+    let (n, t, m, epochs) = if fast {
+        (60, 7, 240, 3)
+    } else {
+        (120, 13, 600, 10)
+    };
     let g = dgnn_graph::gen::churn_skewed(n, t, m, 0.2, 0.9, 41);
     let raw = g.time_slice(0, t - 1);
     let next = g.snapshot(t - 1).clone();
-    let task_opts = TaskOptions { precompute_first_layer: false, ..Default::default() };
-    let train_opts = TrainOptions { epochs, lr: 0.05, nb: 2, seed: 11 };
+    let task_opts = TaskOptions {
+        precompute_first_layer: false,
+        ..Default::default()
+    };
+    let train_opts = TrainOptions {
+        epochs,
+        lr: 0.05,
+        nb: 2,
+        seed: 11,
+    };
 
     for kind in ModelKind::all() {
-        println!("\n-- {} (AML-Sim stand-in, N={n}, T={}) --", cfg(kind).kind.name(), t - 1);
+        println!(
+            "\n-- {} (AML-Sim stand-in, N={n}, T={}) --",
+            cfg(kind).kind.name(),
+            t - 1
+        );
         let snap = train_distributed(&raw, &next, cfg(kind), &task_opts, &train_opts, 2);
         let hyper = train_vertex_partitioned(&raw, &next, cfg(kind), &task_opts, &train_opts, 2);
         println!(

@@ -7,14 +7,16 @@
 //!
 //! Binaries: `table1`, `fig4_graph_diff`, `fig5_strong_scaling`,
 //! `fig6_convergence`, `fig7_weak_scaling`, `table2_partition`,
-//! `table3_hybrid`, `ablations`, plus `calib` (machine-constant
-//! calibration) and `run_all`.
+//! `table3_hybrid`, `ablations`, `streaming` (event-ingestion throughput
+//! and incremental-vs-rebuild window advance), plus `calib`
+//! (machine-constant calibration) and `run_all`.
 
 pub mod ablations;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod streaming;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -21,8 +21,16 @@ pub fn run(fast: bool) {
     println!("== Table 1: datasets and smoothing expansion ==");
     println!(
         "{:<10} {:>8} {:>5} {:>8} | {:>12} {:>12} | {:>12} {:>12} | {:>6} {:>6}",
-        "dataset", "N", "T", "nnz", "Mprod(paper)", "Mprod(ours)", "elife(paper)",
-        "elife(ours)", "w", "l"
+        "dataset",
+        "N",
+        "T",
+        "nnz",
+        "Mprod(paper)",
+        "Mprod(ours)",
+        "elife(paper)",
+        "elife(ours)",
+        "w",
+        "l"
     );
     for spec in paper_datasets() {
         let w = spec.calibrated_mproduct_window();

@@ -71,7 +71,16 @@ pub fn run(fast: bool) {
 
     println!(
         "\n{:<7} {:>4} | {:>11} {:>11} | {:>11} {:>11} | {:>10} {:>10} | {:>10} {:>10}",
-        "model", "P", "snapV(B)", "paper", "hyperV(B)", "paper", "snap t", "paper", "hyper t", "paper"
+        "model",
+        "P",
+        "snapV(B)",
+        "paper",
+        "hyperV(B)",
+        "paper",
+        "snap t",
+        "paper",
+        "hyper t",
+        "paper"
     );
     for model in [ModelKind::TmGcn, ModelKind::CdGcn, ModelKind::EvolveGcn] {
         let smoothing = smoothing_for(model, &spec);
@@ -97,16 +106,16 @@ pub fn run(fast: bool) {
             let snap_cfg = PerfConfig::new(model, stats.clone(), p, 1);
             let snap_t = tune_nb(&snap_cfg).map(|(_, r)| r.total_ms());
             let hyper_cfg = PerfConfig {
-                scheme: Scheme::Vertex { spmm_units: hyper_units as u64 },
+                scheme: Scheme::Vertex {
+                    spmm_units: hyper_units as u64,
+                },
                 gd: false,
                 ..PerfConfig::new(model, stats.clone(), p, 1)
             };
             let hyper_t = tune_nb(&hyper_cfg).map(|(_, r)| r.total_ms());
             let _ = estimate_epoch;
 
-            let paper_row = PAPER
-                .iter()
-                .find(|r| r.0 == model.name() && r.1 == p);
+            let paper_row = PAPER.iter().find(|r| r.0 == model.name() && r.1 == p);
             let (pv, phv, pt, pht) = match paper_row {
                 Some(&(_, _, v, hv, t, ht)) => (
                     format!("{v:.1}"),
@@ -131,6 +140,8 @@ pub fn run(fast: bool) {
             );
         }
     }
-    println!("\nshape checks: snapshot volume saturates at O(T·N); hypergraph volume grows with P;");
+    println!(
+        "\nshape checks: snapshot volume saturates at O(T·N); hypergraph volume grows with P;"
+    );
     println!("snapshot time keeps falling while hypergraph time degrades at high P.");
 }

@@ -9,8 +9,8 @@
 //! one group) and the sequential trainer side by side; the full-scale
 //! memory argument is reproduced analytically.
 
-use dgnn_core::prelude::*;
 use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
 use dgnn_graph::datasets::{AMLSIM_LARGE_1, AMLSIM_LARGE_2};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,12 +46,24 @@ pub fn run(fast: bool) {
     println!("32 GiB GPU even under checkpointing; splitting each snapshot between 2 GPUs halves");
     println!("the per-rank share, which is the hybrid scheme's motivation.\n");
 
-    let (n, t, m, epochs) = if fast { (60, 9, 300, 6) } else { (120, 13, 700, 25) };
+    let (n, t, m, epochs) = if fast {
+        (60, 9, 300, 6)
+    } else {
+        (120, 13, 700, 25)
+    };
     let g = dgnn_graph::gen::churn_skewed(n, t, m, 0.2, 0.9, 77);
     let raw = g.time_slice(0, t - 1);
     let next = g.snapshot(t - 1).clone();
-    let task_opts = TaskOptions { precompute_first_layer: false, ..Default::default() };
-    let train_opts = TrainOptions { epochs, lr: 0.1, nb: 2, seed: 19 };
+    let task_opts = TaskOptions {
+        precompute_first_layer: false,
+        ..Default::default()
+    };
+    let train_opts = TrainOptions {
+        epochs,
+        lr: 0.1,
+        nb: 2,
+        seed: 19,
+    };
 
     // Hybrid (2 members splitting every snapshot).
     let hybrid = train_hybrid(&raw, &next, cfg(), &task_opts, &train_opts, 2);

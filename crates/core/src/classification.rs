@@ -144,22 +144,24 @@ fn run_block_cls<'m>(
         let mut parts: Vec<(f32, Var)> = Vec::new();
         if !neg_idx.is_empty() {
             let zg = tape.gather_rows(logits, Rc::new(neg_idx.clone()));
-            let l = tape
-                .softmax_cross_entropy(zg, Rc::new(vec![0u32; neg_idx.len()]));
+            let l = tape.softmax_cross_entropy(zg, Rc::new(vec![0u32; neg_idx.len()]));
             parts.push((class_weights[0], l));
         }
         if !pos_idx.is_empty() {
             let zg = tape.gather_rows(logits, Rc::new(pos_idx.clone()));
-            let l = tape
-                .softmax_cross_entropy(zg, Rc::new(vec![1u32; pos_idx.len()]));
+            let l = tape.softmax_cross_entropy(zg, Rc::new(vec![1u32; pos_idx.len()]));
             parts.push((class_weights[1], l));
         }
         let total_w: f32 = parts.iter().map(|(w, _)| w).sum();
-        let terms: Vec<(f32, Var)> =
-            parts.into_iter().map(|(w, v)| (w / total_w, v)).collect();
+        let terms: Vec<(f32, Var)> = parts.into_iter().map(|(w, v)| (w / total_w, v)).collect();
         loss_vars.push(tape.lin_comb(&terms));
     }
-    ClsBlockRun { tape, seg, loss_vars, logit_vars }
+    ClsBlockRun {
+        tape,
+        seg,
+        loss_vars,
+        logit_vars,
+    }
 }
 
 /// Trains the model for per-vertex classification with gradient
@@ -176,8 +178,7 @@ pub fn train_single_classification(
     opts: &TrainOptions,
 ) -> Vec<ClassEpochStats> {
     assert_eq!(labels.len(), task.t, "one label vector per timestep");
-    let labels: Vec<Rc<Vec<u32>>> =
-        labels.iter().map(|l| Rc::new(l.clone())).collect();
+    let labels: Vec<Rc<Vec<u32>>> = labels.iter().map(|l| Rc::new(l.clone())).collect();
     let blocks = balanced_ranges(task.t, opts.nb.min(task.t));
     let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();
     let mut opt = Adam::new(opts.lr);

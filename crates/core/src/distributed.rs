@@ -20,7 +20,9 @@ use std::rc::Rc;
 
 use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
 use dgnn_graph::{DynamicGraph, Snapshot};
-use dgnn_models::{accuracy, CarryGrads, CarryState, LinkPredHead, Model, ModelConfig, ModelKind, Segment};
+use dgnn_models::{
+    accuracy, CarryGrads, CarryState, LinkPredHead, Model, ModelConfig, ModelKind, Segment,
+};
 use dgnn_partition::{balanced_ranges, VertexChunks};
 use dgnn_sim::{run_ranks, Comm};
 use dgnn_tensor::{Csr, Dense};
@@ -57,8 +59,10 @@ fn pack_rows(mats: &[&Dense], range: &Range<usize>, width: usize) -> Dense {
     if mats.is_empty() || range.is_empty() {
         return Dense::zeros(0, width);
     }
-    let blocks: Vec<Dense> =
-        mats.iter().map(|m| m.row_block(range.start, range.len())).collect();
+    let blocks: Vec<Dense> = mats
+        .iter()
+        .map(|m| m.row_block(range.start, range.len()))
+        .collect();
     Dense::vstack(&blocks.iter().collect::<Vec<_>>())
 }
 
@@ -181,7 +185,12 @@ fn run_block_dist<'m>(
             })
             .collect();
         feats = c_in.clone();
-        layers_io.push(LayerIo { spatial, b_in, b_out, c_in });
+        layers_io.push(LayerIo {
+            spatial,
+            b_in,
+            b_out,
+            c_in,
+        });
     }
 
     // Losses on owned timesteps.
@@ -194,7 +203,14 @@ fn run_block_dist<'m>(
         logit_vars.push(logits);
         loss_vars.push(loss);
     }
-    DistBlockRun { tape, seg, loss_vars, logit_vars, z_vars: feats, layers_io }
+    DistBlockRun {
+        tape,
+        seg,
+        loss_vars,
+        logit_vars,
+        z_vars: feats,
+        layers_io,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -240,11 +256,17 @@ fn backward_block_dist(
         let dc: Vec<Dense> = io
             .c_in
             .iter()
-            .map(|&v| run.tape.grad(v).expect("c_in must receive a gradient").clone())
+            .map(|&v| {
+                run.tape
+                    .grad(v)
+                    .expect("c_in must receive a gradient")
+                    .clone()
+            })
             .collect();
         let dc_refs: Vec<&Dense> = dc.iter().collect();
-        let send: Vec<Dense> =
-            (0..p).map(|q| pack_rows(&dc_refs, &chunks.range(q), tmp_w)).collect();
+        let send: Vec<Dense> = (0..p)
+            .map(|q| pack_rows(&dc_refs, &chunks.range(q), tmp_w))
+            .collect();
         let recv = comm.all_to_all_dense(send);
         let mut seeds2: Vec<(Var, Dense)> = Vec::with_capacity(block.len());
         for t in block.clone() {
@@ -344,8 +366,10 @@ fn train_rank(
         if owned.is_empty() {
             continue;
         }
-        let slices: Vec<&Csr> =
-            owned.iter().map(|&t| task.graph.snapshot(t).adj()).collect();
+        let slices: Vec<&Csr> = owned
+            .iter()
+            .map(|&t| task.graph.snapshot(t).adj())
+            .collect();
         let acc = dgnn_graph::diff::chunk_transfer(&slices);
         naive_bytes += 2 * acc.naive_bytes;
         gd_bytes += 2 * acc.gd_bytes;
@@ -448,7 +472,13 @@ mod tests {
     use dgnn_graph::gen::{churn, churn_skewed};
 
     fn tiny_cfg(kind: ModelKind) -> ModelConfig {
-        ModelConfig { kind, input_f: 2, hidden: 4, mprod_window: 3, smoothing_window: 3 }
+        ModelConfig {
+            kind,
+            input_f: 2,
+            hidden: 4,
+            mprod_window: 3,
+            smoothing_window: 3,
+        }
     }
 
     #[test]
@@ -462,7 +492,12 @@ mod tests {
                 &next,
                 tiny_cfg(kind),
                 &TaskOptions::default(),
-                &TrainOptions { epochs: 6, lr: 0.05, nb: 2, seed: 3 },
+                &TrainOptions {
+                    epochs: 6,
+                    lr: 0.05,
+                    nb: 2,
+                    seed: 3,
+                },
                 2,
             );
             assert_eq!(stats.len(), 6);
@@ -486,14 +521,24 @@ mod tests {
                 &next,
                 cfg,
                 &TaskOptions::default(),
-                &TrainOptions { epochs: 3, lr: 0.02, nb: 1, seed: 3 },
+                &TrainOptions {
+                    epochs: 3,
+                    lr: 0.02,
+                    nb: 1,
+                    seed: 3,
+                },
                 p,
             )
         };
         let s1 = run(1);
         let s3 = run(3);
         for (a, b) in s1.iter().zip(&s3) {
-            assert!((a.loss - b.loss).abs() < 1e-4, "loss {} vs {}", a.loss, b.loss);
+            assert!(
+                (a.loss - b.loss).abs() < 1e-4,
+                "loss {} vs {}",
+                a.loss,
+                b.loss
+            );
         }
     }
 }

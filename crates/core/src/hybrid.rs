@@ -82,7 +82,10 @@ fn run_block_hybrid<'m>(
     let mut layers_io: Vec<HLayerIo> = Vec::with_capacity(cfg.layers());
     let mut prev_z: Vec<Var> = Vec::new();
     for layer in 0..cfg.layers() {
-        let mut io = HLayerIo { x_slots: Vec::new(), z_out: Vec::new() };
+        let mut io = HLayerIo {
+            x_slots: Vec::new(),
+            z_out: Vec::new(),
+        };
         let mut spatial = Vec::with_capacity(block.len());
         for (i, t) in block.clone().enumerate() {
             // All-gather the row blocks of this layer's input.
@@ -129,7 +132,15 @@ fn run_block_hybrid<'m>(
         loss_vars.push(loss);
         sample_slices.push(slice);
     }
-    HBlockRun { tape, seg, layers_io, z_full, loss_vars, logit_vars, sample_slices }
+    HBlockRun {
+        tape,
+        seg,
+        layers_io,
+        z_full,
+        loss_vars,
+        logit_vars,
+        sample_slices,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -154,7 +165,8 @@ fn backward_block_hybrid(
         .enumerate()
         .map(|(i, &lv)| {
             let t = block.start + i;
-            let w = run.sample_slices[i].len() as f32 / task.train[t].len().max(1) as f32
+            let w = run.sample_slices[i].len() as f32
+                / task.train[t].len().max(1) as f32
                 / task.t as f32;
             (lv, Dense::full(1, 1, w))
         })
@@ -232,8 +244,11 @@ pub fn train_hybrid(
         // Each member extracts its row blocks of every Laplacian.
         let rows = balanced_ranges(task.n, comm.world());
         let my = rows[comm.rank()].clone();
-        let a_rows: Vec<Csr> =
-            task.laps.iter().map(|lap| lap.row_block(my.start, my.len())).collect();
+        let a_rows: Vec<Csr> = task
+            .laps
+            .iter()
+            .map(|lap| lap.row_block(my.start, my.len()))
+            .collect();
         train_rank_hybrid(comm, &task, &a_rows, cfg, opts)
     });
     results.into_iter().next().expect("at least one rank")
@@ -280,8 +295,7 @@ fn train_rank_hybrid(
                 carries.last().unwrap(),
             );
             for (i, t) in block.clone().enumerate() {
-                let w =
-                    run.sample_slices[i].len() as f64 / task.train[t].len().max(1) as f64;
+                let w = run.sample_slices[i].len() as f64 / task.train[t].len().max(1) as f64;
                 loss_sum += f64::from(run.tape.value(run.loss_vars[i]).get(0, 0)) * w;
                 let logits = run.tape.value(run.logit_vars[i]);
                 let acc = accuracy(logits, &run.sample_slices[i].labels);
@@ -359,8 +373,16 @@ mod tests {
             &raw,
             &next,
             cfg,
-            &TaskOptions { precompute_first_layer: false, ..Default::default() },
-            &TrainOptions { epochs: 4, lr: 0.02, nb: 1, seed: 3 },
+            &TaskOptions {
+                precompute_first_layer: false,
+                ..Default::default()
+            },
+            &TrainOptions {
+                epochs: 8,
+                lr: 0.02,
+                nb: 1,
+                seed: 3,
+            },
             2,
         );
         assert!(stats.last().unwrap().loss < stats.first().unwrap().loss);

@@ -11,6 +11,9 @@
 //!   vertex-partitioning baseline (paper §4.1, §6.4).
 //! * [`hybrid::train_hybrid`] — intra-snapshot row splitting for snapshots
 //!   too large for one GPU (paper §6.5).
+//! * [`streaming::train_streaming`] — online/continual training over a
+//!   `dgnn-stream` event log: windows close, snapshots materialize
+//!   incrementally, and the model warm-starts from the previous window.
 //!
 //! All four faithfully simulate the sequential algorithm: identical seeds
 //! produce matching loss/accuracy trajectories (paper Fig. 6), which the
@@ -21,24 +24,25 @@ pub mod distributed;
 pub mod hybrid;
 pub mod metrics;
 pub mod single;
+pub mod streaming;
 pub mod task;
 pub mod vertex_dist;
 
 pub use classification::{train_single_classification, ClassEpochStats};
 pub use distributed::train_distributed;
 pub use hybrid::train_hybrid;
-pub use metrics::{EpochStats, TrainOptions};
+pub use metrics::{auc, EpochStats, TrainOptions};
 pub use single::train_single;
+pub use streaming::{train_streaming, StreamTrainOptions, WindowStats};
 pub use task::{prepare_task, prepare_task_holdout, Task, TaskOptions};
 pub use vertex_dist::train_vertex_partitioned;
 
 /// Convenience re-exports of the whole stack.
 pub mod prelude {
     pub use crate::metrics::{EpochStats, TrainOptions};
+    pub use crate::streaming::{train_streaming, StreamTrainOptions, WindowStats};
     pub use crate::task::{prepare_task, prepare_task_holdout, Task, TaskOptions};
-    pub use crate::{
-        train_distributed, train_hybrid, train_single, train_vertex_partitioned,
-    };
+    pub use crate::{train_distributed, train_hybrid, train_single, train_vertex_partitioned};
     pub use dgnn_autograd::{Adam, Optimizer, ParamStore, Sgd, Tape, Var};
     pub use dgnn_graph::{
         DatasetSpec, DynamicGraph, EdgeSamples, Smoothing, Snapshot, TemporalStats,
@@ -46,5 +50,8 @@ pub mod prelude {
     pub use dgnn_models::{accuracy, LinkPredHead, Model, ModelConfig, ModelKind};
     pub use dgnn_partition::{Hypergraph, PartitionerConfig, SnapshotPartition, VertexChunks};
     pub use dgnn_sim::{estimate_epoch, MachineSpec, PerfConfig, PerfReport};
+    pub use dgnn_stream::{
+        DeltaBatcher, EdgeEvent, EventKind, EventLog, StreamingGraph, WindowPolicy,
+    };
     pub use dgnn_tensor::{Csr, Dense, SparseTensor3, Tensor3};
 }

@@ -15,7 +15,12 @@ pub struct TrainOptions {
 
 impl Default for TrainOptions {
     fn default() -> Self {
-        Self { epochs: 10, lr: 0.01, nb: 1, seed: 42 }
+        Self {
+            epochs: 10,
+            lr: 0.01,
+            nb: 1,
+            seed: 42,
+        }
     }
 }
 
@@ -48,15 +53,79 @@ impl EpochStats {
     }
 }
 
+/// Area under the ROC curve of binary `scores` against `labels` (1 =
+/// positive), computed by the rank statistic (Mann–Whitney U) with the
+/// midrank convention for ties. Returns 0.5 when either class is empty.
+pub fn auc(scores: &[f32], labels: &[u32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "one score per label");
+    let pos = labels.iter().filter(|&&l| l == 1).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    // total_cmp: NaN scores (a diverged window) rank last instead of
+    // panicking — the metric degrades, the stream keeps training.
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    // Midranks over tie groups, then U = Σ ranks(pos) − pos(pos+1)/2.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            if labels[k] == 1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0, 0, 1, 1];
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &labels), 1.0);
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_chance_for_constant_scores() {
+        let labels = [0, 1, 0, 1, 1];
+        assert_eq!(auc(&[0.5; 5], &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_single_class() {
+        assert_eq!(auc(&[0.3, 0.7], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn auc_midrank_ties() {
+        // scores: pos at 0.5 (tied with one neg), one neg below.
+        let labels = [0, 0, 1];
+        let got = auc(&[0.1, 0.5, 0.5], &labels);
+        assert!((got - 0.75).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
     fn gd_speedup_handles_zero() {
         let s = EpochStats::default();
         assert_eq!(s.gd_speedup(), 1.0);
-        let s = EpochStats { transfer_naive_bytes: 100, transfer_gd_bytes: 40, ..s };
+        let s = EpochStats {
+            transfer_naive_bytes: 100,
+            transfer_gd_bytes: 40,
+            ..s
+        };
         assert!((s.gd_speedup() - 2.5).abs() < 1e-12);
     }
 }

@@ -78,12 +78,17 @@ pub(crate) fn run_block<'m>(
     for t in block.clone() {
         let z = feats[t - block.start];
         let logits = head.logits(&mut tape, head_vars, z, &task.train[t]);
-        let loss =
-            tape.softmax_cross_entropy(logits, Rc::new(task.train[t].labels.clone()));
+        let loss = tape.softmax_cross_entropy(logits, Rc::new(task.train[t].labels.clone()));
         logit_vars.push(logits);
         loss_vars.push(loss);
     }
-    BlockRun { tape, seg, loss_vars, logit_vars, z_vars: feats }
+    BlockRun {
+        tape,
+        seg,
+        loss_vars,
+        logit_vars,
+        z_vars: feats,
+    }
 }
 
 /// Trains the model with gradient checkpointing on a single simulated GPU
@@ -104,8 +109,10 @@ pub fn train_single(
     // each block's snapshots move once forward and once in the rerun.
     let (mut naive_bytes, mut gd_bytes) = (0u64, 0u64);
     for block in &blocks {
-        let slices: Vec<&Csr> =
-            block.clone().map(|t| task.graph.snapshot(t).adj()).collect();
+        let slices: Vec<&Csr> = block
+            .clone()
+            .map(|t| task.graph.snapshot(t).adj())
+            .collect();
         let acc = chunk_transfer(&slices);
         naive_bytes += 2 * acc.naive_bytes;
         gd_bytes += 2 * acc.gd_bytes;
@@ -122,7 +129,15 @@ pub fn train_single(
         let mut total = 0usize;
         let mut last_z: Option<Dense> = None;
         for block in &blocks {
-            let run = run_block(model, head, store, task, &laps, block.clone(), carries.last().unwrap());
+            let run = run_block(
+                model,
+                head,
+                store,
+                task,
+                &laps,
+                block.clone(),
+                carries.last().unwrap(),
+            );
             for (i, t) in block.clone().enumerate() {
                 loss_sum += f64::from(run.tape.value(run.loss_vars[i]).get(0, 0));
                 let logits = run.tape.value(run.logit_vars[i]);
@@ -177,7 +192,7 @@ pub fn train_single(
 mod tests {
     use super::*;
     use crate::task::{prepare_task_holdout, TaskOptions};
-        use dgnn_models::{ModelConfig, ModelKind};
+    use dgnn_models::{ModelConfig, ModelKind};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -202,7 +217,12 @@ mod tests {
     fn loss_decreases_over_epochs() {
         for kind in ModelKind::all() {
             let (model, head, mut store, task) = setup(kind);
-            let opts = TrainOptions { epochs: 8, lr: 0.05, nb: 1, seed: 7 };
+            let opts = TrainOptions {
+                epochs: 8,
+                lr: 0.05,
+                nb: 1,
+                seed: 7,
+            };
             let stats = train_single(&model, &head, &mut store, &task, &opts);
             let first = stats.first().unwrap().loss;
             let last = stats.last().unwrap().loss;
@@ -220,7 +240,12 @@ mod tests {
         for kind in ModelKind::all() {
             let run = |nb: usize| {
                 let (model, head, mut store, task) = setup(kind);
-                let opts = TrainOptions { epochs: 3, lr: 0.02, nb, seed: 7 };
+                let opts = TrainOptions {
+                    epochs: 3,
+                    lr: 0.02,
+                    nb,
+                    seed: 7,
+                };
                 let stats = train_single(&model, &head, &mut store, &task, &opts);
                 (stats.last().unwrap().loss, store.values_flat())
             };
@@ -242,7 +267,12 @@ mod tests {
     #[test]
     fn transfer_accounting_reports_gd_savings() {
         let (model, head, mut store, task) = setup(ModelKind::TmGcn);
-        let opts = TrainOptions { epochs: 1, lr: 0.01, nb: 2, seed: 7 };
+        let opts = TrainOptions {
+            epochs: 1,
+            lr: 0.01,
+            nb: 2,
+            seed: 7,
+        };
         let stats = train_single(&model, &head, &mut store, &task, &opts);
         let s = &stats[0];
         assert!(s.transfer_gd_bytes < s.transfer_naive_bytes);
@@ -254,7 +284,12 @@ mod tests {
         // Link prediction on a slowly churning graph is learnable: positive
         // pairs repeat over time.
         let (model, head, mut store, task) = setup(ModelKind::TmGcn);
-        let opts = TrainOptions { epochs: 60, lr: 0.1, nb: 1, seed: 7 };
+        let opts = TrainOptions {
+            epochs: 60,
+            lr: 0.1,
+            nb: 1,
+            seed: 7,
+        };
         let stats = train_single(&model, &head, &mut store, &task, &opts);
         let best = stats.iter().map(|s| s.test_acc).fold(0.0, f64::max);
         assert!(best > 0.55, "best test accuracy {best}");

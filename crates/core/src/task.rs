@@ -44,7 +44,11 @@ pub struct TaskOptions {
 
 impl Default for TaskOptions {
     fn default() -> Self {
-        Self { theta: 0.1, precompute_first_layer: true, seed: 17 }
+        Self {
+            theta: 0.1,
+            precompute_first_layer: true,
+            seed: 17,
+        }
     }
 }
 
@@ -71,7 +75,10 @@ pub fn prepare_task(
     let features: Vec<Dense> = features.into_frames();
 
     let preagg = opts.precompute_first_layer.then(|| {
-        laps.iter().zip(&features).map(|(a, x)| a.spmm(x)).collect::<Vec<Dense>>()
+        laps.iter()
+            .zip(&features)
+            .map(|(a, x)| a.spmm(x))
+            .collect::<Vec<Dense>>()
     });
 
     let data = build_linkpred(raw, next, opts.theta, opts.seed);

@@ -19,7 +19,9 @@ use std::rc::Rc;
 use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
 use dgnn_graph::{DynamicGraph, EdgeSamples, Snapshot};
 use dgnn_models::{accuracy, CarryGrads, CarryState, LinkPredHead, Model, ModelConfig, Segment};
-use dgnn_partition::{balanced_ranges, contiguous_renaming, partition, Hypergraph, PartitionerConfig};
+use dgnn_partition::{
+    balanced_ranges, contiguous_renaming, partition, Hypergraph, PartitionerConfig,
+};
 use dgnn_sim::{run_ranks, Comm, Payload};
 use dgnn_tensor::{Csr, Dense};
 use rand::rngs::StdRng;
@@ -125,7 +127,11 @@ fn build_plan(laps: &[Csr], ranges: &[Range<usize>], rank: usize) -> ExchangePla
         needed_in_len.push((0..p).map(|q| remote[q].len()).collect());
         needed_out.push(out_per_q);
     }
-    ExchangePlan { needed_out, needed_in_len, a_loc }
+    ExchangePlan {
+        needed_out,
+        needed_in_len,
+        a_loc,
+    }
 }
 
 struct VertexRankCtx {
@@ -215,10 +221,7 @@ fn run_block_vertex<'m>(
             let mut payloads: Vec<Payload> = Vec::with_capacity(p);
             for q in 0..p {
                 if q == rank || ctx.plan.needed_out[t][q].is_empty() {
-                    payloads.push(Payload::Dense(Dense::zeros(
-                        0,
-                        tape.value(x_own).cols(),
-                    )));
+                    payloads.push(Payload::Dense(Dense::zeros(0, tape.value(x_own).cols())));
                     continue;
                 }
                 let idx = Rc::new(ctx.plan.needed_out[t][q].clone());
@@ -233,7 +236,9 @@ fn run_block_vertex<'m>(
                 if q == rank {
                     continue;
                 }
-                let Payload::Dense(d) = payload else { panic!("expected dense") };
+                let Payload::Dense(d) = payload else {
+                    panic!("expected dense")
+                };
                 debug_assert_eq!(d.rows(), ctx.plan.needed_in_len[t][q]);
                 if d.rows() > 0 {
                     remote_parts.push(d);
@@ -292,7 +297,15 @@ fn run_block_vertex<'m>(
         loss_vars.push(loss);
         sample_slices.push(slice);
     }
-    VBlockRun { tape, seg, layers_io, z_full, loss_vars, logit_vars, sample_slices }
+    VBlockRun {
+        tape,
+        seg,
+        layers_io,
+        z_full,
+        loss_vars,
+        logit_vars,
+        sample_slices,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -319,7 +332,8 @@ fn backward_block_vertex(
         .enumerate()
         .map(|(i, &lv)| {
             let t = block.start + i;
-            let w = run.sample_slices[i].len() as f32 / ctx.train[t].len().max(1) as f32
+            let w = run.sample_slices[i].len() as f32
+                / ctx.train[t].len().max(1) as f32
                 / t_total as f32;
             (lv, Dense::full(1, 1, w))
         })
@@ -377,14 +391,15 @@ fn backward_block_vertex(
                     }
                 }
             }
-            let payloads: Vec<Payload> =
-                sections.into_iter().map(Payload::Dense).collect();
+            let payloads: Vec<Payload> = sections.into_iter().map(Payload::Dense).collect();
             let recv = comm.all_to_all(payloads);
             for (q, payload) in recv.into_iter().enumerate() {
                 if q == rank {
                     continue;
                 }
-                let Payload::Dense(d) = payload else { panic!("expected dense") };
+                let Payload::Dense(d) = payload else {
+                    panic!("expected dense")
+                };
                 if d.rows() > 0 {
                     let g_var = run.layers_io[layer].gather_send[i][q]
                         .expect("sent rows must have a gather var");
@@ -438,14 +453,16 @@ pub fn train_vertex_partitioned(
         &renamed_raw,
         &next.relabel(&perm),
         &renamed_cfg,
-        &TaskOptions { precompute_first_layer: false, ..*task_opts },
+        &TaskOptions {
+            precompute_first_layer: false,
+            ..*task_opts
+        },
     );
     let ranges = part_ranges(&part, p);
     // Both schemes must train on the *same* sample pairs (paper Fig. 6
     // compares convergence): take the original-space samples and rename
     // their endpoints, rather than re-sampling in the renamed space.
-    let train_samples: Vec<EdgeSamples> =
-        task.train.iter().map(|s| s.relabel(&perm)).collect();
+    let train_samples: Vec<EdgeSamples> = task.train.iter().map(|s| s.relabel(&perm)).collect();
     let test_samples = task.test.relabel(&perm);
     let ctx_template = (renamed_task, ranges);
 
@@ -470,7 +487,6 @@ fn train_rank_vertex(
     task: &Task,
     cfg: ModelConfig,
     opts: &TrainOptions,
-
 ) -> Vec<EpochStats> {
     let rank = comm.rank();
     let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -505,8 +521,7 @@ fn train_rank_vertex(
                 carries.last().unwrap(),
             );
             for (i, t) in block.clone().enumerate() {
-                let w = run.sample_slices[i].len() as f64
-                    / ctx.train[t].len().max(1) as f64;
+                let w = run.sample_slices[i].len() as f64 / ctx.train[t].len().max(1) as f64;
                 loss_sum += f64::from(run.tape.value(run.loss_vars[i]).get(0, 0)) * w;
                 let logits = run.tape.value(run.logit_vars[i]);
                 let acc = accuracy(logits, &run.sample_slices[i].labels);
@@ -577,7 +592,13 @@ mod tests {
     use dgnn_models::ModelKind;
 
     fn tiny_cfg(kind: ModelKind) -> ModelConfig {
-        ModelConfig { kind, input_f: 2, hidden: 4, mprod_window: 3, smoothing_window: 3 }
+        ModelConfig {
+            kind,
+            input_f: 2,
+            hidden: 4,
+            mprod_window: 3,
+            smoothing_window: 3,
+        }
     }
 
     #[test]
@@ -589,8 +610,16 @@ mod tests {
             &raw,
             &next,
             tiny_cfg(ModelKind::TmGcn),
-            &TaskOptions { precompute_first_layer: false, ..Default::default() },
-            &TrainOptions { epochs: 4, lr: 0.02, nb: 1, seed: 3 },
+            &TaskOptions {
+                precompute_first_layer: false,
+                ..Default::default()
+            },
+            &TrainOptions {
+                epochs: 4,
+                lr: 0.02,
+                nb: 1,
+                seed: 3,
+            },
             2,
         );
         assert_eq!(stats.len(), 4);

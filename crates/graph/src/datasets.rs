@@ -190,7 +190,11 @@ mod tests {
                 w,
             );
             let err = (total - spec.nnz_mproduct as f64).abs() / spec.nnz_mproduct as f64;
-            assert!(err < 0.05, "{}: w={w}, total {total:.3e}, err {err:.3}", spec.name);
+            assert!(
+                err < 0.05,
+                "{}: w={w}, total {total:.3e}, err {err:.3}",
+                spec.name
+            );
 
             let l = spec.calibrated_edge_life();
             let total = TemporalStats::closed_form_total(
@@ -200,7 +204,11 @@ mod tests {
                 l,
             );
             let err = (total - spec.nnz_edgelife as f64).abs() / spec.nnz_edgelife as f64;
-            assert!(err < 0.05, "{}: l={l}, total {total:.3e}, err {err:.3}", spec.name);
+            assert!(
+                err < 0.05,
+                "{}: l={l}, total {total:.3e}, err {err:.3}",
+                spec.name
+            );
         }
     }
 
@@ -228,8 +236,7 @@ mod tests {
     fn stats_raw_total_matches_nnz() {
         for spec in paper_datasets() {
             let s = spec.stats(Smoothing::None);
-            let err =
-                (s.total_nnz() as f64 - spec.nnz as f64).abs() / spec.nnz as f64;
+            let err = (s.total_nnz() as f64 - spec.nnz as f64).abs() / spec.nnz as f64;
             assert!(err < 0.01, "{}: {err}", spec.name);
         }
     }
@@ -244,8 +251,8 @@ mod tests {
         let smoothed = Smoothing::MProduct(w).apply(&g);
         let measured = smoothed.total_nnz() as f64 / g.total_nnz() as f64;
         let m = g.total_nnz() as f64 / g.t() as f64;
-        let predicted = TemporalStats::closed_form_total(spec.t, m, spec.churn_rho, w)
-            / (m * spec.t as f64);
+        let predicted =
+            TemporalStats::closed_form_total(spec.t, m, spec.churn_rho, w) / (m * spec.t as f64);
         assert!(
             (measured - predicted).abs() / predicted < 0.1,
             "measured {measured}, predicted {predicted}"

@@ -87,7 +87,11 @@ pub fn diff(prev: &Csr, next: &Csr) -> GraphDiff {
             }
         }
     }
-    GraphDiff { ext_prev, ext_next, next_values: next.values().to_vec() }
+    GraphDiff {
+        ext_prev,
+        ext_next,
+        next_values: next.values().to_vec(),
+    }
 }
 
 /// Reconstructs `next` from the resident `prev` and a [`GraphDiff`].
@@ -98,46 +102,62 @@ pub fn reconstruct(prev: &Csr, d: &GraphDiff) -> Csr {
     let rows = prev.rows();
     let cols = prev.cols();
     // Group the edit lists by row. Both are produced in row-major sorted
-    // order by `diff`, so a cursor walk suffices.
+    // order by `diff`, so a cursor walk suffices; each row is a single
+    // three-way merge (kept ∪ inserted, drops skipped) written straight
+    // into the output arrays — no per-row scratch allocations, which is
+    // what keeps the streaming window advance linear in practice.
     let mut drop_cursor = 0usize;
     let mut ins_cursor = 0usize;
     let mut indptr = Vec::with_capacity(rows + 1);
-    let mut indices: Vec<u32> = Vec::with_capacity(
-        prev.nnz() + d.ext_next.len() - d.ext_prev.len().min(prev.nnz()),
-    );
+    let mut indices: Vec<u32> = Vec::with_capacity(d.next_values.len());
     indptr.push(0);
+    let prev_indices = prev.indices();
+    let prev_indptr = prev.indptr();
     for r in 0..rows {
         let r32 = r as u32;
-        // Structure kept from prev: row entries minus dropped columns.
-        let mut kept: Vec<u32> = Vec::new();
-        for (c, _) in prev.row_iter(r) {
-            if drop_cursor < d.ext_prev.len()
-                && d.ext_prev[drop_cursor] == (r32, c)
-            {
-                drop_cursor += 1;
-            } else {
-                kept.push(c);
-            }
-        }
-        // Merge in insertions for this row (sorted by column already).
+        let row = &prev_indices[prev_indptr[r]..prev_indptr[r + 1]];
         let ins_start = ins_cursor;
         while ins_cursor < d.ext_next.len() && d.ext_next[ins_cursor].0 == r32 {
             ins_cursor += 1;
         }
         let inserted = &d.ext_next[ins_start..ins_cursor];
-        let mut merged = Vec::with_capacity(kept.len() + inserted.len());
         let mut i = 0;
         let mut j = 0;
-        while i < kept.len() || j < inserted.len() {
-            if j >= inserted.len() || (i < kept.len() && kept[i] < inserted[j].1) {
-                merged.push(kept[i]);
-                i += 1;
-            } else {
-                merged.push(inserted[j].1);
-                j += 1;
+        loop {
+            // Next surviving column of prev's row (drops skipped).
+            let kept = loop {
+                if i >= row.len() {
+                    break None;
+                }
+                let c = row[i];
+                if drop_cursor < d.ext_prev.len() && d.ext_prev[drop_cursor] == (r32, c) {
+                    drop_cursor += 1;
+                    i += 1;
+                } else {
+                    break Some(c);
+                }
+            };
+            match (kept, inserted.get(j)) {
+                (Some(c), Some(&(_, ci))) => {
+                    if c < ci {
+                        indices.push(c);
+                        i += 1;
+                    } else {
+                        indices.push(ci);
+                        j += 1;
+                    }
+                }
+                (Some(c), None) => {
+                    indices.push(c);
+                    i += 1;
+                }
+                (None, Some(&(_, ci))) => {
+                    indices.push(ci);
+                    j += 1;
+                }
+                (None, None) => break,
             }
         }
-        indices.extend_from_slice(&merged);
         indptr.push(indices.len());
     }
     assert_eq!(drop_cursor, d.ext_prev.len(), "unapplied drops");
@@ -173,7 +193,10 @@ impl ChunkTransfer {
 
 /// Accounts the transfer bytes for a run of snapshots under both methods.
 pub fn chunk_transfer(snapshots: &[&Csr]) -> ChunkTransfer {
-    let mut out = ChunkTransfer { snapshots: snapshots.len(), ..Default::default() };
+    let mut out = ChunkTransfer {
+        snapshots: snapshots.len(),
+        ..Default::default()
+    };
     for (i, s) in snapshots.iter().enumerate() {
         out.naive_bytes += naive_transfer_bytes(s);
         if i == 0 {

@@ -50,10 +50,7 @@ mod tests {
 
     #[test]
     fn degrees_counted_per_direction() {
-        let g = DynamicGraph::new(
-            3,
-            vec![Snapshot::from_edges(3, &[(0, 1), (0, 2), (1, 2)])],
-        );
+        let g = DynamicGraph::new(3, vec![Snapshot::from_edges(3, &[(0, 1), (0, 2), (1, 2)])]);
         let x = raw_degree_features(&g);
         let f = x.frame(0);
         assert_eq!(f.shape(), (3, 2));
@@ -65,10 +62,7 @@ mod tests {
 
     #[test]
     fn log_features_are_squashed() {
-        let g = DynamicGraph::new(
-            3,
-            vec![Snapshot::from_edges(3, &[(0, 1), (0, 2)])],
-        );
+        let g = DynamicGraph::new(3, vec![Snapshot::from_edges(3, &[(0, 1), (0, 2)])]);
         let x = degree_features(&g);
         assert!((x.frame(0).get(0, 0) - (3.0f32).ln()).abs() < 1e-6);
     }

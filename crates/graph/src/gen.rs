@@ -249,8 +249,9 @@ pub fn amlsim_with_labels(cfg: &AmlSimConfig, seed: u64) -> (DynamicGraph, Vec<V
     let mut ring_edges_at: Vec<Vec<(u32, u32)>> = vec![Vec::new(); cfg.t];
     let fanout = 6usize;
     for _ in 0..cfg.rings {
-        let members: Vec<u32> =
-            (0..cfg.ring_size).map(|_| rng.gen_range(0..n as u32)).collect();
+        let members: Vec<u32> = (0..cfg.ring_size)
+            .map(|_| rng.gen_range(0..n as u32))
+            .collect();
         let start = rng.gen_range(0..cfg.t);
         let span = rng.gen_range(2..=(cfg.t - start).clamp(2, 8));
         for dt in 0..span {
@@ -363,7 +364,12 @@ mod tests {
 
     #[test]
     fn amlsim_has_community_bias() {
-        let cfg = AmlSimConfig { n: 400, t: 4, communities: 4, ..Default::default() };
+        let cfg = AmlSimConfig {
+            n: 400,
+            t: 4,
+            communities: 4,
+            ..Default::default()
+        };
         let g = amlsim_like(&cfg, 11);
         let comm_size = 100u32;
         let mut intra = 0usize;
@@ -382,7 +388,11 @@ mod tests {
 
     #[test]
     fn amlsim_deterministic() {
-        let cfg = AmlSimConfig { n: 100, t: 3, ..Default::default() };
+        let cfg = AmlSimConfig {
+            n: 100,
+            t: 3,
+            ..Default::default()
+        };
         let a = amlsim_like(&cfg, 5);
         let b = amlsim_like(&cfg, 5);
         for t in 0..3 {

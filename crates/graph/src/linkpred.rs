@@ -59,7 +59,9 @@ impl EdgeSamples {
 pub fn sample_edges(snapshot: &Snapshot, theta: f64, rng: &mut StdRng) -> EdgeSamples {
     let edges = snapshot.edges();
     let n = snapshot.n() as u32;
-    let count = ((edges.len() as f64 * theta).round() as usize).max(1).min(edges.len());
+    let count = ((edges.len() as f64 * theta).round() as usize)
+        .max(1)
+        .min(edges.len());
     let mut out = EdgeSamples::default();
     // Positive samples: a uniform subset of the edge list.
     for _ in 0..count {

@@ -18,8 +18,7 @@ pub fn edge_life(g: &DynamicGraph, l: usize) -> DynamicGraph {
     let mut out = Vec::with_capacity(t);
     for ti in 0..t {
         let lo = ti.saturating_sub(l - 1);
-        let terms: Vec<(f32, &Csr)> =
-            (lo..=ti).map(|i| (1.0, g.snapshot(i).adj())).collect();
+        let terms: Vec<(f32, &Csr)> = (lo..=ti).map(|i| (1.0, g.snapshot(i).adj())).collect();
         out.push(Snapshot::new(Csr::add_weighted(&terms)));
     }
     DynamicGraph::new(g.n(), out)
@@ -103,8 +102,7 @@ mod tests {
         // window's structures.
         for t in 0usize..6 {
             let lo = t.saturating_sub(w - 1);
-            let mut union: std::collections::HashSet<(u32, u32)> =
-                std::collections::HashSet::new();
+            let mut union: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
             for i in lo..=t {
                 union.extend(g.snapshot(i).edges());
             }
@@ -114,10 +112,7 @@ mod tests {
 
     #[test]
     fn m_transform_features_averages() {
-        let x = Tensor3::new(vec![
-            Dense::full(2, 2, 2.0),
-            Dense::full(2, 2, 4.0),
-        ]);
+        let x = Tensor3::new(vec![Dense::full(2, 2, 2.0), Dense::full(2, 2, 4.0)]);
         let y = m_transform_features(&x, 2);
         assert!(y.frame(0).approx_eq(&Dense::full(2, 2, 2.0), 1e-6));
         assert!(y.frame(1).approx_eq(&Dense::full(2, 2, 3.0), 1e-6));

@@ -41,7 +41,11 @@ impl Snapshot {
 
     /// The edge structure as `(u, v)` pairs in CSR order.
     pub fn edges(&self) -> Vec<(u32, u32)> {
-        self.adj.to_coo().into_iter().map(|(u, v, _)| (u, v)).collect()
+        self.adj
+            .to_coo()
+            .into_iter()
+            .map(|(u, v, _)| (u, v))
+            .collect()
     }
 
     /// The symmetric-normalized Laplacian `Ã` of paper Eq. (1).
@@ -126,14 +130,16 @@ impl DynamicGraph {
     /// Normalized Laplacians of every snapshot, shared behind `Rc` so the
     /// autograd tape can hold them without copies.
     pub fn laplacians(&self) -> Vec<Rc<Csr>> {
-        self.snapshots.iter().map(|s| Rc::new(s.laplacian())).collect()
+        self.snapshots
+            .iter()
+            .map(|s| Rc::new(s.laplacian()))
+            .collect()
     }
 
     /// Union of all snapshots' structure with edge multiplicities as values
     /// (the hypergraph-partitioning input).
     pub fn union_graph(&self) -> Csr {
-        let terms: Vec<(f32, &Csr)> =
-            self.snapshots.iter().map(|s| (1.0, s.adj())).collect();
+        let terms: Vec<(f32, &Csr)> = self.snapshots.iter().map(|s| (1.0, s.adj())).collect();
         if terms.is_empty() {
             Csr::empty(self.n, self.n)
         } else {
@@ -144,7 +150,10 @@ impl DynamicGraph {
     /// Restricts the timeline to `[start, start + len)`.
     pub fn time_slice(&self, start: usize, len: usize) -> DynamicGraph {
         assert!(start + len <= self.t(), "time_slice out of range");
-        DynamicGraph { n: self.n, snapshots: self.snapshots[start..start + len].to_vec() }
+        DynamicGraph {
+            n: self.n,
+            snapshots: self.snapshots[start..start + len].to_vec(),
+        }
     }
 
     /// Renames vertices in every snapshot (see [`Snapshot::relabel`]).

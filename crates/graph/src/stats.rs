@@ -78,7 +78,13 @@ impl TemporalStats {
             ext_prev.push(d.ext_prev.len() as u64);
             ext_next.push(d.ext_next.len() as u64);
         }
-        Self { n: g.n() as u64, t, nnz, ext_prev, ext_next }
+        Self {
+            n: g.n() as u64,
+            t,
+            nnz,
+            ext_prev,
+            ext_next,
+        }
     }
 
     /// Predicts the statistics of a churn-model graph (per-snapshot size
@@ -92,18 +98,13 @@ impl TemporalStats {
     /// the step that fell out of the window — zero while the window is still
     /// growing) and `R` edges enter (fresh births). Random re-collisions are
     /// negligible when `m << N²`.
-    pub fn churn_closed_form(
-        n: u64,
-        t: usize,
-        m: f64,
-        rho: f64,
-        smoothing: Smoothing,
-    ) -> Self {
+    pub fn churn_closed_form(n: u64, t: usize, m: f64, rho: f64, smoothing: Smoothing) -> Self {
         let window = smoothing.window();
         let r = rho * m;
         let k = |ti: usize| window.min(ti + 1) as f64;
-        let nnz: Vec<u64> =
-            (0..t).map(|ti| (m + (k(ti) - 1.0) * r).round() as u64).collect();
+        let nnz: Vec<u64> = (0..t)
+            .map(|ti| (m + (k(ti) - 1.0) * r).round() as u64)
+            .collect();
         let mut ext_prev = Vec::with_capacity(t.saturating_sub(1));
         let mut ext_next = Vec::with_capacity(t.saturating_sub(1));
         for i in 0..t.saturating_sub(1) {
@@ -112,7 +113,13 @@ impl TemporalStats {
             ext_prev.push(leaving.round() as u64);
             ext_next.push(r.round() as u64);
         }
-        Self { n, t, nnz, ext_prev, ext_next }
+        Self {
+            n,
+            t,
+            nnz,
+            ext_prev,
+            ext_next,
+        }
     }
 
     /// Total smoothed edges predicted by the closed form (used to calibrate
@@ -159,7 +166,10 @@ mod tests {
         for i in 0..t - 1 {
             let e = exact.ext_next[i] as f64;
             let p = predicted.ext_next[i] as f64;
-            assert!((e - p).abs() / p < 0.15, "ext_next[{i}]: exact {e}, predicted {p}");
+            assert!(
+                (e - p).abs() / p < 0.15,
+                "ext_next[{i}]: exact {e}, predicted {p}"
+            );
         }
     }
 
@@ -170,12 +180,14 @@ mod tests {
         let w = 5;
         let smoothing = Smoothing::MProduct(w);
         let exact = TemporalStats::from_graph(&smoothing.apply(&g));
-        let predicted =
-            TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, smoothing);
+        let predicted = TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, smoothing);
         for ti in 0..t {
             let e = exact.nnz[ti] as f64;
             let p = predicted.nnz[ti] as f64;
-            assert!((e - p).abs() / p < 0.1, "nnz[{ti}]: exact {e}, predicted {p}");
+            assert!(
+                (e - p).abs() / p < 0.1,
+                "nnz[{ti}]: exact {e}, predicted {p}"
+            );
         }
         // In the steady state both ext series hover around R = rho * m.
         let r = rho * m as f64;

@@ -121,8 +121,7 @@ proptest! {
 #[test]
 fn closed_form_total_matches_series_sum() {
     for (t, m, rho, w) in [(20usize, 500.0, 0.3, 4usize), (50, 1000.0, 0.7, 12)] {
-        let stats =
-            TemporalStats::churn_closed_form(1000, t, m, rho, Smoothing::MProduct(w));
+        let stats = TemporalStats::churn_closed_form(1000, t, m, rho, Smoothing::MProduct(w));
         let total = TemporalStats::closed_form_total(t, m, rho, w);
         assert!(
             (stats.total_nnz() as f64 - total).abs() < t as f64,
@@ -133,12 +132,19 @@ fn closed_form_total_matches_series_sum() {
 
 #[test]
 fn aml_labels_mark_exactly_ring_members() {
-    let cfg = AmlSimConfig { n: 100, t: 8, rings: 4, ..Default::default() };
+    let cfg = AmlSimConfig {
+        n: 100,
+        t: 8,
+        rings: 4,
+        ..Default::default()
+    };
     let (g, labels) = amlsim_with_labels(&cfg, 3);
     assert_eq!(labels.len(), g.t());
     // Some account is labelled at some timestep, and labels are binary.
-    let positives: usize =
-        labels.iter().map(|l| l.iter().filter(|&&x| x == 1).count()).sum();
+    let positives: usize = labels
+        .iter()
+        .map(|l| l.iter().filter(|&&x| x == 1).count())
+        .sum();
     assert!(positives > 0, "rings should label accounts");
     assert!(labels.iter().flatten().all(|&x| x <= 1));
 }
@@ -150,8 +156,7 @@ fn skewed_and_uniform_share_counting_statistics() {
     let (n, t, m, rho) = (200usize, 8usize, 700usize, 0.25);
     let g = churn_skewed(n, t, m, rho, 0.9, 13);
     let stats = TemporalStats::from_graph(&g);
-    let predicted =
-        TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, Smoothing::None);
+    let predicted = TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, Smoothing::None);
     for ti in 0..t {
         assert_eq!(stats.nnz[ti], predicted.nnz[ti]);
     }

@@ -78,7 +78,9 @@ pub struct CarryGrads {
 impl CarryGrads {
     /// An all-zero gradient for `layers` layers.
     pub fn zeros(layers: usize) -> Self {
-        Self { layers: (0..layers).map(|_| LayerCarryGrad::default()).collect() }
+        Self {
+            layers: (0..layers).map(|_| LayerCarryGrad::default()).collect(),
+        }
     }
 }
 
@@ -90,7 +92,10 @@ mod tests {
     fn carry_size_accounting() {
         let carry = CarryState {
             layers: vec![
-                LayerCarry::Lstm { h: Dense::zeros(10, 4), c: Dense::zeros(10, 4) },
+                LayerCarry::Lstm {
+                    h: Dense::zeros(10, 4),
+                    c: Dense::zeros(10, 4),
+                },
                 LayerCarry::Window {
                     frames: VecDeque::from(vec![Dense::zeros(10, 4), Dense::zeros(10, 4)]),
                 },

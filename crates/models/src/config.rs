@@ -56,7 +56,13 @@ pub struct ModelConfig {
 impl ModelConfig {
     /// Paper-default configuration for the given architecture.
     pub fn paper_defaults(kind: ModelKind) -> Self {
-        Self { kind, input_f: 2, hidden: 6, mprod_window: 5, smoothing_window: 5 }
+        Self {
+            kind,
+            input_f: 2,
+            hidden: 6,
+            mprod_window: 5,
+            smoothing_window: 5,
+        }
     }
 
     /// Number of dynamic-GNN layers (the study extends every model to 2).

@@ -51,7 +51,13 @@ impl GcnLayer {
     ) -> Self {
         let w = store.add(format!("{name}.w"), glorot_uniform(in_f, out_f, rng));
         let b = store.add(format!("{name}.b"), dgnn_tensor::Dense::full(1, out_f, 0.1));
-        Self { w, b, in_f, out_f, skip_concat }
+        Self {
+            w,
+            b,
+            in_f,
+            out_f,
+            skip_concat,
+        }
     }
 
     /// Input width.
@@ -70,7 +76,10 @@ impl GcnLayer {
 
     /// Binds the layer's parameters onto a tape segment.
     pub fn bind(&self, tape: &mut Tape, store: &ParamStore) -> GcnVars {
-        GcnVars { w: tape.param(store, self.w), b: tape.param(store, self.b) }
+        GcnVars {
+            w: tape.param(store, self.w),
+            b: tape.param(store, self.b),
+        }
     }
 
     /// Forward for one snapshot with the bound weights.

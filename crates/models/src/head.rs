@@ -42,7 +42,10 @@ impl LinkPredHead {
 
     /// Binds the head onto a tape segment.
     pub fn bind(&self, tape: &mut Tape, store: &ParamStore) -> LinkPredVars {
-        LinkPredVars { u: tape.param(store, self.u), b: tape.param(store, self.b) }
+        LinkPredVars {
+            u: tape.param(store, self.u),
+            b: tape.param(store, self.b),
+        }
     }
 
     /// Logits for a sample set against the embedding matrix `z` (`N x emb`).
@@ -68,17 +71,12 @@ impl LinkPredHead {
         let zu = z.gather_rows(&samples.src);
         let zv = z.gather_rows(&samples.dst);
         let cat = zu.concat_cols(&zv);
-        cat.matmul(store.value(self.u)).add_row_broadcast(store.value(self.b))
+        cat.matmul(store.value(self.u))
+            .add_row_broadcast(store.value(self.b))
     }
 
     /// Mean cross-entropy loss of a sample set.
-    pub fn loss(
-        &self,
-        tape: &mut Tape,
-        vars: LinkPredVars,
-        z: Var,
-        samples: &EdgeSamples,
-    ) -> Var {
+    pub fn loss(&self, tape: &mut Tape, vars: LinkPredVars, z: Var, samples: &EdgeSamples) -> Var {
         let logits = self.logits(tape, vars, z, samples);
         tape.softmax_cross_entropy(logits, Rc::new(samples.labels.clone()))
     }
@@ -110,7 +108,10 @@ impl ClassificationHead {
 
     /// Binds the head onto a tape segment.
     pub fn bind(&self, tape: &mut Tape, store: &ParamStore) -> ClassificationVars {
-        ClassificationVars { u: tape.param(store, self.u), b: tape.param(store, self.b) }
+        ClassificationVars {
+            u: tape.param(store, self.u),
+            b: tape.param(store, self.b),
+        }
     }
 
     /// Per-vertex logits `Z·U + b`.

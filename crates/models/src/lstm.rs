@@ -49,7 +49,10 @@ impl LstmCell {
         rng: &mut impl Rng,
     ) -> Self {
         let wx = store.add(format!("{name}.wx"), glorot_uniform(in_f, 4 * hidden, rng));
-        let wh = store.add(format!("{name}.wh"), glorot_uniform(hidden, 4 * hidden, rng));
+        let wh = store.add(
+            format!("{name}.wh"),
+            glorot_uniform(hidden, 4 * hidden, rng),
+        );
         let bias = Dense::from_fn(1, 4 * hidden, |_, c| {
             if (hidden..2 * hidden).contains(&c) {
                 1.0
@@ -58,7 +61,13 @@ impl LstmCell {
             }
         });
         let b = store.add(format!("{name}.b"), bias);
-        Self { wx, wh, b, in_f, hidden }
+        Self {
+            wx,
+            wh,
+            b,
+            in_f,
+            hidden,
+        }
     }
 
     /// Input width.

@@ -64,7 +64,12 @@ impl Model {
                 ModelKind::TmGcn => {}
             }
         }
-        Self { cfg, gcn, feature_lstm, weight_lstm }
+        Self {
+            cfg,
+            gcn,
+            feature_lstm,
+            weight_lstm,
+        }
     }
 
     /// The configuration.
@@ -87,7 +92,9 @@ impl Model {
                     h: Dense::zeros(chunk_rows, h),
                     c: Dense::zeros(chunk_rows, h),
                 },
-                ModelKind::TmGcn => LayerCarry::Window { frames: VecDeque::new() },
+                ModelKind::TmGcn => LayerCarry::Window {
+                    frames: VecDeque::new(),
+                },
                 ModelKind::EvolveGcn => LayerCarry::Egcn {
                     h: Dense::zeros(self.cfg.gcn_in(l), h),
                     c: Dense::zeros(self.cfg.gcn_in(l), h),
@@ -107,7 +114,11 @@ impl Model {
         t_range: Range<usize>,
         carry: &CarryState,
     ) -> Segment<'m> {
-        assert_eq!(carry.layers.len(), self.cfg.layers(), "carry layer mismatch");
+        assert_eq!(
+            carry.layers.len(),
+            self.cfg.layers(),
+            "carry layer mismatch"
+        );
         let gcn_vars: Vec<GcnVars> = self.gcn.iter().map(|g| g.bind(tape, store)).collect();
         let lstm_vars: Vec<Option<LstmVars>> = (0..self.cfg.layers())
             .map(|l| {
@@ -134,7 +145,10 @@ impl Model {
                 (ModelKind::TmGcn, LayerCarry::Window { frames }) => {
                     let vars: VecDeque<Var> =
                         frames.iter().map(|f| tape.input(f.clone())).collect();
-                    SegmentLayerState::Window { in_frames: vars.clone(), cur: vars }
+                    SegmentLayerState::Window {
+                        in_frames: vars.clone(),
+                        cur: vars,
+                    }
                 }
                 (ModelKind::EvolveGcn, LayerCarry::Egcn { h, c }) => {
                     // Evolve the weight chain for the whole range up front.
@@ -146,10 +160,7 @@ impl Model {
                         // W_0 is the GCN weight parameter itself; gradients
                         // reach it directly through this leaf.
                         let w0 = tape.param(store, self.gcn[l].w);
-                        let c0 = tape.input(Dense::zeros(
-                            self.cfg.gcn_in(l),
-                            self.cfg.hidden,
-                        ));
+                        let c0 = tape.input(Dense::zeros(self.cfg.gcn_in(l), self.cfg.hidden));
                         state = LstmState { h: w0, c: c0 };
                         in_h = None;
                         in_c = Some(c0);
@@ -169,14 +180,25 @@ impl Model {
                             weights.push(state.h);
                         }
                     }
-                    SegmentLayerState::Egcn { in_h, in_c, weights, end: state }
+                    SegmentLayerState::Egcn {
+                        in_h,
+                        in_c,
+                        weights,
+                        end: state,
+                    }
                 }
                 _ => panic!("carry kind does not match the model"),
             };
             layer_states.push(state);
         }
 
-        Segment { model: self, t_range, gcn_vars, lstm_vars, layer_states }
+        Segment {
+            model: self,
+            t_range,
+            gcn_vars,
+            lstm_vars,
+            layer_states,
+        }
     }
 }
 
@@ -461,11 +483,19 @@ mod tests {
 
     fn laplacians(n: usize, t: usize, seed: u64) -> Vec<Rc<Csr>> {
         let g = dgnn_graph::gen::churn(n, t, n * 2, 0.3, seed);
-        (0..t).map(|ti| Rc::new(normalized_laplacian(g.snapshot(ti).adj(), true))).collect()
+        (0..t)
+            .map(|ti| Rc::new(normalized_laplacian(g.snapshot(ti).adj(), true)))
+            .collect()
     }
 
     fn tiny_cfg(kind: ModelKind) -> ModelConfig {
-        ModelConfig { kind, input_f: 2, hidden: 3, mprod_window: 2, smoothing_window: 2 }
+        ModelConfig {
+            kind,
+            input_f: 2,
+            hidden: 3,
+            mprod_window: 2,
+            smoothing_window: 2,
+        }
     }
 
     /// Runs a full two-layer forward over `t` steps in one segment and
@@ -551,21 +581,27 @@ mod tests {
     fn tm_window_carry_slides() {
         let mut rng = StdRng::seed_from_u64(40);
         let mut store = ParamStore::new();
-        let cfg = ModelConfig { mprod_window: 3, ..tiny_cfg(ModelKind::TmGcn) };
+        let cfg = ModelConfig {
+            mprod_window: 3,
+            ..tiny_cfg(ModelKind::TmGcn)
+        };
         let model = Model::new(cfg, &mut store, &mut rng);
         let laps = laplacians(4, 4, 3);
         let mut tape = Tape::new();
         let carry = model.initial_carry(4);
         let mut seg = model.bind_segment(&mut tape, &store, 0..4, &carry);
-        let xs: Vec<Var> =
-            (0..4).map(|_| tape.constant(glorot_uniform(4, 2, &mut rng))).collect();
+        let xs: Vec<Var> = (0..4)
+            .map(|_| tape.constant(glorot_uniform(4, 2, &mut rng)))
+            .collect();
         let spatial: Vec<Var> = (0..4)
             .map(|t| seg.spatial(&mut tape, 0, t, Rc::clone(&laps[t]), xs[t]))
             .collect();
         let _ = seg.temporal(&mut tape, 0, 0, &spatial);
         let out = seg.carry_out(&tape);
         // Window keeps w-1 = 2 frames.
-        let LayerCarry::Window { frames } = &out.layers[0] else { panic!() };
+        let LayerCarry::Window { frames } = &out.layers[0] else {
+            panic!()
+        };
         assert_eq!(frames.len(), 2);
     }
 
@@ -584,16 +620,14 @@ mod tests {
             let mut full = Tape::new();
             let carry = model.initial_carry(5);
             let mut seg = model.bind_segment(&mut full, &store, 0..4, &carry);
-            let mut feats: Vec<Var> =
-                x0.iter().map(|x| full.constant(x.clone())).collect();
+            let mut feats: Vec<Var> = x0.iter().map(|x| full.constant(x.clone())).collect();
             for layer in 0..2 {
                 let sp: Vec<Var> = (0..4)
                     .map(|t| seg.spatial(&mut full, layer, t, Rc::clone(&laps[t]), feats[t]))
                     .collect();
                 feats = seg.temporal(&mut full, layer, 0, &sp);
             }
-            let reference: Vec<Dense> =
-                feats.iter().map(|&f| full.value(f).clone()).collect();
+            let reference: Vec<Dense> = feats.iter().map(|&f| full.value(f).clone()).collect();
 
             // Two stitched segments.
             let mut outputs: Vec<Dense> = Vec::new();

@@ -24,9 +24,17 @@ impl HybridPartition {
     /// Builds a hybrid layout for `p` ranks in groups of `group_size` over
     /// `t` timesteps and `n` vertices.
     pub fn new(n: usize, t: usize, p: usize, group_size: usize) -> Self {
-        assert!(group_size >= 1 && p.is_multiple_of(group_size), "p must be a multiple of group_size");
+        assert!(
+            group_size >= 1 && p.is_multiple_of(group_size),
+            "p must be a multiple of group_size"
+        );
         let groups = p / group_size;
-        Self { n, group_size, groups, snapshot_part: SnapshotPartition::contiguous(t, groups) }
+        Self {
+            n,
+            group_size,
+            groups,
+            snapshot_part: SnapshotPartition::contiguous(t, groups),
+        }
     }
 
     /// Number of groups.

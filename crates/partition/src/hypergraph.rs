@@ -32,7 +32,11 @@ impl Hypergraph {
     /// Builds a hypergraph from explicit pin lists with unit weights.
     pub fn new(n_vertices: usize, pins: Vec<Vec<u32>>) -> Self {
         let weights = vec![1.0; pins.len()];
-        Self { n_vertices, pins, weights }
+        Self {
+            n_vertices,
+            pins,
+            weights,
+        }
     }
 
     /// Number of vertices.
@@ -86,7 +90,11 @@ impl Hypergraph {
         for w in &mut weights {
             *w = w.max(1.0);
         }
-        Self { n_vertices: n, pins, weights }
+        Self {
+            n_vertices: n,
+            pins,
+            weights,
+        }
     }
 
     /// Weighted connectivity−1 cost of a partition: `Σ_net w(net) ·
@@ -128,7 +136,12 @@ pub struct PartitionerConfig {
 impl PartitionerConfig {
     /// Default configuration for `parts` parts.
     pub fn new(parts: usize) -> Self {
-        Self { parts, epsilon: 0.05, refinement_passes: 4, seed: 0x9a17 }
+        Self {
+            parts,
+            epsilon: 0.05,
+            refinement_passes: 4,
+            seed: 0x9a17,
+        }
     }
 }
 
@@ -347,8 +360,13 @@ mod tests {
     fn refinement_does_not_increase_cost() {
         let g = churn(150, 2, 450, 0.3, 8);
         let hg = Hypergraph::column_net_model(&g);
-        let no_refine =
-            partition(&hg, &PartitionerConfig { refinement_passes: 0, ..PartitionerConfig::new(4) });
+        let no_refine = partition(
+            &hg,
+            &PartitionerConfig {
+                refinement_passes: 0,
+                ..PartitionerConfig::new(4)
+            },
+        );
         let refined = partition(&hg, &PartitionerConfig::new(4));
         assert!(
             hg.connectivity_cost(&refined, 4) <= hg.connectivity_cost(&no_refine, 4),
@@ -361,8 +379,7 @@ mod tests {
         // The paper's core observation about vertex partitioning.
         let g = churn(240, 3, 900, 0.2, 9);
         let hg = Hypergraph::column_net_model(&g);
-        let cost =
-            |p: usize| hg.connectivity_cost(&partition(&hg, &PartitionerConfig::new(p)), p);
+        let cost = |p: usize| hg.connectivity_cost(&partition(&hg, &PartitionerConfig::new(p)), p);
         let c2 = cost(2);
         let c8 = cost(8);
         assert!(c8 > c2, "cost should grow with P: {c2} vs {c8}");
@@ -376,8 +393,7 @@ mod tests {
             assert_eq!(inv[perm[v] as usize] as usize, v);
         }
         // New ids of part 0 come first.
-        let mut new_ids: Vec<(u32, usize)> =
-            (0..6).map(|v| (perm[v], partition[v])).collect();
+        let mut new_ids: Vec<(u32, usize)> = (0..6).map(|v| (perm[v], partition[v])).collect();
         new_ids.sort_unstable();
         let parts_in_order: Vec<usize> = new_ids.iter().map(|&(_, q)| q).collect();
         assert_eq!(parts_in_order, vec![0, 0, 1, 1, 1, 2]);

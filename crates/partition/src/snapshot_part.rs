@@ -107,7 +107,10 @@ impl SnapshotPartition {
 
     /// Largest number of timesteps owned by any rank.
     pub fn max_local(&self) -> usize {
-        (0..self.p).map(|r| self.timesteps_of(r).len()).max().unwrap_or(0)
+        (0..self.p)
+            .map(|r| self.timesteps_of(r).len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

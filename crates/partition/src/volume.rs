@@ -136,9 +136,7 @@ mod tests {
     fn vertex_volume_grows_with_parts_on_random_graphs() {
         let g = churn(120, 3, 600, 0.2, 3);
         // Contiguous chunks as a crude partition.
-        let part_for = |p: usize| -> Vec<usize> {
-            (0..120).map(|v| v * p / 120).collect()
-        };
+        let part_for = |p: usize| -> Vec<usize> { (0..120).map(|v| v * p / 120).collect() };
         let v2 = vertex_spmm_units(&g, &part_for(2), 2);
         let v8 = vertex_spmm_units(&g, &part_for(8), 8);
         assert!(v8 > v2, "volume should grow with P: {v2} vs {v8}");
@@ -152,7 +150,10 @@ mod tests {
             vertex_epoch_units(&g, &part, 1, 2),
             2 * 2 * vertex_spmm_units(&g, &part, 1)
         );
-        assert_eq!(snapshot_epoch_units(10, 10, 4, 2), 4 * snapshot_layer_units(10, 10, 4));
+        assert_eq!(
+            snapshot_epoch_units(10, 10, 4, 2),
+            4 * snapshot_layer_units(10, 10, 4)
+        );
     }
 
     #[test]

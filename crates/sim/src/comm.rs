@@ -72,13 +72,19 @@ impl Comm {
     fn send(&mut self, to: usize, tag: u64, payload: Payload) {
         self.bytes_sent += payload.bytes();
         self.txs[to]
-            .send(Msg { from: self.rank, tag, payload })
+            .send(Msg {
+                from: self.rank,
+                tag,
+                payload,
+            })
             .expect("peer rank hung up");
     }
 
     fn recv(&mut self, from: usize, tag: u64) -> Payload {
-        if let Some(pos) =
-            self.pending.iter().position(|m| m.from == from && m.tag == tag)
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
         {
             return self.pending.swap_remove(pos).payload;
         }
@@ -197,7 +203,13 @@ impl Comm {
             }
         }
         (0..self.world)
-            .map(|q| if q == self.rank { payload.clone() } else { self.recv(q, tag) })
+            .map(|q| {
+                if q == self.rank {
+                    payload.clone()
+                } else {
+                    self.recv(q, tag)
+                }
+            })
             .collect()
     }
 
@@ -238,7 +250,10 @@ where
             .iter_mut()
             .map(|comm| scope.spawn(move |_| f(comm)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
     .expect("scope panicked")
 }

@@ -77,7 +77,11 @@ impl MachineSpec {
 
     /// Time to move `bytes` over the host→device link, microseconds.
     pub fn h2d_us(&self, bytes: u64, pinned: bool) -> f64 {
-        let bw = if pinned { self.pcie_gbps } else { self.pcie_gbps * self.pageable_factor };
+        let bw = if pinned {
+            self.pcie_gbps
+        } else {
+            self.pcie_gbps * self.pageable_factor
+        };
         self.transfer_latency_us + bytes as f64 / (bw * 1e3)
     }
 

@@ -50,7 +50,11 @@ pub struct MemoryTracker {
 impl MemoryTracker {
     /// A tracker with the given capacity in bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, in_use: 0, peak: 0 }
+        Self {
+            capacity,
+            in_use: 0,
+            peak: 0,
+        }
     }
 
     /// Device capacity in bytes.
@@ -87,7 +91,11 @@ impl MemoryTracker {
     /// # Panics
     /// Panics when freeing more than is allocated (an accounting bug).
     pub fn free(&mut self, bytes: u64) {
-        assert!(bytes <= self.in_use, "freeing {bytes} with only {} in use", self.in_use);
+        assert!(
+            bytes <= self.in_use,
+            "freeing {bytes} with only {} in use",
+            self.in_use
+        );
         self.in_use -= bytes;
     }
 

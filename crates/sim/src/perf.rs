@@ -165,12 +165,28 @@ struct LayerShape {
 fn layer_shapes(model: ModelKind, input_f: usize, h: usize) -> Vec<LayerShape> {
     match model {
         ModelKind::TmGcn | ModelKind::EvolveGcn => vec![
-            LayerShape { gcn_in: input_f, gcn_out: h, temporal_out: h },
-            LayerShape { gcn_in: h, gcn_out: h, temporal_out: h },
+            LayerShape {
+                gcn_in: input_f,
+                gcn_out: h,
+                temporal_out: h,
+            },
+            LayerShape {
+                gcn_in: h,
+                gcn_out: h,
+                temporal_out: h,
+            },
         ],
         ModelKind::CdGcn => vec![
-            LayerShape { gcn_in: input_f, gcn_out: input_f + h, temporal_out: h },
-            LayerShape { gcn_in: h, gcn_out: 2 * h, temporal_out: h },
+            LayerShape {
+                gcn_in: input_f,
+                gcn_out: input_f + h,
+                temporal_out: h,
+            },
+            LayerShape {
+                gcn_in: h,
+                gcn_out: 2 * h,
+                temporal_out: h,
+            },
         ],
     }
 }
@@ -231,8 +247,14 @@ fn activation_bytes_per_t(cfg: &PerfConfig, n: u64) -> (u64, u64) {
     let mut gcn: u64 = 0;
     for s in &shapes {
         // spmm out + linear out + activation out (+ concat for CD-GCN).
-        let widths = s.gcn_in + cfg.hidden + s.gcn_out
-            + if cfg.model == ModelKind::CdGcn { s.gcn_out } else { 0 };
+        let widths = s.gcn_in
+            + cfg.hidden
+            + s.gcn_out
+            + if cfg.model == ModelKind::CdGcn {
+                s.gcn_out
+            } else {
+                0
+            };
         gcn += dense_bytes(n as usize, widths);
     }
     let chunk = n / cfg.p as u64;
@@ -386,10 +408,8 @@ pub fn estimate_epoch(cfg: &PerfConfig) -> PerfReport {
                             (adj, feature_bytes(cfg, n))
                         }
                     };
-                    transfer[rank] +=
-                        transfer_passes as f64 * spec.h2d_us(adj_bytes, cfg.pinned);
-                    feature[rank] +=
-                        transfer_passes as f64 * spec.h2d_us(feat_bytes, cfg.pinned);
+                    transfer[rank] += transfer_passes as f64 * spec.h2d_us(adj_bytes, cfg.pinned);
+                    feature[rank] += transfer_passes as f64 * spec.h2d_us(feat_bytes, cfg.pinned);
                 }
             }
         }
@@ -425,8 +445,7 @@ pub fn estimate_epoch(cfg: &PerfConfig) -> PerfReport {
                         // Redistribution 1: GCN outputs to vertex chunks.
                         let local_t = block.len().div_ceil(p);
                         let chunk = (n as usize).div_ceil(p);
-                        let pair1 =
-                            dense_bytes(chunk, shape.gcn_out) * local_t as u64;
+                        let pair1 = dense_bytes(chunk, shape.gcn_out) * local_t as u64;
                         // Temporal phase on vertex chunks, all block steps.
                         let mut us = 0.0;
                         for _ in block.clone() {
@@ -437,15 +456,14 @@ pub fn estimate_epoch(cfg: &PerfConfig) -> PerfReport {
                         }
                         layer_block_compute += compute_factor * us;
                         // Redistribution 2: temporal outputs back.
-                        let pair2 =
-                            dense_bytes(chunk, shape.temporal_out) * local_t as u64;
+                        let pair2 = dense_bytes(chunk, shape.temporal_out) * local_t as u64;
                         // Forward: 2 all-to-alls; the checkpointed backward
                         // re-runs the forward (2 more) before the 2 reverse
                         // redistributions; the non-checkpoint baseline skips
                         // the rerun.
                         let passes = if checkpointed { 3.0 } else { 2.0 };
-                        let mut comm =
-                            passes * (all_to_all_us(spec, p, pair1) + all_to_all_us(spec, p, pair2));
+                        let mut comm = passes
+                            * (all_to_all_us(spec, p, pair1) + all_to_all_us(spec, p, pair2));
                         if cfg.overlap {
                             // Per-snapshot pipelining hides communication
                             // behind this layer-block's compute; only the
@@ -475,8 +493,7 @@ pub fn estimate_epoch(cfg: &PerfConfig) -> PerfReport {
                     }
                     // Exchange volume for this block and layer, forward +
                     // backward.
-                    let block_units =
-                        units as f64 * block.len() as f64 / t_total as f64;
+                    let block_units = units as f64 * block.len() as f64 / t_total as f64;
                     let bytes = (block_units * shape.gcn_in as f64 * 4.0) as u64;
                     let pair_events = (block.len() * (p - 1)) as u64;
                     comm_total += 2.0 * irregular_exchange_us(spec, p, bytes, pair_events);
@@ -532,7 +549,11 @@ mod tests {
     use dgnn_graph::stats::Smoothing;
 
     fn stats(t: usize, n: u64, m: f64, rho: f64, w: usize) -> TemporalStats {
-        let smoothing = if w <= 1 { Smoothing::None } else { Smoothing::MProduct(w) };
+        let smoothing = if w <= 1 {
+            Smoothing::None
+        } else {
+            Smoothing::MProduct(w)
+        };
         TemporalStats::churn_closed_form(n, t, m, rho, smoothing)
     }
 
@@ -541,8 +562,14 @@ mod tests {
         // P=1 so each block is one long run: 15 of 16 snapshots ship as
         // diffs.
         let st = stats(64, 100_000, 500_000.0, 0.2, 8);
-        let base = PerfConfig { gd: false, ..PerfConfig::new(ModelKind::TmGcn, st.clone(), 1, 4) };
-        let gd = PerfConfig { gd: true, ..PerfConfig::new(ModelKind::TmGcn, st, 1, 4) };
+        let base = PerfConfig {
+            gd: false,
+            ..PerfConfig::new(ModelKind::TmGcn, st.clone(), 1, 4)
+        };
+        let gd = PerfConfig {
+            gd: true,
+            ..PerfConfig::new(ModelKind::TmGcn, st, 1, 4)
+        };
         let rb = estimate_epoch(&base);
         let rg = estimate_epoch(&gd);
         assert!(rg.transfer_ms < rb.transfer_ms);
@@ -554,9 +581,14 @@ mod tests {
     fn gd_gains_shrink_with_p() {
         let st = stats(64, 100_000, 500_000.0, 0.2, 8);
         let ratio = |p: usize| {
-            let base =
-                PerfConfig { gd: false, ..PerfConfig::new(ModelKind::TmGcn, st.clone(), p, 4) };
-            let gd = PerfConfig { gd: true, ..PerfConfig::new(ModelKind::TmGcn, st.clone(), p, 4) };
+            let base = PerfConfig {
+                gd: false,
+                ..PerfConfig::new(ModelKind::TmGcn, st.clone(), p, 4)
+            };
+            let gd = PerfConfig {
+                gd: true,
+                ..PerfConfig::new(ModelKind::TmGcn, st.clone(), p, 4)
+            };
             estimate_epoch(&base).transfer_ms / estimate_epoch(&gd).transfer_ms
         };
         assert!(ratio(1) > ratio(8), "P=1 {} vs P=8 {}", ratio(1), ratio(8));
@@ -593,7 +625,12 @@ mod tests {
         // Only the tiny parameter all-reduce: bounded in absolute terms and
         // a small fraction of the epoch.
         assert!(r.comm_ms < 2.0, "comm {}", r.comm_ms);
-        assert!(r.comm_ms < 0.2 * r.total_ms(), "comm {} total {}", r.comm_ms, r.total_ms());
+        assert!(
+            r.comm_ms < 0.2 * r.total_ms(),
+            "comm {} total {}",
+            r.comm_ms,
+            r.total_ms()
+        );
     }
 
     #[test]
@@ -601,9 +638,16 @@ mod tests {
         // A large configuration: checkpointing fits, the baseline does not.
         let st = stats(200, 1_000_000, 5_500_000.0, 0.2, 40);
         let ck = estimate_epoch(&PerfConfig::new(ModelKind::TmGcn, st.clone(), 1, 16));
-        let base = estimate_epoch(&PerfConfig { nb: 0, ..PerfConfig::new(ModelKind::TmGcn, st, 1, 0) });
+        let base = estimate_epoch(&PerfConfig {
+            nb: 0,
+            ..PerfConfig::new(ModelKind::TmGcn, st, 1, 0)
+        });
         assert!(base.oom, "baseline should exceed 32 GiB");
-        assert!(!ck.oom, "checkpointing should fit: {} GiB", ck.peak_mem_bytes >> 30);
+        assert!(
+            !ck.oom,
+            "checkpointing should fit: {} GiB",
+            ck.peak_mem_bytes >> 30
+        );
     }
 
     #[test]
@@ -623,7 +667,9 @@ mod tests {
         let st = stats(128, 500_000, 2_000_000.0, 0.2, 10);
         let snapshot = estimate_epoch(&PerfConfig::new(ModelKind::TmGcn, st.clone(), 64, 4));
         let vertex = estimate_epoch(&PerfConfig {
-            scheme: Scheme::Vertex { spmm_units: 500_000 * 128 * 16 },
+            scheme: Scheme::Vertex {
+                spmm_units: 500_000 * 128 * 16,
+            },
             gd: false,
             ..PerfConfig::new(ModelKind::TmGcn, st, 64, 4)
         });

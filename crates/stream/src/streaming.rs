@@ -1,0 +1,210 @@
+//! The mutable streaming graph: sorted adjacency under event application,
+//! with CSR materialization bit-identical to batch construction.
+
+use dgnn_graph::Snapshot;
+use dgnn_tensor::Csr;
+
+use crate::event::{EdgeEvent, EventKind};
+
+/// A dynamic graph state maintained incrementally from edge events.
+///
+/// Per-row adjacency is a column-sorted `Vec<(col, weight)>`: one event
+/// costs a binary search plus an `O(deg)` shift — effectively constant at
+/// real-world degrees, and far cheaper in practice than tree nodes — and
+/// a full materialization is a contiguous `O(N + nnz)` copy with no
+/// global sort, against the `O(nnz log nnz)` of building a CSR from an
+/// unsorted edge list.
+#[derive(Clone, Debug)]
+pub struct StreamingGraph {
+    rows: Vec<Vec<(u32, f32)>>,
+    nnz: usize,
+    clock: u64,
+}
+
+impl StreamingGraph {
+    /// An empty graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            rows: vec![Vec::new(); n],
+            nnz: 0,
+            clock: 0,
+        }
+    }
+
+    /// Seeds the state from an existing snapshot.
+    pub fn from_snapshot(s: &Snapshot) -> Self {
+        let mut g = Self::new(s.n());
+        for r in 0..s.n() {
+            g.rows[r].extend(s.adj().row_iter(r));
+        }
+        g.nnz = s.nnz();
+        g
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of stored (directed) edges.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Timestamp of the latest applied event.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Current weight of `(u, v)`, if the edge is present.
+    pub fn weight(&self, u: u32, v: u32) -> Option<f32> {
+        let row = &self.rows[u as usize];
+        row.binary_search_by_key(&v, |&(c, _)| c)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// True when `(u, v)` is stored.
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        self.rows[u as usize]
+            .binary_search_by_key(&v, |&(c, _)| c)
+            .is_ok()
+    }
+
+    /// Applies one event. Returns the weight the edge held before the
+    /// event (`None` when it was absent) — what delta batching needs to
+    /// classify the touch.
+    pub fn apply(&mut self, ev: &EdgeEvent) -> Option<f32> {
+        debug_assert!(
+            ev.time >= self.clock,
+            "events must arrive in time order ({} < {})",
+            ev.time,
+            self.clock
+        );
+        self.clock = self.clock.max(ev.time);
+        let row = &mut self.rows[ev.src as usize];
+        let slot = row.binary_search_by_key(&ev.dst, |&(c, _)| c);
+        match ev.kind {
+            EventKind::Add => match slot {
+                // Duplicate adds accumulate, matching `Csr::from_coo`.
+                Ok(i) => {
+                    let prev = row[i].1;
+                    row[i].1 = prev + ev.weight;
+                    Some(prev)
+                }
+                Err(i) => {
+                    row.insert(i, (ev.dst, ev.weight));
+                    self.nnz += 1;
+                    None
+                }
+            },
+            EventKind::Remove => match slot {
+                Ok(i) => {
+                    self.nnz -= 1;
+                    Some(row.remove(i).1)
+                }
+                Err(_) => None,
+            },
+            EventKind::UpdateWeight => match slot {
+                Ok(i) => {
+                    let prev = row[i].1;
+                    row[i].1 = ev.weight;
+                    Some(prev)
+                }
+                Err(i) => {
+                    row.insert(i, (ev.dst, ev.weight));
+                    self.nnz += 1;
+                    None
+                }
+            },
+        }
+    }
+
+    /// Applies a slice of events in order.
+    pub fn apply_all(&mut self, events: &[EdgeEvent]) {
+        for ev in events {
+            self.apply(ev);
+        }
+    }
+
+    /// The current state as a CSR adjacency — indptr, indices, and values
+    /// equal to what batch construction over the same edge set produces.
+    pub fn materialize(&self) -> Csr {
+        let n = self.n();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::with_capacity(self.nnz);
+        let mut values = Vec::with_capacity(self.nnz);
+        indptr.push(0);
+        for row in &self.rows {
+            indices.extend(row.iter().map(|&(c, _)| c));
+            values.extend(row.iter().map(|&(_, v)| v));
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(n, n, indptr, indices, values)
+    }
+
+    /// [`StreamingGraph::materialize`] wrapped as a [`Snapshot`].
+    pub fn materialize_snapshot(&self) -> Snapshot {
+        Snapshot::new(self.materialize())
+    }
+
+    /// The current values in CSR (row-major, column-sorted) order — the
+    /// `next_values` payload of a graph-difference transfer.
+    pub fn values_in_csr_order(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.nnz);
+        for row in &self.rows {
+            out.extend(row.iter().map(|&(_, v)| v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventLog;
+    use dgnn_graph::gen::{churn, uniform_random};
+
+    #[test]
+    fn apply_tracks_nnz_and_weights() {
+        let mut g = StreamingGraph::new(4);
+        assert_eq!(g.apply(&EdgeEvent::add(0, 0, 1, 2.0)), None);
+        assert_eq!(g.apply(&EdgeEvent::add(0, 0, 1, 0.5)), Some(2.0));
+        assert_eq!(g.weight(0, 1), Some(2.5));
+        assert_eq!(g.nnz(), 1);
+        assert_eq!(g.apply(&EdgeEvent::update(1, 0, 1, 7.0)), Some(2.5));
+        assert_eq!(g.weight(0, 1), Some(7.0));
+        assert_eq!(g.apply(&EdgeEvent::update(1, 2, 3, 1.0)), None);
+        assert_eq!(g.nnz(), 2);
+        assert_eq!(g.apply(&EdgeEvent::remove(2, 0, 1)), Some(7.0));
+        assert_eq!(g.apply(&EdgeEvent::remove(2, 0, 1)), None);
+        assert_eq!(g.nnz(), 1);
+        assert_eq!(g.clock(), 2);
+    }
+
+    #[test]
+    fn replay_materializes_every_snapshot_exactly() {
+        let g = churn(60, 8, 200, 0.3, 11);
+        let log = EventLog::replay(&g);
+        let mut sg = StreamingGraph::new(g.n());
+        let mut cursor = 0usize;
+        for t in 0..g.t() {
+            let events = log.events();
+            while cursor < events.len() && events[cursor].time <= t as u64 {
+                sg.apply(&events[cursor]);
+                cursor += 1;
+            }
+            assert_eq!(&sg.materialize(), g.snapshot(t).adj(), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn materialize_matches_batch_construction_bitwise() {
+        let g = uniform_random(50, 3, 4.0, 3);
+        let sg = StreamingGraph::from_snapshot(g.snapshot(1));
+        let batch = g.snapshot(1).adj();
+        let inc = sg.materialize();
+        assert_eq!(&inc, batch);
+        assert_eq!(inc.values(), sg.values_in_csr_order());
+    }
+}

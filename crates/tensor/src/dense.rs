@@ -27,17 +27,29 @@ impl fmt::Debug for Dense {
 impl Dense {
     /// An all-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// An all-ones matrix of the given shape.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![1.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
     }
 
     /// A matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from a row-major data vector.
@@ -277,7 +289,12 @@ impl Dense {
         Dense {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -322,7 +339,8 @@ impl Dense {
         assert!(start + len <= self.cols, "narrow_cols out of range");
         let mut out = Dense::zeros(self.rows, len);
         for r in 0..self.rows {
-            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + len]);
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + len]);
         }
         out
     }

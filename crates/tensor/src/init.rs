@@ -52,7 +52,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let w = normal(64, 64, 2.0, &mut rng);
         let mean = w.mean();
-        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = w
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / (w.len() as f32 - 1.0);
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());

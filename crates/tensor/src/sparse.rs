@@ -19,7 +19,13 @@ pub struct Csr {
 impl Csr {
     /// An empty (all-zero) matrix of the given shape.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The identity matrix of order `n`.
@@ -41,7 +47,10 @@ impl Csr {
         let mut indices = Vec::with_capacity(sorted.len());
         let mut values = Vec::with_capacity(sorted.len());
         for &(r, c, v) in &sorted {
-            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of bounds");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "triplet out of bounds"
+            );
             if let (Some(&last_c), true) = (indices.last(), indptr[r as usize + 1] > 0) {
                 // Same row as the previous entry and same column: merge.
                 if last_c == c && indices.len() > indptr[r as usize] {
@@ -60,7 +69,13 @@ impl Csr {
                 indptr[r] = indptr[r - 1];
             }
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Builds an unweighted adjacency matrix from directed edges.
@@ -84,7 +99,13 @@ impl Csr {
         assert_eq!(indices.len(), values.len(), "indices/values length");
         assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end");
         debug_assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr monotone");
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -133,12 +154,17 @@ impl Csr {
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
         let lo = self.indptr[r];
         let hi = self.indptr[r + 1];
-        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Out-degree (stored entries) of every row.
     pub fn row_degrees(&self) -> Vec<usize> {
-        (0..self.rows).map(|r| self.indptr[r + 1] - self.indptr[r]).collect()
+        (0..self.rows)
+            .map(|r| self.indptr[r + 1] - self.indptr[r])
+            .collect()
     }
 
     /// In-degree (stored entries) of every column.
@@ -193,7 +219,13 @@ impl Csr {
                 cursor[c as usize] += 1;
             }
         }
-        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Sparse-matrix × dense-matrix product (`self * x`), the GCN aggregation
@@ -245,7 +277,11 @@ impl Csr {
         let rows = terms[0].1.rows;
         let cols = terms[0].1.cols;
         for (_, a) in terms {
-            assert_eq!((a.rows, a.cols), (rows, cols), "add_weighted shape mismatch");
+            assert_eq!(
+                (a.rows, a.cols),
+                (rows, cols),
+                "add_weighted shape mismatch"
+            );
         }
         let cap: usize = terms.iter().map(|(_, a)| a.nnz()).sum();
         let mut indptr = Vec::with_capacity(rows + 1);
@@ -278,7 +314,13 @@ impl Csr {
             }
             indptr.push(indices.len());
         }
-        Csr { rows, cols, indptr, indices, values }
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Extracts rows `[start, start + len)` into a standalone `len x cols`
@@ -287,7 +329,10 @@ impl Csr {
         assert!(start + len <= self.rows, "row_block out of range");
         let lo = self.indptr[start];
         let hi = self.indptr[start + len];
-        let indptr = self.indptr[start..=start + len].iter().map(|&p| p - lo).collect();
+        let indptr = self.indptr[start..=start + len]
+            .iter()
+            .map(|&p| p - lo)
+            .collect();
         Csr {
             rows: len,
             cols: self.cols,
@@ -327,8 +372,11 @@ pub fn normalized_laplacian(adj: &Csr, symmetrize: bool) -> Csr {
     // canonical unit self-loop, and double-counting would break the spectral
     // bound of the normalized operator.
     let no_loops = {
-        let triplets: Vec<(u32, u32, f32)> =
-            adj.to_coo().into_iter().filter(|&(r, c, _)| r != c).collect();
+        let triplets: Vec<(u32, u32, f32)> = adj
+            .to_coo()
+            .into_iter()
+            .filter(|&(r, c, _)| r != c)
+            .collect();
         Csr::from_coo(n, n, &triplets)
     };
     let base = if symmetrize {
@@ -439,7 +487,10 @@ mod tests {
                 .map(|(_, v)| v)
                 .unwrap();
             let expected = 1.0 / (1.0 + degs[u] as f32);
-            assert!((diag - expected).abs() < 1e-6, "diag[{u}] = {diag}, want {expected}");
+            assert!(
+                (diag - expected).abs() < 1e-6,
+                "diag[{u}] = {diag}, want {expected}"
+            );
         }
     }
 

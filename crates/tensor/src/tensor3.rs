@@ -26,7 +26,9 @@ impl Tensor3 {
 
     /// A zero tensor with `t` frames of shape `rows x cols`.
     pub fn zeros(t: usize, rows: usize, cols: usize) -> Self {
-        Self { frames: (0..t).map(|_| Dense::zeros(rows, cols)).collect() }
+        Self {
+            frames: (0..t).map(|_| Dense::zeros(rows, cols)).collect(),
+        }
     }
 
     /// Number of timesteps (mode-1 extent).
@@ -177,7 +179,10 @@ mod tests {
             let m = m_banded(t, w);
             for r in 0..t {
                 let s: f32 = m.row(r).iter().sum();
-                assert!((s - 1.0).abs() < 1e-6, "row {r} of m_banded({t},{w}) sums to {s}");
+                assert!(
+                    (s - 1.0).abs() < 1e-6,
+                    "row {r} of m_banded({t},{w}) sums to {s}"
+                );
             }
         }
     }
@@ -212,7 +217,10 @@ mod tests {
         let dense = Tensor3::new(vec![a0.to_dense(), a1.to_dense(), a2.to_dense()]);
         let dense_smoothed = dense.ttm_mode1(&m);
         for t in 0..3 {
-            assert!(smoothed.slice(t).to_dense().approx_eq(dense_smoothed.frame(t), 1e-6));
+            assert!(smoothed
+                .slice(t)
+                .to_dense()
+                .approx_eq(dense_smoothed.frame(t), 1e-6));
         }
         // Smoothing only adds structure.
         assert!(smoothed.slice(2).nnz() >= a2.nnz());

@@ -10,10 +10,7 @@ fn dense_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Dense> {
 }
 
 fn coo_strategy(n: usize, max_nnz: usize) -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
-    proptest::collection::vec(
-        (0..n as u32, 0..n as u32, -4.0f32..4.0),
-        0..max_nnz,
-    )
+    proptest::collection::vec((0..n as u32, 0..n as u32, -4.0f32..4.0), 0..max_nnz)
 }
 
 proptest! {

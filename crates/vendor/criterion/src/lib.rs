@@ -1,0 +1,189 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. It runs each benchmark closure for a bounded wall-clock budget and
+//! prints a mean time per iteration — no statistics, plots, or baselines,
+//! but `cargo bench` works and catches gross regressions by eye.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Label of a parameterised benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// A label holding just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly inside the measurement budget.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One warmup call, then timed iterations until the budget runs out
+        // (always at least one).
+        std::hint::black_box(f());
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            self.iters_done += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.budget, f);
+        self
+    }
+
+    /// Runs one benchmark with an input payload.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; output is printed as benchmarks run).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget,
+    };
+    f(&mut b);
+    let per_iter = if b.iters_done == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters_done as u32
+    };
+    println!(
+        "bench {label:<48} {:>12.3?}/iter ({} iters)",
+        per_iter, b.iters_done
+    );
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {
+    budget: Option<Duration>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget.unwrap_or(Duration::from_millis(500));
+        BenchmarkGroup {
+            name: name.into(),
+            budget,
+            _c: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.budget.unwrap_or(Duration::from_millis(500));
+        run_one(name, budget, f);
+        self
+    }
+}
+
+/// Re-export matching criterion's hint.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the subset of the `crossbeam` API this workspace
+//! uses: `channel::{unbounded, Sender, Receiver}` and `thread::scope`.
+//!
+//! Channels delegate to `std::sync::mpsc`; scoped threads delegate to
+//! `std::thread::scope` (stable since Rust 1.63), which provides the same
+//! borrow-the-stack guarantee crossbeam pioneered.
+
+/// Multi-producer channels (std-backed).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; errors only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errors when every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads (std-backed).
+pub mod thread {
+    /// Handle to the scope, passed to every spawned closure. The callbacks
+    /// in this workspace ignore it (`|_|`), so no nested-spawn capability
+    /// is exposed; spawn nested work from the scope object itself.
+    pub struct ScopeHandle;
+
+    /// A spawn surface tied to a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle joining a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from outside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(ScopeHandle) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(ScopeHandle)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope whose threads are all joined before returning.
+    ///
+    /// Matches crossbeam's signature: the result is `Ok` unless a spawned
+    /// thread panicked *and* its handle was never joined (std's scope
+    /// re-raises such panics, so in practice this always returns `Ok` or
+    /// propagates the panic).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u32).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn scope_joins_threads_and_borrows_stack() {
+        let data = [1u64, 2, 3, 4];
+        let sums = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<u64>>()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+}

@@ -45,7 +45,12 @@ fn main() {
         &next,
         cfg,
         &TaskOptions::default(),
-        &TrainOptions { epochs: 25, lr: 0.05, nb: 2, seed: 11 },
+        &TrainOptions {
+            epochs: 25,
+            lr: 0.05,
+            nb: 2,
+            seed: 11,
+        },
         p,
     );
 

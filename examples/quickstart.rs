@@ -36,9 +36,17 @@ fn main() {
     let mut store = ParamStore::new();
     let model = Model::new(cfg, &mut store, &mut rng);
     let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
-    let opts = TrainOptions { epochs: 30, lr: 0.05, nb: 4, seed: 7 };
+    let opts = TrainOptions {
+        epochs: 30,
+        lr: 0.05,
+        nb: 4,
+        seed: 7,
+    };
 
-    println!("{:>5} {:>10} {:>11} {:>10}", "epoch", "loss", "train acc", "test acc");
+    println!(
+        "{:>5} {:>10} {:>11} {:>10}",
+        "epoch", "loss", "train acc", "test acc"
+    );
     let stats = train_single(&model, &head, &mut store, &task, &opts);
     for (e, s) in stats.iter().enumerate() {
         if e % 3 == 0 || e + 1 == stats.len() {

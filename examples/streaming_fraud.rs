@@ -1,0 +1,88 @@
+//! Streaming anti-money-laundering scenario: the transaction graph of
+//! `examples/fraud_detection.rs` replayed as a timestamped event stream
+//! and learned *online* — windows close as transactions arrive, snapshots
+//! materialize incrementally, and the model warm-starts from the previous
+//! window instead of retraining from scratch.
+//!
+//! Run with: `cargo run --release --example streaming_fraud`
+
+use dgnn_core::prelude::*;
+use dgnn_graph::gen::{amlsim_like, AmlSimConfig};
+use dgnn_stream::EventLog;
+
+fn main() {
+    // The same bank network as the batch example: 300 accounts in 8
+    // communities, 1200 transactions per step with a fifth churning, plus
+    // planted laundering rings.
+    let aml = AmlSimConfig {
+        n: 300,
+        t: 16,
+        communities: 8,
+        transactions_per_step: 1200,
+        intra_community_prob: 0.9,
+        churn: 0.2,
+        rings: 10,
+        ring_size: 5,
+        zipf_s: 0.9,
+    };
+    let graph = amlsim_like(&aml, 2024);
+    let log = EventLog::replay(&graph);
+    println!(
+        "event stream: {} accounts, {} events over {} timesteps \
+         ({:.0}% of the full per-snapshot volume)",
+        graph.n(),
+        log.len(),
+        graph.t(),
+        100.0 * log.len() as f64 / graph.total_nnz() as f64
+    );
+
+    // EvolveGCN, as in the batch fraud example; each closed window trains
+    // a few epochs on the trailing history with the newest snapshot held
+    // out as the prediction target.
+    let cfg = ModelConfig::paper_defaults(ModelKind::EvolveGcn);
+    let opts = StreamTrainOptions {
+        policy: WindowPolicy::Tumbling { width: 1 },
+        history: 6,
+        min_history: 3,
+        epochs_per_window: 6,
+        train: TrainOptions {
+            lr: 0.05,
+            nb: 2,
+            seed: 11,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    println!(
+        "online training: tumbling windows, history {} snapshots, {} epochs/window\n",
+        opts.history, opts.epochs_per_window
+    );
+
+    let stats = train_streaming(&log, cfg, &opts);
+    println!(
+        "{:>6} {:>7} {:>8} {:>10} {:>10} {:>8}",
+        "window", "events", "history", "loss", "test acc", "AUC"
+    );
+    for s in &stats {
+        println!(
+            "{:>6} {:>7} {:>8} {:>10.4} {:>9.1}% {:>8.3}",
+            s.window,
+            s.events,
+            s.t,
+            s.final_loss(),
+            s.test_acc * 100.0,
+            s.auc
+        );
+    }
+    let first = stats.first().expect("stream produced no trained windows");
+    let last = stats.last().unwrap();
+    println!(
+        "\nwarm start across {} windows: first-epoch loss {:.4} (window {}) -> {:.4} (window {})",
+        stats.len(),
+        first.epochs.first().unwrap().loss,
+        first.window,
+        last.epochs.first().unwrap().loss,
+        last.window,
+    );
+    println!("each window trained on events alone — no snapshot was ever rebuilt from scratch.");
+}

@@ -3,15 +3,20 @@
 //! Gradients after one epoch must match across block counts to f32
 //! round-off, for every architecture.
 
-use dgnn_core::prelude::*;
 use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn grads_for(kind: ModelKind, nb: usize, t: usize) -> Vec<f32> {
     let g = dgnn_graph::gen::churn_skewed(60, t + 1, 240, 0.3, 0.9, 11);
-    let cfg =
-        ModelConfig { kind, input_f: 2, hidden: 6, mprod_window: 3, smoothing_window: 3 };
+    let cfg = ModelConfig {
+        kind,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
     let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
     let mut rng = StdRng::seed_from_u64(7);
     let mut store = ParamStore::new();
@@ -23,14 +28,23 @@ fn grads_for(kind: ModelKind, nb: usize, t: usize) -> Vec<f32> {
         &head,
         &mut store,
         &task,
-        &TrainOptions { epochs: 1, lr: 0.0, nb, seed: 7 },
+        &TrainOptions {
+            epochs: 1,
+            lr: 0.0,
+            nb,
+            seed: 7,
+        },
     );
     store.grads_flat()
 }
 
 fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
     let norm = a.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max) / norm
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+        / norm
 }
 
 #[test]

@@ -7,7 +7,13 @@ use dgnn_partition::{
 };
 
 fn cfg(kind: ModelKind) -> ModelConfig {
-    ModelConfig { kind, input_f: 2, hidden: 4, mprod_window: 3, smoothing_window: 3 }
+    ModelConfig {
+        kind,
+        input_f: 2,
+        hidden: 4,
+        mprod_window: 3,
+        smoothing_window: 3,
+    }
 }
 
 #[test]
@@ -24,18 +30,21 @@ fn snapshot_trainer_moves_the_predicted_feature_volume() {
             &next,
             cfg(kind),
             &TaskOptions::default(),
-            &TrainOptions { epochs: 1, lr: 0.01, nb: 2, seed: 3 },
+            &TrainOptions {
+                epochs: 1,
+                lr: 0.01,
+                nb: 2,
+                seed: 3,
+            },
             p,
         );
         let measured = stats[0].comm_bytes as f64;
         // `comm_bytes` is per-rank. The checkpointed backward re-runs the
         // forward redistributions (paper Fig. 2's rerun segment), so the
         // epoch moves 3/2 of the nominal forward+backward volume.
-        let predicted = 1.5
-            * snapshot_epoch_units(8, 32, p, 2) as f64
-            * cfg(kind).hidden as f64
-            * 4.0
-            / p as f64;
+        let predicted =
+            1.5 * snapshot_epoch_units(8, 32, p, 2) as f64 * cfg(kind).hidden as f64 * 4.0
+                / p as f64;
         // Measured adds only the small gradient/stat all-reduces on top.
         assert!(
             measured >= predicted,
@@ -60,7 +69,12 @@ fn snapshot_volume_is_independent_of_density() {
             &next,
             cfg(ModelKind::TmGcn),
             &TaskOptions::default(),
-            &TrainOptions { epochs: 1, lr: 0.01, nb: 1, seed: 3 },
+            &TrainOptions {
+                epochs: 1,
+                lr: 0.01,
+                nb: 1,
+                seed: 3,
+            },
             2,
         );
         stats[0].comm_bytes
@@ -90,7 +104,10 @@ fn exchange_plan_volume_equals_lambda_formula() {
     assert!(units > 0);
     let part2 = partition(&hg, &PartitionerConfig::new(2));
     let units2 = vertex_spmm_units(&smoothed, &part2, 2);
-    assert!(units > units2, "λ volume should grow with P: {units2} -> {units}");
+    assert!(
+        units > units2,
+        "λ volume should grow with P: {units2} -> {units}"
+    );
 }
 
 #[test]
@@ -105,7 +122,12 @@ fn evolvegcn_communicates_orders_less_than_tmgcn() {
             &next,
             cfg(kind),
             &TaskOptions::default(),
-            &TrainOptions { epochs: 1, lr: 0.01, nb: 1, seed: 3 },
+            &TrainOptions {
+                epochs: 1,
+                lr: 0.01,
+                nb: 1,
+                seed: 3,
+            },
             4,
         )[0]
         .comm_bytes

@@ -4,13 +4,19 @@
 //! loss/accuracy curves are identical up to floating-point accumulation
 //! order.
 
-use dgnn_core::prelude::*;
 use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn cfg(kind: ModelKind) -> ModelConfig {
-    ModelConfig { kind, input_f: 2, hidden: 4, mprod_window: 3, smoothing_window: 3 }
+    ModelConfig {
+        kind,
+        input_f: 2,
+        hidden: 4,
+        mprod_window: 3,
+        smoothing_window: 3,
+    }
 }
 
 fn sequential_losses(
@@ -30,7 +36,12 @@ fn sequential_losses(
         &head,
         &mut store,
         &task,
-        &TrainOptions { epochs, lr: 0.05, nb: 2, seed: 3 },
+        &TrainOptions {
+            epochs,
+            lr: 0.05,
+            nb: 2,
+            seed: 3,
+        },
     )
     .into_iter()
     .map(|s| s.loss)
@@ -51,7 +62,12 @@ fn snapshot_partitioning_matches_sequential() {
                 &next,
                 cfg(kind),
                 &opts,
-                &TrainOptions { epochs: 3, lr: 0.05, nb: 2, seed: 3 },
+                &TrainOptions {
+                    epochs: 3,
+                    lr: 0.05,
+                    nb: 2,
+                    seed: 3,
+                },
                 p,
             );
             for (e, (a, b)) in seq.iter().zip(&dist).enumerate() {
@@ -75,7 +91,10 @@ fn vertex_partitioning_matches_sequential() {
     // The vertex trainer does not implement the pre-aggregation shortcut;
     // disable it on both sides (it does not change the math, see the
     // training_convergence suite).
-    let opts = TaskOptions { precompute_first_layer: false, ..Default::default() };
+    let opts = TaskOptions {
+        precompute_first_layer: false,
+        ..Default::default()
+    };
     for kind in ModelKind::all() {
         let seq = sequential_losses(&raw, &next, kind, 3, &opts);
         let dist = train_vertex_partitioned(
@@ -83,7 +102,12 @@ fn vertex_partitioning_matches_sequential() {
             &next,
             cfg(kind),
             &opts,
-            &TrainOptions { epochs: 3, lr: 0.05, nb: 2, seed: 3 },
+            &TrainOptions {
+                epochs: 3,
+                lr: 0.05,
+                nb: 2,
+                seed: 3,
+            },
             2,
         );
         for (e, (a, b)) in seq.iter().zip(&dist).enumerate() {
@@ -103,7 +127,10 @@ fn hybrid_matches_sequential() {
     let g = dgnn_graph::gen::churn_skewed(24, 6, 100, 0.25, 0.9, 9);
     let raw = g.time_slice(0, 5);
     let next = g.snapshot(5).clone();
-    let opts = TaskOptions { precompute_first_layer: false, ..Default::default() };
+    let opts = TaskOptions {
+        precompute_first_layer: false,
+        ..Default::default()
+    };
     for kind in ModelKind::all() {
         let seq = sequential_losses(&raw, &next, kind, 3, &opts);
         let dist = train_hybrid(
@@ -111,7 +138,12 @@ fn hybrid_matches_sequential() {
             &next,
             cfg(kind),
             &opts,
-            &TrainOptions { epochs: 3, lr: 0.05, nb: 2, seed: 3 },
+            &TrainOptions {
+                epochs: 3,
+                lr: 0.05,
+                nb: 2,
+                seed: 3,
+            },
             2,
         );
         for (e, (a, b)) in seq.iter().zip(&dist).enumerate() {
@@ -137,7 +169,12 @@ fn all_world_sizes_agree_with_each_other() {
             &next,
             cfg(kind),
             &opts,
-            &TrainOptions { epochs: 2, lr: 0.05, nb: 2, seed: 3 },
+            &TrainOptions {
+                epochs: 2,
+                lr: 0.05,
+                nb: 2,
+                seed: 3,
+            },
             p,
         )
     };

@@ -6,6 +6,7 @@ use dgnn_graph::diff::{chunk_transfer, diff, naive_transfer_bytes, reconstruct};
 use dgnn_graph::gen::{amlsim_like, churn, churn_skewed, uniform_random, AmlSimConfig};
 use dgnn_graph::smoothing::{edge_life, m_transform_adj};
 use dgnn_graph::DynamicGraph;
+use dgnn_stream::{DeltaBatcher, EdgeEvent, EventKind, StreamingGraph};
 use dgnn_tensor::Csr;
 use proptest::prelude::*;
 
@@ -29,7 +30,14 @@ fn roundtrip_on_all_generators() {
     roundtrip_all(&churn(80, 8, 300, 0.3, 1));
     roundtrip_all(&churn_skewed(80, 8, 300, 0.3, 0.9, 2));
     roundtrip_all(&uniform_random(80, 6, 3.0, 3));
-    roundtrip_all(&amlsim_like(&AmlSimConfig { n: 120, t: 6, ..Default::default() }, 4));
+    roundtrip_all(&amlsim_like(
+        &AmlSimConfig {
+            n: 120,
+            t: 6,
+            ..Default::default()
+        },
+        4,
+    ));
 }
 
 #[test]
@@ -101,5 +109,86 @@ proptest! {
         // Identical inputs produce no edits.
         let d_same = diff(&a, &a);
         prop_assert_eq!(d_same.edits(), 0);
+    }
+}
+
+// ---- Streaming ingestion invariants (dgnn-stream) -----------------------
+
+const STREAM_N: u32 = 12;
+
+/// Raw generated op: endpoints, op selector, quarter-step weight (quarters
+/// keep every f32 accumulation exact, so equality checks are bitwise).
+fn event_of(i: usize, raw: (u32, u32, u8, u8)) -> EdgeEvent {
+    let (u, v, op, w) = raw;
+    let weight = w as f32 * 0.25 + 0.25;
+    match op % 3 {
+        0 => EdgeEvent::add(i as u64, u, v, weight),
+        1 => EdgeEvent::remove(i as u64, u, v),
+        _ => EdgeEvent::update(i as u64, u, v, weight),
+    }
+}
+
+/// Reference model: the same ops applied to a plain map, built as a batch
+/// CSR at the end.
+fn batch_state(events: &[EdgeEvent]) -> Csr {
+    let mut state: std::collections::HashMap<(u32, u32), f32> = std::collections::HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::Add => {
+                *state.entry((ev.src, ev.dst)).or_insert(0.0) += ev.weight;
+            }
+            EventKind::Remove => {
+                state.remove(&(ev.src, ev.dst));
+            }
+            EventKind::UpdateWeight => {
+                state.insert((ev.src, ev.dst), ev.weight);
+            }
+        }
+    }
+    let triplets: Vec<(u32, u32, f32)> = state.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+    Csr::from_coo(STREAM_N as usize, STREAM_N as usize, &triplets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random event sequences, incremental materialization equals
+    /// batch snapshot construction bit for bit.
+    #[test]
+    fn streaming_materialize_equals_batch_construction(
+        raw in proptest::collection::vec(
+            (0u32..STREAM_N, 0u32..STREAM_N, 0u8..3, 0u8..8),
+            0..150,
+        ),
+    ) {
+        let events: Vec<EdgeEvent> =
+            raw.into_iter().enumerate().map(|(i, r)| event_of(i, r)).collect();
+        let mut sg = StreamingGraph::new(STREAM_N as usize);
+        sg.apply_all(&events);
+        prop_assert_eq!(sg.materialize(), batch_state(&events));
+    }
+
+    /// DeltaBatcher diffs round-trip through `reconstruct`: cutting a
+    /// random event sequence at arbitrary flush points and chaining the
+    /// diffs over the resident CSR always lands on the live state.
+    #[test]
+    fn delta_batcher_roundtrips_through_reconstruct(
+        raw in proptest::collection::vec(
+            (0u32..STREAM_N, 0u32..STREAM_N, 0u8..3, 0u8..8),
+            1..150,
+        ),
+        cut in 1usize..8,
+    ) {
+        let events: Vec<EdgeEvent> =
+            raw.into_iter().enumerate().map(|(i, r)| event_of(i, r)).collect();
+        let mut batcher = DeltaBatcher::new(STREAM_N as usize);
+        let mut resident = Csr::empty(STREAM_N as usize, STREAM_N as usize);
+        for chunk in events.chunks(cut) {
+            batcher.apply_all(chunk);
+            let d = batcher.flush();
+            resident = reconstruct(&resident, &d);
+            prop_assert_eq!(&resident, &batcher.graph().materialize());
+        }
+        prop_assert_eq!(resident, batch_state(&events));
     }
 }

@@ -10,7 +10,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn cfg(kind: ModelKind) -> ModelConfig {
-    ModelConfig { kind, input_f: 2, hidden: 6, mprod_window: 3, smoothing_window: 3 }
+    ModelConfig {
+        kind,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    }
 }
 
 fn setup(kind: ModelKind) -> (Task, Vec<Vec<u32>>, Model, ClassificationHead, ParamStore) {
@@ -53,10 +59,18 @@ fn laundering_detection_beats_chance() {
         &mut store,
         &task,
         &labels,
-        &TrainOptions { epochs: 80, lr: 0.1, nb: 2, seed: 13 },
+        &TrainOptions {
+            epochs: 80,
+            lr: 0.1,
+            nb: 2,
+            seed: 13,
+        },
     );
     let first = stats.first().unwrap();
-    let best = stats.iter().map(|s| s.balanced_accuracy).fold(0.0, f64::max);
+    let best = stats
+        .iter()
+        .map(|s| s.balanced_accuracy)
+        .fold(0.0, f64::max);
     assert!(
         stats.last().unwrap().loss < first.loss,
         "loss should fall: {} -> {}",
@@ -76,7 +90,12 @@ fn classification_works_for_all_models() {
             &mut store,
             &task,
             &labels,
-            &TrainOptions { epochs: 6, lr: 0.05, nb: 2, seed: 13 },
+            &TrainOptions {
+                epochs: 6,
+                lr: 0.05,
+                nb: 2,
+                seed: 13,
+            },
         );
         assert!(
             stats.last().unwrap().loss < stats.first().unwrap().loss,
@@ -97,13 +116,23 @@ fn classification_checkpoint_invariance() {
             &mut store,
             &task,
             &labels,
-            &TrainOptions { epochs: 1, lr: 0.0, nb, seed: 13 },
+            &TrainOptions {
+                epochs: 1,
+                lr: 0.0,
+                nb,
+                seed: 13,
+            },
         );
         store.grads_flat()
     };
     let a = run(1);
     let b = run(3);
     let norm = a.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
-    let diff = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max) / norm;
+    let diff = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+        / norm;
     assert!(diff < 1e-5, "relative gradient diff {diff}");
 }

@@ -3,8 +3,8 @@
 //! materialised graphs, and its transfer-byte accounting matches the
 //! functional trainer's.
 
-use dgnn_core::prelude::*;
 use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
 use dgnn_graph::stats::Smoothing as St;
 use dgnn_sim::perf::{estimate_epoch, ModelKind as PerfModel, PerfConfig};
 use rand::rngs::StdRng;
@@ -16,8 +16,7 @@ fn closed_form_stats_match_materialised_graph() {
     let g = dgnn_graph::gen::churn(n, t, m, rho, 23);
     let smoothed = St::MProduct(w).apply(&g);
     let exact = TemporalStats::from_graph(&smoothed);
-    let predicted =
-        TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, St::MProduct(w));
+    let predicted = TemporalStats::churn_closed_form(n as u64, t, m as f64, rho, St::MProduct(w));
     for ti in 0..t {
         let e = exact.nnz[ti] as f64;
         let p = predicted.nnz[ti] as f64;
@@ -58,7 +57,12 @@ fn perf_engine_transfer_matches_functional_accounting() {
         &head,
         &mut store,
         &task,
-        &TrainOptions { epochs: 1, lr: 0.01, nb, seed: 7 },
+        &TrainOptions {
+            epochs: 1,
+            lr: 0.01,
+            nb,
+            seed: 7,
+        },
     );
     let functional_gd = stats[0].transfer_gd_bytes;
     let functional_naive = stats[0].transfer_naive_bytes;
@@ -77,9 +81,7 @@ fn perf_engine_transfer_matches_functional_accounting() {
         let spec = dgnn_sim::MachineSpec::aimos_like();
         let report = estimate_epoch(&mk(gd));
         let transfers = 2.0 * task.t as f64; // two passes, one call per snapshot
-        (report.transfer_ms * 1e3 - transfers * spec.transfer_latency_us)
-            * spec.pcie_gbps
-            * 1e3
+        (report.transfer_ms * 1e3 - transfers * spec.transfer_latency_us) * spec.pcie_gbps * 1e3
     };
     let engine_gd = engine_bytes(true) as u64;
     let engine_naive = engine_bytes(false) as u64;
@@ -119,7 +121,10 @@ fn engine_speedups_land_in_paper_band() {
     let stats = spec.stats(St::MProduct(spec.calibrated_mproduct_window()));
     let time_at = |p: usize| {
         let cfg = PerfConfig::new(PerfModel::TmGcn, stats.clone(), p, 1);
-        dgnn_sim::perf::tune_nb(&cfg).expect("feasible").1.total_ms()
+        dgnn_sim::perf::tune_nb(&cfg)
+            .expect("feasible")
+            .1
+            .total_ms()
     };
     let t1 = time_at(1);
     let t128 = time_at(128);

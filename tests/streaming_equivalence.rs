@@ -1,0 +1,118 @@
+//! Online-vs-batch training equivalence: the streaming trainer driven
+//! over a replayed event log must match `train_single` on the equivalent
+//! precomputed snapshot sequence.
+
+use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
+use dgnn_core::StreamTrainOptions;
+use dgnn_graph::gen::churn_skewed;
+use dgnn_models::Model;
+use dgnn_stream::EventLog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        kind: ModelKind::TmGcn,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    }
+}
+
+fn batch_loss(g: &DynamicGraph, epochs: usize, train: &TrainOptions) -> f64 {
+    let task = prepare_task_holdout(g, &cfg(), &TaskOptions::default());
+    let mut rng = StdRng::seed_from_u64(train.seed);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg(), &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg().embedding_dim(), 2, &mut rng);
+    let stats = train_single(
+        &model,
+        &head,
+        &mut store,
+        &task,
+        &TrainOptions { epochs, ..*train },
+    );
+    stats.last().unwrap().loss
+}
+
+#[test]
+fn single_window_stream_matches_batch_trainer() {
+    // min_history = T - 1: only the final window trains, from a fresh
+    // initialisation — the streaming run must then be the batch run.
+    let g = churn_skewed(60, 8, 240, 0.3, 0.9, 11);
+    let train = TrainOptions {
+        lr: 0.05,
+        nb: 2,
+        seed: 7,
+        ..Default::default()
+    };
+    let epochs = 8;
+    let batch = batch_loss(&g, epochs, &train);
+
+    let log = EventLog::replay(&g);
+    let opts = StreamTrainOptions {
+        policy: WindowPolicy::Tumbling { width: 1 },
+        history: g.t() - 1,
+        min_history: g.t() - 1,
+        epochs_per_window: epochs,
+        train,
+        task: TaskOptions::default(),
+    };
+    let stats = train_streaming(&log, cfg(), &opts);
+    assert_eq!(stats.len(), 1, "exactly the final window trains");
+    let stream = stats[0].final_loss();
+    let rel = (stream - batch).abs() / batch;
+    assert!(
+        rel < 0.05,
+        "stream loss {stream} vs batch loss {batch} (rel {rel})"
+    );
+    // Identical seeds and data make it bit-close, not merely within 5%.
+    assert!(rel < 1e-6, "trajectories should coincide, rel {rel}");
+}
+
+#[test]
+fn warm_started_stream_reaches_batch_loss() {
+    // Continual training across many windows must end at least as well
+    // (within 5%) as one batch run over the same timeline.
+    let g = churn_skewed(60, 10, 240, 0.2, 0.9, 8);
+    let train = TrainOptions {
+        lr: 0.05,
+        nb: 1,
+        seed: 7,
+        ..Default::default()
+    };
+    let epochs = 10;
+    let batch = batch_loss(&g, epochs, &train);
+
+    let log = EventLog::replay(&g);
+    let opts = StreamTrainOptions {
+        policy: WindowPolicy::Tumbling { width: 1 },
+        history: g.t() - 1,
+        min_history: 2,
+        epochs_per_window: 5,
+        train,
+        task: TaskOptions::default(),
+    };
+    let stats = train_streaming(&log, cfg(), &opts);
+    assert!(stats.len() > 3, "multiple windows should train");
+    let stream = stats.last().unwrap().final_loss();
+    assert!(
+        stream <= batch * 1.05,
+        "warm-started stream loss {stream} should reach batch loss {batch}"
+    );
+}
+
+#[test]
+fn streamed_windows_feed_identical_tasks() {
+    // The bridge guarantee behind both tests above: collecting the
+    // tumbling windows of a replayed log yields the original graph.
+    let g = churn_skewed(40, 6, 120, 0.3, 0.7, 3);
+    let log = EventLog::replay(&g);
+    let back = dgnn_stream::collect_dynamic_graph(&log, WindowPolicy::Tumbling { width: 1 });
+    assert_eq!(back.t(), g.t());
+    for t in 0..g.t() {
+        assert_eq!(back.snapshot(t).adj(), g.snapshot(t).adj(), "t = {t}");
+    }
+}

@@ -2,13 +2,19 @@
 //! single-rank checkpointed trainer (the sequential reference every
 //! distributed scheme must match).
 
-use dgnn_core::prelude::*;
 use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn cfg(kind: ModelKind) -> ModelConfig {
-    ModelConfig { kind, input_f: 2, hidden: 6, mprod_window: 3, smoothing_window: 3 }
+    ModelConfig {
+        kind,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    }
 }
 
 fn build(kind: ModelKind, seed: u64) -> (Model, LinkPredHead, ParamStore) {
@@ -30,11 +36,19 @@ fn all_models_reduce_loss_on_skewed_churn() {
             &head,
             &mut store,
             &task,
-            &TrainOptions { epochs: 12, lr: 0.05, nb: 2, seed: 5 },
+            &TrainOptions {
+                epochs: 12,
+                lr: 0.05,
+                nb: 2,
+                seed: 5,
+            },
         );
         let first = stats.first().unwrap().loss;
         let last = stats.last().unwrap().loss;
-        assert!(last < first - 1e-4, "{kind:?}: loss {first:.5} -> {last:.5}");
+        assert!(
+            last < first - 1e-4,
+            "{kind:?}: loss {first:.5} -> {last:.5}"
+        );
         assert!(last.is_finite());
     }
 }
@@ -53,7 +67,12 @@ fn link_prediction_beats_chance_on_aml_like_data() {
         &head,
         &mut store,
         &task,
-        &TrainOptions { epochs: 50, lr: 0.1, nb: 1, seed: 9 },
+        &TrainOptions {
+            epochs: 50,
+            lr: 0.1,
+            nb: 1,
+            seed: 9,
+        },
     );
     let best_train = stats.iter().map(|s| s.train_acc).fold(0.0, f64::max);
     let best_test = stats.iter().map(|s| s.test_acc).fold(0.0, f64::max);
@@ -71,7 +90,10 @@ fn precompute_does_not_change_the_math() {
             let task = prepare_task_holdout(
                 &g,
                 &cfg(kind),
-                &TaskOptions { precompute_first_layer: pre, ..Default::default() },
+                &TaskOptions {
+                    precompute_first_layer: pre,
+                    ..Default::default()
+                },
             );
             let (model, head, mut store) = build(kind, 3);
             let stats = train_single(
@@ -79,13 +101,21 @@ fn precompute_does_not_change_the_math() {
                 &head,
                 &mut store,
                 &task,
-                &TrainOptions { epochs: 3, lr: 0.05, nb: 2, seed: 3 },
+                &TrainOptions {
+                    epochs: 3,
+                    lr: 0.05,
+                    nb: 2,
+                    seed: 3,
+                },
             );
             (stats.last().unwrap().loss, store.values_flat())
         };
         let (loss_a, params_a) = run(true);
         let (loss_b, params_b) = run(false);
-        assert!((loss_a - loss_b).abs() < 1e-5, "{kind:?}: {loss_a} vs {loss_b}");
+        assert!(
+            (loss_a - loss_b).abs() < 1e-5,
+            "{kind:?}: {loss_a} vs {loss_b}"
+        );
         let max_diff = params_a
             .iter()
             .zip(&params_b)
@@ -107,11 +137,19 @@ fn longer_training_does_not_blow_up() {
             &head,
             &mut store,
             &task,
-            &TrainOptions { epochs: 40, lr: 0.05, nb: 2, seed: 11 },
+            &TrainOptions {
+                epochs: 40,
+                lr: 0.05,
+                nb: 2,
+                seed: 11,
+            },
         );
         for s in &stats {
             assert!(s.loss.is_finite(), "{kind:?} loss exploded");
         }
-        assert!(store.values_flat().iter().all(|v| v.is_finite()), "{kind:?} params");
+        assert!(
+            store.values_flat().iter().all(|v| v.is_finite()),
+            "{kind:?} params"
+        );
     }
 }
