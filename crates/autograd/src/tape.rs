@@ -296,26 +296,39 @@ impl Tape {
 
     /// Fused mean softmax cross-entropy of `logits` (`S x C`) against integer
     /// `labels` (length `S`, entries `< C`). Returns a `1x1` loss node.
+    ///
+    /// The per-row softmax runs row-parallel on the intra-rank pool (each
+    /// row is self-contained), then the loss accumulates serially in
+    /// ascending row order — the same f64 addition sequence as the serial
+    /// kernel, so the loss is bit-identical at every thread count.
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: Rc<Vec<u32>>) -> Var {
         let z = self.value(logits);
         let (s, c) = z.shape();
         assert_eq!(labels.len(), s, "labels/logits row mismatch");
         let mut probs = Dense::zeros(s, c);
+        dgnn_tensor::pool::par_rows(
+            probs.data_mut(),
+            c,
+            s.saturating_mul(c).saturating_mul(8),
+            |r0, block| {
+                for (dr, prow) in block.chunks_mut(c).enumerate() {
+                    let row = z.row(r0 + dr);
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut denom = 0.0f32;
+                    for (p, &v) in prow.iter_mut().zip(row) {
+                        let e = (v - max).exp();
+                        *p = e;
+                        denom += e;
+                    }
+                    for p in prow {
+                        *p /= denom;
+                    }
+                }
+            },
+        );
         let mut loss = 0.0f64;
-        for r in 0..s {
-            let row = z.row(r);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            for (j, &v) in row.iter().enumerate() {
-                let e = (v - max).exp();
-                probs.set(r, j, e);
-                denom += e;
-            }
-            for j in 0..c {
-                let p = probs.get(r, j) / denom;
-                probs.set(r, j, p);
-            }
-            let label = labels[r] as usize;
+        for (r, &label) in labels.iter().enumerate() {
+            let label = label as usize;
             assert!(label < c, "label out of range");
             loss -= f64::from(probs.get(r, label).max(1e-12).ln());
         }

@@ -192,6 +192,7 @@ fn bench_training_epoch(c: &mut Criterion) {
                         lr: 0.05,
                         nb: 2,
                         seed: 7,
+                        threads: None,
                     },
                 );
                 std::hint::black_box(stats[0].loss)

@@ -1,0 +1,8 @@
+//! Harness binary for the kernel-scaling benchmark (serial vs 2/4/8 pool
+//! threads); pass `--fast` for reduced problem sizes. Asserts ≥ 1.7x at 4
+//! threads for `matmul`/`spmm` when the host has at least 4 cores, and
+//! records the timings to `BENCH_parallel.json`.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::kernel_scaling::run(fast);
+}

@@ -38,6 +38,7 @@ pub fn run(fast: bool) {
         lr: 0.05,
         nb: 2,
         seed: 11,
+        ..TrainOptions::default()
     };
 
     for kind in ModelKind::all() {

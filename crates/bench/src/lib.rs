@@ -8,7 +8,8 @@
 //! Binaries: `table1`, `fig4_graph_diff`, `fig5_strong_scaling`,
 //! `fig6_convergence`, `fig7_weak_scaling`, `table2_partition`,
 //! `table3_hybrid`, `ablations`, `streaming` (event-ingestion throughput
-//! and incremental-vs-rebuild window advance), plus `calib`
+//! and incremental-vs-rebuild window advance), `kernel_scaling` (serial vs
+//! threaded kernels, recorded to `BENCH_parallel.json`), plus `calib`
 //! (machine-constant calibration) and `run_all`.
 
 pub mod ablations;
@@ -16,6 +17,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod kernel_scaling;
 pub mod streaming;
 pub mod table1;
 pub mod table2;

@@ -63,6 +63,7 @@ pub fn run(fast: bool) {
         lr: 0.1,
         nb: 2,
         seed: 19,
+        ..TrainOptions::default()
     };
 
     // Hybrid (2 members splitting every snapshot).

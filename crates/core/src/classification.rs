@@ -178,6 +178,7 @@ pub fn train_single_classification(
     opts: &TrainOptions,
 ) -> Vec<ClassEpochStats> {
     assert_eq!(labels.len(), task.t, "one label vector per timestep");
+    let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
     let labels: Vec<Rc<Vec<u32>>> = labels.iter().map(|l| Rc::new(l.clone())).collect();
     let blocks = balanced_ranges(task.t, opts.nb.min(task.t));
     let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();

@@ -330,6 +330,7 @@ pub fn train_distributed(
     opts: &TrainOptions,
     p: usize,
 ) -> Vec<EpochStats> {
+    let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
     let task = prepare_task(raw, next, &cfg, task_opts);
     let results = run_ranks(p, |comm| train_rank(comm, &task, cfg, opts));
     results.into_iter().next().expect("at least one rank")
@@ -341,6 +342,9 @@ fn train_rank(
     cfg: ModelConfig,
     opts: &TrainOptions,
 ) -> Vec<EpochStats> {
+    // `opts.threads` (installed by the entry fn) reaches this rank thread
+    // via `run_ranks`' override propagation: each rank owns an independent
+    // pool of that size.
     let p = comm.world();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut store = ParamStore::new();
@@ -497,6 +501,7 @@ mod tests {
                     lr: 0.05,
                     nb: 2,
                     seed: 3,
+                    threads: None,
                 },
                 2,
             );
@@ -526,6 +531,7 @@ mod tests {
                     lr: 0.02,
                     nb: 1,
                     seed: 3,
+                    threads: None,
                 },
                 p,
             )

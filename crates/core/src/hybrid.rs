@@ -239,6 +239,7 @@ pub fn train_hybrid(
     opts: &TrainOptions,
     p: usize,
 ) -> Vec<EpochStats> {
+    let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
     let task = prepare_task(raw, next, &cfg, task_opts);
     let results = run_ranks(p, |comm| {
         // Each member extracts its row blocks of every Laplacian.
@@ -382,6 +383,7 @@ mod tests {
                 lr: 0.02,
                 nb: 1,
                 seed: 3,
+                threads: None,
             },
             2,
         );

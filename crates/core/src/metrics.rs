@@ -11,6 +11,12 @@ pub struct TrainOptions {
     pub nb: usize,
     /// Parameter-initialisation seed (all ranks must agree).
     pub seed: u64,
+    /// Intra-rank kernel threads (per rank thread for the distributed
+    /// trainers). `None` defers to the `DGNN_THREADS` environment variable,
+    /// then to `available_parallelism` divided among live rank threads.
+    /// Results are bit-identical at every setting — the parallel kernels
+    /// are deterministic by construction.
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainOptions {
@@ -20,6 +26,7 @@ impl Default for TrainOptions {
             lr: 0.01,
             nb: 1,
             seed: 42,
+            threads: None,
         }
     }
 }

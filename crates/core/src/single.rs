@@ -101,6 +101,7 @@ pub fn train_single(
     opts: &TrainOptions,
 ) -> Vec<EpochStats> {
     assert!(opts.nb >= 1, "need at least one block");
+    let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
     let blocks = balanced_ranges(task.t, opts.nb.min(task.t));
     let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();
     let mut opt = Adam::new(opts.lr);
@@ -222,6 +223,7 @@ mod tests {
                 lr: 0.05,
                 nb: 1,
                 seed: 7,
+                threads: None,
             };
             let stats = train_single(&model, &head, &mut store, &task, &opts);
             let first = stats.first().unwrap().loss;
@@ -245,6 +247,7 @@ mod tests {
                     lr: 0.02,
                     nb,
                     seed: 7,
+                    threads: None,
                 };
                 let stats = train_single(&model, &head, &mut store, &task, &opts);
                 (stats.last().unwrap().loss, store.values_flat())
@@ -272,6 +275,7 @@ mod tests {
             lr: 0.01,
             nb: 2,
             seed: 7,
+            threads: None,
         };
         let stats = train_single(&model, &head, &mut store, &task, &opts);
         let s = &stats[0];
@@ -289,6 +293,7 @@ mod tests {
             lr: 0.1,
             nb: 1,
             seed: 7,
+            threads: None,
         };
         let stats = train_single(&model, &head, &mut store, &task, &opts);
         let best = stats.iter().map(|s| s.test_acc).fold(0.0, f64::max);

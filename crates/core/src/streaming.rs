@@ -108,6 +108,7 @@ pub fn train_streaming(
         opts.history
     );
     let n = log.n();
+    let _threads = dgnn_tensor::pool::scoped_threads(opts.train.threads);
 
     // One parameter store for the whole stream: this is the warm start.
     let mut rng = StdRng::seed_from_u64(opts.train.seed);

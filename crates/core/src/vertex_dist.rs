@@ -438,6 +438,7 @@ pub fn train_vertex_partitioned(
     opts: &TrainOptions,
     p: usize,
 ) -> Vec<EpochStats> {
+    let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
     // Samples are drawn in the original vertex space so both schemes train
     // on the same task, then renamed alongside the vertices.
     let task = prepare_task(raw, next, &cfg, task_opts);
@@ -619,6 +620,7 @@ mod tests {
                 lr: 0.02,
                 nb: 1,
                 seed: 3,
+                threads: None,
             },
             2,
         );

@@ -223,6 +223,13 @@ impl Comm {
 ///
 /// This stands in for the MPI/NCCL process group of the original system.
 /// Payload moves through channels by value, exactly like wire transfers.
+///
+/// While the ranks run they are registered with the intra-rank thread
+/// pool ([`dgnn_tensor::pool::RankScope`]), so the default kernel thread
+/// count becomes `available_parallelism / p` — rank-level and intra-rank
+/// parallelism compose instead of oversubscribing the host. The calling
+/// thread's explicit thread override (if any) is propagated into every
+/// rank thread.
 pub fn run_ranks<R, F>(p: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -245,10 +252,17 @@ where
         .collect();
     drop(txs);
     let f = &f;
+    let ambient_threads = dgnn_tensor::pool::thread_override();
+    let _ranks = dgnn_tensor::pool::RankScope::enter(p);
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .iter_mut()
-            .map(|comm| scope.spawn(move |_| f(comm)))
+            .map(|comm| {
+                scope.spawn(move |_| {
+                    let _threads = dgnn_tensor::pool::scoped_threads(ambient_threads);
+                    f(comm)
+                })
+            })
             .collect();
         handles
             .into_iter()

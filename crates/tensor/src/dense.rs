@@ -1,10 +1,19 @@
 //! Dense row-major `f32` matrices and the kernels dynamic-GNN training needs.
 //!
 //! The GPU kernels of the original system (PyTorch/CUDA) are replaced by
-//! straightforward cache-friendly CPU loops; `matmul` uses the i-k-j order so
-//! the inner loop streams over contiguous rows of both operands.
+//! cache-friendly CPU loops; `matmul` uses the i-k-j order so the inner loop
+//! streams over contiguous rows of both operands.
+//!
+//! The hot kernels (`matmul*`, element-wise maps, reductions) run on the
+//! intra-rank thread pool ([`crate::pool`]) when the matrix is large enough:
+//! each pool thread produces a disjoint contiguous block of the output with
+//! the same inner loop the serial kernel uses, so results are bit-identical
+//! at every thread count. Scalar reductions use the fixed-chunk order of
+//! [`crate::pool::reduce_chunks`], which is likewise thread-count invariant.
 
 use std::fmt;
+
+use crate::pool;
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
@@ -150,66 +159,90 @@ impl Dense {
         self.data
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, row-parallel over the output.
     ///
     /// # Panics
-    /// Panics when the inner dimensions disagree.
+    /// Panics when the inner dimensions disagree — validated up front,
+    /// before any output allocation.
     pub fn matmul(&self, other: &Dense) -> Dense {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Dense::zeros(self.rows, other.cols);
         let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let mut out = Dense::zeros(self.rows, n);
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(n);
+        pool::par_rows(&mut out.data, n, work, |r0, block| {
+            for (di, out_row) in block.chunks_mut(n).enumerate() {
+                let a_row = self.row(r0 + di);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `selfᵀ * other` without materialising the transpose.
+    /// Parallel over output rows — column slices of `self`; the k-outer
+    /// accumulation order per output element matches the serial kernel, so
+    /// any partition yields identical bits.
+    ///
+    /// # Panics
+    /// Panics when the row counts disagree — validated up front, before
+    /// any output allocation.
     pub fn matmul_transa(&self, other: &Dense) -> Dense {
         assert_eq!(self.rows, other.rows, "matmul_transa shape mismatch");
-        let mut out = Dense::zeros(self.cols, other.cols);
         let n = other.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let cols = self.cols;
+        let mut out = Dense::zeros(cols, n);
+        let work = self.rows.saturating_mul(cols).saturating_mul(n);
+        pool::par_rows(&mut out.data, n, work, |i0, block| {
+            let i1 = i0 + block.len() / n;
+            for k in 0..self.rows {
+                let a_slice = &self.data[k * cols + i0..k * cols + i1];
+                let b_row = other.row(k);
+                for (di, &a) in a_slice.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut block[di * n..(di + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
-    /// Matrix product `self * otherᵀ` without materialising the transpose.
+    /// Matrix product `self * otherᵀ` without materialising the transpose,
+    /// row-parallel over the output.
+    ///
+    /// # Panics
+    /// Panics when the column counts disagree — validated up front, before
+    /// any output allocation.
     pub fn matmul_transb(&self, other: &Dense) -> Dense {
         assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
-        let mut out = Dense::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        let n = other.rows;
+        let mut out = Dense::zeros(self.rows, n);
+        let work = self.rows.saturating_mul(n).saturating_mul(self.cols);
+        pool::par_rows(&mut out.data, n, work, |r0, block| {
+            for (di, out_row) in block.chunks_mut(n).enumerate() {
+                let a_row = self.row(r0 + di);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                out.data[i * other.rows + j] = acc;
             }
-        }
+        });
         out
     }
 
@@ -246,20 +279,26 @@ impl Dense {
         self.zip_map(other, |a, b| a * b)
     }
 
-    /// In-place `self += other`.
+    /// In-place `self += other` (element-parallel).
     pub fn add_assign(&mut self, other: &Dense) {
         self.assert_same_shape(other, "add_assign");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        pool::par_elems(&mut self.data, |start, chunk| {
+            let n = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&other.data[start..start + n]) {
+                *a += b;
+            }
+        });
     }
 
-    /// In-place `self += alpha * other`.
+    /// In-place `self += alpha * other` (element-parallel).
     pub fn axpy(&mut self, alpha: f32, other: &Dense) {
         self.assert_same_shape(other, "axpy");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        pool::par_elems(&mut self.data, |start, chunk| {
+            let n = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&other.data[start..start + n]) {
+                *a += alpha * b;
+            }
+        });
     }
 
     /// Scalar multiple `alpha * self`.
@@ -267,58 +306,86 @@ impl Dense {
         self.map(|v| v * alpha)
     }
 
-    /// In-place scalar multiply.
+    /// In-place scalar multiply (element-parallel).
     pub fn scale_assign(&mut self, alpha: f32) {
-        for v in &mut self.data {
-            *v *= alpha;
-        }
+        pool::par_elems(&mut self.data, |_, chunk| {
+            for v in chunk {
+                *v *= alpha;
+            }
+        });
     }
 
-    /// Applies `f` element-wise, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Dense {
+    /// Applies `f` element-wise, returning a new matrix (element-parallel,
+    /// which is why `f` must be `Sync`).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Dense {
+        let mut data = vec![0.0f32; self.data.len()];
+        pool::par_elems(&mut data, |start, chunk| {
+            let n = chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&self.data[start..start + n]) {
+                *o = f(v);
+            }
+        });
         Dense {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
-    /// Element-wise combination of two equally-shaped matrices.
-    pub fn zip_map(&self, other: &Dense, f: impl Fn(f32, f32) -> f32) -> Dense {
+    /// Element-wise combination of two equally-shaped matrices
+    /// (element-parallel, which is why `f` must be `Sync`).
+    pub fn zip_map(&self, other: &Dense, f: impl Fn(f32, f32) -> f32 + Sync) -> Dense {
         self.assert_same_shape(other, "zip_map");
+        let mut data = vec![0.0f32; self.data.len()];
+        pool::par_elems(&mut data, |start, chunk| {
+            let n = chunk.len();
+            let a = &self.data[start..start + n];
+            let b = &other.data[start..start + n];
+            for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
+            }
+        });
         Dense {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
-    /// Adds a `1 x cols` row vector to every row (bias broadcast).
+    /// Adds a `1 x cols` row vector to every row (bias broadcast),
+    /// row-parallel.
     pub fn add_row_broadcast(&self, bias: &Dense) -> Dense {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias.data) {
-                *o += b;
+        let cols = self.cols;
+        pool::par_rows(&mut out.data, cols, self.data.len(), |_, block| {
+            for row in block.chunks_mut(cols) {
+                for (o, &b) in row.iter_mut().zip(&bias.data) {
+                    *o += b;
+                }
             }
-        }
+        });
         out
     }
 
-    /// Sums the rows into a `1 x cols` vector (the backward of a bias broadcast).
+    /// Sums the rows into a `1 x cols` vector (the backward of a bias
+    /// broadcast). Column-parallel: each output column accumulates its own
+    /// rows top-to-bottom, matching the serial order exactly.
     pub fn sum_rows(&self) -> Dense {
         let mut out = Dense::zeros(1, self.cols);
-        for r in 0..self.rows {
-            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
-                *o += v;
+        let cols = self.cols;
+        let rows = self.rows;
+        // The work is the full input scan (rows × cols), not the short
+        // output, so the engage decision must be weighted accordingly.
+        pool::par_elems_weighted(&mut out.data, self.data.len(), |c0, chunk| {
+            for r in 0..rows {
+                let src = &self.data[r * cols + c0..r * cols + c0 + chunk.len()];
+                for (o, &v) in chunk.iter_mut().zip(src) {
+                    *o += v;
+                }
             }
-        }
+        });
         out
     }
 
@@ -380,12 +447,21 @@ impl Dense {
         Dense { rows, cols, data }
     }
 
-    /// Gathers the given rows into a new matrix (`out[i] = self[idx[i]]`).
+    /// Gathers the given rows into a new matrix (`out[i] = self[idx[i]]`),
+    /// row-parallel.
     pub fn gather_rows(&self, idx: &[u32]) -> Dense {
-        let mut out = Dense::zeros(idx.len(), self.cols);
-        for (i, &r) in idx.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r as usize));
-        }
+        let cols = self.cols;
+        let mut out = Dense::zeros(idx.len(), cols);
+        pool::par_rows(
+            &mut out.data,
+            cols,
+            idx.len().saturating_mul(cols),
+            |r0, block| {
+                for (di, dst) in block.chunks_mut(cols).enumerate() {
+                    dst.copy_from_slice(self.row(idx[r0 + di] as usize));
+                }
+            },
+        );
         out
     }
 
@@ -404,9 +480,11 @@ impl Dense {
         }
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements, in the fixed-chunk order of
+    /// [`pool::reduce_chunks`] (thread-count invariant; identical to a
+    /// plain serial sum for matrices of at most one reduction chunk).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        pool::reduce_chunks(&self.data, |c| c.iter().sum())
     }
 
     /// Mean of all elements.
@@ -418,9 +496,9 @@ impl Dense {
         }
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (fixed-chunk reduction, like [`Dense::sum`]).
     pub fn frob_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        pool::reduce_chunks(&self.data, |c| c.iter().map(|v| v * v).sum()).sqrt()
     }
 
     /// Largest absolute element difference against `other`.
@@ -554,5 +632,35 @@ mod tests {
         let a = Dense::zeros(2, 3);
         let b = Dense::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transa shape mismatch")]
+    fn matmul_transa_shape_panics() {
+        let a = Dense::zeros(2, 3);
+        let b = Dense::zeros(3, 2);
+        let _ = a.matmul_transa(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transb shape mismatch")]
+    fn matmul_transb_shape_panics() {
+        let a = Dense::zeros(2, 3);
+        let b = Dense::zeros(3, 2);
+        let _ = a.matmul_transb(&b);
+    }
+
+    #[test]
+    fn empty_shapes_produce_empty_products() {
+        // Degenerate shapes must not trip the parallel dispatch.
+        let a = Dense::zeros(0, 3);
+        let b = Dense::zeros(3, 4);
+        assert_eq!(a.matmul(&b).shape(), (0, 4));
+        let c = Dense::zeros(5, 0);
+        let d = Dense::zeros(0, 2);
+        assert_eq!(c.matmul(&d).shape(), (5, 2));
+        assert_eq!(c.matmul(&d), Dense::zeros(5, 2));
+        assert_eq!(a.matmul_transa(&Dense::zeros(0, 2)).shape(), (3, 2));
+        assert_eq!(c.matmul_transb(&Dense::zeros(7, 0)).shape(), (5, 7));
     }
 }

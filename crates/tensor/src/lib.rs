@@ -12,6 +12,7 @@
 
 pub mod dense;
 pub mod init;
+pub mod pool;
 pub mod sparse;
 pub mod tensor3;
 

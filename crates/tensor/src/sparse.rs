@@ -1,22 +1,51 @@
 //! Compressed-sparse-row matrices, SpMM, and the normalized graph Laplacian
 //! used by every GCN layer (paper Eq. 1).
 
+use std::sync::{Arc, OnceLock};
+
 use crate::dense::Dense;
+use crate::pool;
 
 /// A sparse matrix in compressed-sparse-row form with `f32` values.
 ///
 /// Column indices within a row are kept sorted and unique, which the
 /// graph-difference machinery in `dgnn-graph` relies on.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Csr {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     values: Vec<f32>,
+    /// Lazily-built transpose, populated by the parallel path of
+    /// [`Csr::spmm_transa`]: trainers call that backward kernel with the
+    /// same immutable Laplacian once per layer per block rerun per epoch,
+    /// so the counting sort amortizes to once per matrix. Cleared by
+    /// [`Csr::values_mut`] (the only mutation surface); excluded from
+    /// equality.
+    transpose_cache: OnceLock<Arc<Csr>>,
+}
+
+/// Equality over the matrix contents only — the transpose cache is a
+/// derived artifact and must not affect comparisons.
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.values == other.values
+    }
 }
 
 impl Csr {
+    /// Approximate cost of one counting-sort transpose entry, expressed in
+    /// units of one gather feature-column (a random write per entry vs a
+    /// streamed multiply-add per column). Calibrated from the
+    /// `kernel_scaling` bench; used by [`Csr::spmm_transa`] to decide when
+    /// the transpose-then-gather parallel path beats the serial scatter.
+    pub const TRANSPOSE_COST_F_UNITS: usize = 40;
+
     /// An empty (all-zero) matrix of the given shape.
     pub fn empty(rows: usize, cols: usize) -> Self {
         Self {
@@ -25,6 +54,7 @@ impl Csr {
             indptr: vec![0; rows + 1],
             indices: Vec::new(),
             values: Vec::new(),
+            transpose_cache: OnceLock::new(),
         }
     }
 
@@ -36,6 +66,7 @@ impl Csr {
             indptr: (0..=n).collect(),
             indices: (0..n as u32).collect(),
             values: vec![1.0; n],
+            transpose_cache: OnceLock::new(),
         }
     }
 
@@ -75,6 +106,7 @@ impl Csr {
             indptr,
             indices,
             values,
+            transpose_cache: OnceLock::new(),
         }
     }
 
@@ -105,6 +137,7 @@ impl Csr {
             indptr,
             indices,
             values,
+            transpose_cache: OnceLock::new(),
         }
     }
 
@@ -145,8 +178,10 @@ impl Csr {
     }
 
     /// Mutable value array (topology is fixed; only weights may change).
+    /// Drops the cached transpose — its values would go stale.
     #[inline]
     pub fn values_mut(&mut self) -> &mut [f32] {
+        self.transpose_cache = OnceLock::new();
         &mut self.values
     }
 
@@ -199,61 +234,134 @@ impl Csr {
     }
 
     /// The transposed matrix (CSR of the transpose, built by counting sort).
+    ///
+    /// When the pool engages, the counting sort runs partitioned: each part
+    /// histograms its slice of source rows, a serial prefix pass turns the
+    /// histograms into exact per-part slot cursors, and the parts scatter
+    /// into disjoint slots concurrently. Every entry's output slot is fixed
+    /// by the global row-major order, so the result is identical to the
+    /// serial counting sort at any thread count (or partition).
     pub fn transpose(&self) -> Csr {
-        let mut counts = vec![0usize; self.cols + 1];
-        for &c in &self.indices {
-            counts[c as usize + 1] += 1;
-        }
-        for i in 1..=self.cols {
-            counts[i] += counts[i - 1];
-        }
-        let indptr = counts.clone();
-        let mut indices = vec![0u32; self.nnz()];
-        let mut values = vec![0f32; self.nnz()];
-        let mut cursor = counts;
-        for r in 0..self.rows {
-            for (c, v) in self.row_iter(r) {
-                let slot = cursor[c as usize];
-                indices[slot] = r as u32;
-                values[slot] = v;
-                cursor[c as usize] += 1;
+        let (rows, cols, nnz) = (self.rows, self.cols, self.nnz());
+        // Histogram + scatter both move ~nnz entries; weight the engage
+        // decision like an f=8 SpMM so tiny matrices stay serial.
+        let work = nnz.saturating_mul(8);
+        let parts = if pool::rows_parallel(rows, work) {
+            (pool::effective_threads() * 2).min(rows.max(1))
+        } else {
+            1
+        };
+        let rows_per_part = rows.div_ceil(parts).max(1);
+
+        // Per-part column histograms (part-partitioned, reads only its rows).
+        let mut counts = vec![0u32; parts * cols];
+        pool::par_rows(&mut counts, cols, work, |p0, block| {
+            for (dp, hist) in block.chunks_mut(cols).enumerate() {
+                let p = p0 + dp;
+                let lo = (p * rows_per_part).min(rows);
+                let hi = ((p + 1) * rows_per_part).min(rows);
+                for &c in &self.indices[self.indptr[lo]..self.indptr[hi]] {
+                    hist[c as usize] += 1;
+                }
             }
+        });
+
+        // Serial prefix: output row starts, then each part's slot cursor
+        // per output row (disjoint slot ranges across parts).
+        let mut indptr = vec![0usize; cols + 1];
+        let mut cursors = vec![0usize; parts * cols];
+        for c in 0..cols {
+            let mut pos = indptr[c];
+            for p in 0..parts {
+                cursors[p * cols + c] = pos;
+                pos += counts[p * cols + c] as usize;
+            }
+            indptr[c + 1] = pos;
         }
+
+        // Parallel scatter into the pre-computed disjoint slots. Slot
+        // ranges are disjoint per (part, output row) by construction, so
+        // concurrent writes through the shared base pointers are sound —
+        // the contract `rayon::SendPtr` exists for.
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0f32; nnz];
+        let idx_ptr = rayon::SendPtr::new(indices.as_mut_ptr());
+        let val_ptr = rayon::SendPtr::new(values.as_mut_ptr());
+        pool::par_indices(parts, work, |p| {
+            let mut cursor = cursors[p * cols..(p + 1) * cols].to_vec();
+            let lo = (p * rows_per_part).min(rows);
+            let hi = ((p + 1) * rows_per_part).min(rows);
+            for r in lo..hi {
+                for (c, v) in self.row_iter(r) {
+                    let slot = cursor[c as usize];
+                    unsafe {
+                        *idx_ptr.ptr().add(slot) = r as u32;
+                        *val_ptr.ptr().add(slot) = v;
+                    }
+                    cursor[c as usize] += 1;
+                }
+            }
+        });
         Csr {
-            rows: self.cols,
-            cols: self.rows,
+            rows: cols,
+            cols: rows,
             indptr,
             indices,
             values,
+            transpose_cache: OnceLock::new(),
         }
     }
 
     /// Sparse-matrix × dense-matrix product (`self * x`), the GCN aggregation
-    /// kernel. `x` must have `self.cols` rows.
+    /// kernel. `x` must have `self.cols` rows. Row-parallel over the output:
+    /// each pool thread aggregates a disjoint block of output rows with the
+    /// serial inner loop, so results are bit-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics when `x` does not have `self.cols` rows — validated up front,
+    /// before any output allocation.
     pub fn spmm(&self, x: &Dense) -> Dense {
         assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
-        let f = x.cols();
-        let mut out = Dense::zeros(self.rows, f);
-        for r in 0..self.rows {
-            let lo = self.indptr[r];
-            let hi = self.indptr[r + 1];
-            let out_row = &mut out.data_mut()[r * f..(r + 1) * f];
-            for k in lo..hi {
-                let c = self.indices[k] as usize;
-                let v = self.values[k];
-                let x_row = &x.data()[c * f..(c + 1) * f];
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
-                }
-            }
-        }
-        out
+        self.spmm_gather(x)
     }
 
-    /// `selfᵀ * x` without materialising the transpose (backward of SpMM).
+    /// `selfᵀ * x` (backward of SpMM).
+    ///
+    /// Serial execution scatters row by row, like the original kernel.
+    /// When the pool engages *and* the feature width amortizes the setup,
+    /// the kernel instead builds the transpose (O(nnz) counting sort) and
+    /// gathers row-parallel over it. The counting sort emits each output
+    /// row's entries in ascending source-row order — exactly the serial
+    /// scatter's accumulation order — so both paths produce identical bits.
+    ///
+    /// The transpose's random per-entry writes cost roughly
+    /// [`Csr::TRANSPOSE_COST_F_UNITS`] feature-columns' worth of gather
+    /// work per entry (measured in `BENCH_parallel.json`), so the parallel
+    /// path only wins when `f·(1 − 1/threads)` exceeds that; below the
+    /// break-even the serial scatter is kept even with threads available.
+    /// The built transpose is cached on the matrix, so trainers that call
+    /// this backward kernel every block rerun and epoch with the same
+    /// immutable Laplacian pay the counting sort once.
+    ///
+    /// # Panics
+    /// Panics when `x` does not have `self.rows` rows — validated up front,
+    /// before any output allocation.
     pub fn spmm_transa(&self, x: &Dense) -> Dense {
         assert_eq!(self.rows, x.rows(), "spmm_transa shape mismatch");
         let f = x.cols();
+        let work = self.nnz().saturating_mul(f);
+        let threads = pool::effective_threads();
+        // With the cache warm the transpose is free, so only the first call
+        // needs the feature width to amortize the counting sort.
+        let amortized = self.transpose_cache.get().is_some()
+            || (threads > 1
+                && f.saturating_mul(threads - 1) > Self::TRANSPOSE_COST_F_UNITS * threads);
+        if amortized && pool::rows_parallel(self.cols, work) {
+            return self
+                .transpose_cache
+                .get_or_init(|| Arc::new(self.transpose()))
+                .spmm_gather(x);
+        }
         let mut out = Dense::zeros(self.cols, f);
         for r in 0..self.rows {
             let x_row = &x.data()[r * f..(r + 1) * f];
@@ -264,6 +372,30 @@ impl Csr {
                 }
             }
         }
+        out
+    }
+
+    /// The row-parallel gather shared by [`Csr::spmm`]'s inner loop and the
+    /// transpose path of [`Csr::spmm_transa`]. `x` is indexed by this
+    /// matrix's columns *without* a shape assertion on the row count — the
+    /// transpose path has already validated the original orientation.
+    fn spmm_gather(&self, x: &Dense) -> Dense {
+        let f = x.cols();
+        let mut out = Dense::zeros(self.rows, f);
+        let work = self.nnz().saturating_mul(f);
+        pool::par_rows(out.data_mut(), f, work, |r0, block| {
+            for (dr, out_row) in block.chunks_mut(f).enumerate() {
+                let r = r0 + dr;
+                for k in self.indptr[r]..self.indptr[r + 1] {
+                    let c = self.indices[k] as usize;
+                    let v = self.values[k];
+                    let x_row = &x.data()[c * f..(c + 1) * f];
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -320,6 +452,7 @@ impl Csr {
             indptr,
             indices,
             values,
+            transpose_cache: OnceLock::new(),
         }
     }
 
@@ -339,6 +472,7 @@ impl Csr {
             indptr,
             indices: self.indices[lo..hi].to_vec(),
             values: self.values[lo..hi].to_vec(),
+            transpose_cache: OnceLock::new(),
         }
     }
 
@@ -500,6 +634,54 @@ mod tests {
         let a = Csr::empty(3, 3);
         let lap = normalized_laplacian(&a, false);
         assert_eq!(lap.to_coo(), vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm shape mismatch")]
+    fn spmm_shape_panics() {
+        let a = Csr::empty(3, 4);
+        let _ = a.spmm(&Dense::zeros(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm_transa shape mismatch")]
+    fn spmm_transa_shape_panics() {
+        let a = Csr::empty(3, 4);
+        let _ = a.spmm_transa(&Dense::zeros(4, 2));
+    }
+
+    #[test]
+    fn spmm_transa_cache_survives_reuse_and_clears_on_value_mutation() {
+        // Engage the cached transpose path (wide features, forced threads)
+        // and check repeated calls agree; then mutate values and check the
+        // stale cache is not consulted.
+        let _g = crate::pool::scoped_threads(Some(4));
+        let edges: Vec<(u32, u32)> = (0..4000u32).map(|i| (i % 97, (i * 7) % 89)).collect();
+        let mut a = Csr::from_edges(100, &edges);
+        let x = Dense::from_fn(100, 96, |r, c| ((r * 5 + c) % 11) as f32 - 5.0);
+        let first = a.spmm_transa(&x);
+        let again = a.spmm_transa(&x);
+        assert_eq!(first, again);
+        let serial_ref = {
+            let _s = crate::pool::scoped_threads(Some(1));
+            a.spmm_transa(&x)
+        };
+        assert_eq!(first, serial_ref);
+        for v in a.values_mut() {
+            *v *= 2.0;
+        }
+        let doubled = a.spmm_transa(&x);
+        assert!(doubled.approx_eq(&first.scale(2.0), 1e-3));
+    }
+
+    #[test]
+    fn spmm_handles_empty_operands() {
+        let a = Csr::empty(4, 3);
+        let x = Dense::zeros(3, 0);
+        assert_eq!(a.spmm(&x).shape(), (4, 0));
+        assert_eq!(a.spmm_transa(&Dense::zeros(4, 2)).shape(), (3, 2));
+        let none = Csr::empty(0, 0);
+        assert_eq!(none.spmm(&Dense::zeros(0, 5)).shape(), (0, 5));
     }
 
     #[test]

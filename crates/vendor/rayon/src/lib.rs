@@ -1,0 +1,425 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses:
+//! a persistent [`ThreadPool`] with [`ThreadPool::parallel_for`] (dynamic
+//! chunk claiming over an index range), [`ThreadPool::par_chunks_mut`]
+//! (disjoint mutable chunks of a slice), and [`ThreadPool::join`].
+//!
+//! The pool is deliberately simpler than real rayon — one job at a time,
+//! no per-worker deques — but keeps the property that matters here:
+//! workers *claim* chunks from a shared atomic counter, so load balances
+//! dynamically, while each chunk maps to a fixed index range. Callers that
+//! assign disjoint output regions per chunk therefore get results that do
+//! not depend on which worker ran which chunk.
+//!
+//! Workers are spawned once and parked on a condvar between jobs, so a
+//! kernel-sized dispatch costs two lock round-trips rather than thread
+//! spawns. Nested parallelism degrades gracefully: a `parallel_for` issued
+//! from inside a running job (from a worker, or from the submitting thread
+//! while it participates) runs inline on the calling thread.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True while the current thread is executing inside a pool job — either
+/// as a worker or as the submitting thread participating in its own job.
+/// Parallel entry points use this to run nested work inline.
+pub fn in_parallel() -> bool {
+    IN_POOL.with(|c| c.get())
+}
+
+/// RAII guard for the IN_POOL flag: restores the previous value on drop,
+/// including during unwinding, so a panicking job cannot leave the thread
+/// permanently marked as inside a pool (which would silently serialize
+/// every later dispatch on it).
+struct InPoolGuard {
+    prev: bool,
+}
+
+fn enter_parallel() -> InPoolGuard {
+    InPoolGuard {
+        prev: IN_POOL.with(|c| c.replace(true)),
+    }
+}
+
+impl Drop for InPoolGuard {
+    fn drop(&mut self) {
+        IN_POOL.with(|c| c.set(self.prev));
+    }
+}
+
+/// Shared-pointer wrapper for disjoint-region parallel writes. The caller
+/// must guarantee that concurrent users write non-overlapping positions;
+/// the `Send`/`Sync` impls are sound only under that contract. Exported so
+/// kernels building scatter phases (e.g. the partitioned CSR transpose)
+/// reuse one audited wrapper instead of re-rolling the unsafe impls.
+pub struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wraps a base pointer for disjoint concurrent writes.
+    pub fn new(ptr: *mut T) -> Self {
+        Self(ptr)
+    }
+
+    /// The wrapped pointer. A method (rather than pub field access) so
+    /// closures capture the whole wrapper, never the raw `*mut T`.
+    pub fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// A dispatched job: a borrowed closure plus the shared chunk counter.
+/// The raw pointers borrow the submitting thread's stack; soundness rests
+/// on `parallel_for` not returning until every worker has finished the job
+/// (`running == 0`), which the `done` condvar enforces.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    next: *const AtomicUsize,
+    chunks: usize,
+}
+
+// The pointers are only dereferenced while the owning `parallel_for` frame
+// is blocked waiting for job completion.
+unsafe impl Send for Job {}
+
+struct State {
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have not yet finished the current job.
+    running: usize,
+    /// First panic payload raised by a worker during the current job; the
+    /// submitter re-raises it once every thread has stopped touching the
+    /// job's borrows.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a new job (or shutdown) is available.
+    work: Condvar,
+    /// Signals the submitter that all workers finished the current job.
+    done: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads. The thread that calls
+/// [`ThreadPool::parallel_for`] participates in the job, so a pool of
+/// `num_threads` executes on `num_threads` threads total while spawning
+/// only `num_threads - 1` workers.
+pub struct ThreadPool {
+    shared: std::sync::Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool that executes jobs on `num_threads` threads
+    /// (including the submitting thread). `num_threads <= 1` spawns no
+    /// workers and every job runs inline.
+    pub fn new(num_threads: usize) -> Self {
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                running: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..num_threads.max(1))
+            .map(|i| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dgnn-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Total threads this pool executes on (workers + the submitter).
+    pub fn num_threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `f(i)` for every `i in 0..chunks`, distributing chunks across
+    /// the pool by atomic claiming. Returns after every invocation has
+    /// completed. Runs inline when the pool has no workers, when `chunks`
+    /// is at most 1, or when called from inside another job.
+    pub fn parallel_for(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() || chunks <= 1 || in_parallel() {
+            let _guard = enter_parallel();
+            for i in 0..chunks {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        // Erase the borrow lifetimes: the raw pointers outlive their use
+        // because this frame blocks until `running == 0` below.
+        let f_erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let job = Job {
+            f: f_erased,
+            next: &next,
+            chunks,
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.job.is_none(), "pool already has a job in flight");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.running = self.workers.len();
+            self.shared.work.notify_all();
+        }
+        // Participate: claim chunks alongside the workers. Panics are
+        // caught so this frame stays alive (the job borrows it) until every
+        // worker has finished, then re-raised.
+        let mine = {
+            let _guard = enter_parallel();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks {
+                    break;
+                }
+                f(i);
+            }))
+        };
+        // Wait for the workers; the job borrows this stack frame.
+        let worker_panic = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.running > 0 {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        if let Err(p) = mine {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(p) = worker_panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    /// Splits `data` into contiguous chunks of `chunk_len` elements (the
+    /// last may be shorter) and runs `f(chunk_index, chunk)` across the
+    /// pool. Chunk boundaries depend only on `chunk_len`, never on which
+    /// worker claims a chunk.
+    pub fn par_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let len = data.len();
+        let chunks = len.div_ceil(chunk_len);
+        if chunks <= 1 || self.workers.is_empty() || in_parallel() {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        // Chunks are disjoint by construction, so handing each claimed
+        // index exclusive access to its own sub-slice is sound.
+        let base = SendPtr::new(data.as_mut_ptr());
+        self.parallel_for(chunks, &|i| {
+            let start = i * chunk_len;
+            let end = (start + chunk_len).min(len);
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+            f(i, chunk);
+        });
+    }
+
+    /// Runs `a` and `b`, potentially in parallel, returning both results.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        if self.workers.is_empty() || in_parallel() {
+            return (a(), b());
+        }
+        let fa = Mutex::new(Some(a));
+        let fb = Mutex::new(Some(b));
+        let ra = Mutex::new(None);
+        let rb = Mutex::new(None);
+        self.parallel_for(2, &|i| {
+            if i == 0 {
+                let f = fa.lock().unwrap().take().expect("join side 0 ran twice");
+                *ra.lock().unwrap() = Some(f());
+            } else {
+                let f = fb.lock().unwrap().take().expect("join side 1 ran twice");
+                *rb.lock().unwrap() = Some(f());
+            }
+        });
+        (
+            ra.into_inner().unwrap().expect("join side 0 never ran"),
+            rb.into_inner().unwrap().expect("join side 1 never ran"),
+        )
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL.with(|c| c.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // Claim chunks until the range is exhausted. The pointers are live:
+        // the submitter blocks until `running` drops to zero below. A panic
+        // in the closure is parked for the submitter to re-raise — the
+        // worker must still decrement `running` or the submitter deadlocks.
+        let f = unsafe { &*job.f };
+        let next = unsafe { &*job.next };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.chunks {
+                break;
+            }
+            f(i);
+        }));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(p) = result {
+            st.panic.get_or_insert(p);
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        for threads in [1, 2, 5] {
+            let pool = ThreadPool::new(threads);
+            let mut data = vec![0u32; 103];
+            pool.par_chunks_mut(&mut data, 10, |ci, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (ci * 10 + j) as u32;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_jobs() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.parallel_for(7, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1400);
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_inline() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.parallel_for(4, &|_| {
+            // Re-entrant dispatch must not deadlock on the single job slot.
+            pool.parallel_for(5, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 6 * 7, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        let mut data = vec![0u8; 16];
+        pool.par_chunks_mut(&mut data, 4, |ci, chunk| {
+            for v in chunk {
+                *v = ci as u8;
+            }
+        });
+        assert_eq!(&data[..5], &[0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_and_pool_stays_usable() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Enough chunks that workers certainly participate; every chunk
+            // panics, so whichever thread runs one raises.
+            pool.parallel_for(64, &|_| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        let counter = AtomicU64::new(0);
+        pool.parallel_for(64, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+}

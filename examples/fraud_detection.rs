@@ -50,6 +50,7 @@ fn main() {
             lr: 0.05,
             nb: 2,
             seed: 11,
+            threads: None,
         },
         p,
     );

@@ -41,6 +41,7 @@ fn main() {
         lr: 0.05,
         nb: 4,
         seed: 7,
+        threads: None,
     };
 
     println!(

@@ -33,6 +33,7 @@ fn grads_for(kind: ModelKind, nb: usize, t: usize) -> Vec<f32> {
             lr: 0.0,
             nb,
             seed: 7,
+            threads: None,
         },
     );
     store.grads_flat()

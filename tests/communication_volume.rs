@@ -35,6 +35,7 @@ fn snapshot_trainer_moves_the_predicted_feature_volume() {
                 lr: 0.01,
                 nb: 2,
                 seed: 3,
+                threads: None,
             },
             p,
         );
@@ -74,6 +75,7 @@ fn snapshot_volume_is_independent_of_density() {
                 lr: 0.01,
                 nb: 1,
                 seed: 3,
+                threads: None,
             },
             2,
         );
@@ -127,6 +129,7 @@ fn evolvegcn_communicates_orders_less_than_tmgcn() {
                 lr: 0.01,
                 nb: 1,
                 seed: 3,
+                threads: None,
             },
             4,
         )[0]

@@ -41,6 +41,7 @@ fn sequential_losses(
             lr: 0.05,
             nb: 2,
             seed: 3,
+            threads: None,
         },
     )
     .into_iter()
@@ -67,6 +68,7 @@ fn snapshot_partitioning_matches_sequential() {
                     lr: 0.05,
                     nb: 2,
                     seed: 3,
+                    threads: None,
                 },
                 p,
             );
@@ -107,6 +109,7 @@ fn vertex_partitioning_matches_sequential() {
                 lr: 0.05,
                 nb: 2,
                 seed: 3,
+                threads: None,
             },
             2,
         );
@@ -143,6 +146,7 @@ fn hybrid_matches_sequential() {
                 lr: 0.05,
                 nb: 2,
                 seed: 3,
+                threads: None,
             },
             2,
         );
@@ -174,6 +178,7 @@ fn all_world_sizes_agree_with_each_other() {
                 lr: 0.05,
                 nb: 2,
                 seed: 3,
+                threads: None,
             },
             p,
         )

@@ -64,6 +64,7 @@ fn laundering_detection_beats_chance() {
             lr: 0.1,
             nb: 2,
             seed: 13,
+            threads: None,
         },
     );
     let first = stats.first().unwrap();
@@ -95,6 +96,7 @@ fn classification_works_for_all_models() {
                 lr: 0.05,
                 nb: 2,
                 seed: 13,
+                threads: None,
             },
         );
         assert!(
@@ -121,6 +123,7 @@ fn classification_checkpoint_invariance() {
                 lr: 0.0,
                 nb,
                 seed: 13,
+                threads: None,
             },
         );
         store.grads_flat()

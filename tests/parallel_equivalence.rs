@@ -1,0 +1,328 @@
+//! The determinism contract of the parallel tensor backend: every parallel
+//! kernel is **bit-identical** to its serial reference at every thread
+//! count. The references here are independent re-implementations of the
+//! original serial loops (including their `a == 0.0` skip, which the
+//! kernels kept), so equality is checked with `f32::to_bits`, not a
+//! tolerance.
+//!
+//! Coverage: property tests over ragged shapes (including empty matrices
+//! and empty rows) at thread counts 1–8, dedicated large-matrix tests that
+//! provably engage the pool (sizes above the `PAR_MIN_ROW_WORK` /
+//! `PAR_MIN_ELEMS` gates), and a full `train_single` run asserting the
+//! per-epoch loss stream and final parameters are bit-identical at any
+//! `TrainOptions::threads` setting.
+
+use dgnn_core::prelude::*;
+use dgnn_graph::gen::churn_skewed;
+use dgnn_tensor::pool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_SWEEP: [usize; 5] = [1, 2, 3, 4, 8];
+
+fn bits_eq(a: &Dense, b: &Dense) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn assert_all_threads_match(name: &str, reference: &Dense, kernel: impl Fn() -> Dense) {
+    for threads in THREAD_SWEEP {
+        let _g = pool::scoped_threads(Some(threads));
+        let got = kernel();
+        assert!(
+            bits_eq(&got, reference),
+            "{name} diverges from the serial reference at {threads} threads \
+             (shape {:?} vs {:?})",
+            got.shape(),
+            reference.shape()
+        );
+    }
+}
+
+// ---- Independent serial references (the original kernel loops) ----------
+
+fn ref_matmul(a: &Dense, b: &Dense) -> Dense {
+    let n = b.cols();
+    let mut out = Dense::zeros(a.rows(), n);
+    for i in 0..a.rows() {
+        for (k, &av) in a.row(i).iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let cur = out.get(i, j);
+                out.set(i, j, cur + av * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+fn ref_matmul_transa(a: &Dense, b: &Dense) -> Dense {
+    let n = b.cols();
+    let mut out = Dense::zeros(a.cols(), n);
+    for k in 0..a.rows() {
+        for (i, &av) in a.row(k).iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let cur = out.get(i, j);
+                out.set(i, j, cur + av * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+fn ref_matmul_transb(a: &Dense, b: &Dense) -> Dense {
+    let mut out = Dense::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a.row(i).iter().zip(b.row(j)) {
+                acc += av * bv;
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn ref_spmm(a: &Csr, x: &Dense) -> Dense {
+    let f = x.cols();
+    let mut out = Dense::zeros(a.rows(), f);
+    for r in 0..a.rows() {
+        for (c, v) in a.row_iter(r) {
+            for j in 0..f {
+                let cur = out.get(r, j);
+                out.set(r, j, cur + v * x.get(c as usize, j));
+            }
+        }
+    }
+    out
+}
+
+fn ref_spmm_transa(a: &Csr, x: &Dense) -> Dense {
+    let f = x.cols();
+    let mut out = Dense::zeros(a.cols(), f);
+    for r in 0..a.rows() {
+        for (c, v) in a.row_iter(r) {
+            for j in 0..f {
+                let cur = out.get(c as usize, j);
+                out.set(c as usize, j, cur + v * x.get(r, j));
+            }
+        }
+    }
+    out
+}
+
+// ---- Property tests: ragged + empty shapes, thread counts 1-8 -----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn dense_kernels_bitwise_equal_on_ragged_shapes(
+        dims in (0usize..9, 0usize..9, 0usize..9),
+        seed in 0u64..1_000_000,
+    ) {
+        let (r, k, n) = dims;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next = || {
+            use rand::Rng;
+            rng.gen_range(-4.0f32..4.0)
+        };
+        let a = Dense::from_fn(r, k, |_, _| next());
+        let b = Dense::from_fn(k, n, |_, _| next());
+        let bt = Dense::from_fn(n, k, |_, _| next());
+        let at = Dense::from_fn(k, r, |_, _| next());
+        assert_all_threads_match("matmul", &ref_matmul(&a, &b), || a.matmul(&b));
+        assert_all_threads_match("matmul_transa", &ref_matmul_transa(&at, &b), || {
+            at.matmul_transa(&b)
+        });
+        assert_all_threads_match("matmul_transb", &ref_matmul_transb(&a, &bt), || {
+            a.matmul_transb(&bt)
+        });
+    }
+
+    #[test]
+    fn sparse_kernels_bitwise_equal_on_ragged_shapes(
+        triplets in proptest::collection::vec((0u32..10, 0u32..7, -4.0f32..4.0), 0..40),
+        f in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = Csr::from_coo(10, 7, &triplets);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next = || {
+            use rand::Rng;
+            rng.gen_range(-4.0f32..4.0)
+        };
+        let x = Dense::from_fn(7, f, |_, _| next());
+        let xt = Dense::from_fn(10, f, |_, _| next());
+        assert_all_threads_match("spmm", &ref_spmm(&a, &x), || a.spmm(&x));
+        assert_all_threads_match("spmm_transa", &ref_spmm_transa(&a, &xt), || {
+            a.spmm_transa(&xt)
+        });
+    }
+
+    #[test]
+    fn elementwise_and_reductions_thread_count_invariant(
+        rows in 1usize..6,
+        cols in 0usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next = || {
+            use rand::Rng;
+            rng.gen_range(-4.0f32..4.0)
+        };
+        let a = Dense::from_fn(rows, cols, |_, _| next());
+        let b = Dense::from_fn(rows, cols, |_, _| next());
+        let reference = {
+            let _g = pool::scoped_threads(Some(1));
+            (a.hadamard(&b), a.map(|v| v.tanh()), a.sum(), a.frob_norm())
+        };
+        for threads in THREAD_SWEEP {
+            let _g = pool::scoped_threads(Some(threads));
+            assert!(bits_eq(&a.hadamard(&b), &reference.0));
+            assert!(bits_eq(&a.map(|v| v.tanh()), &reference.1));
+            assert_eq!(a.sum().to_bits(), reference.2.to_bits());
+            assert_eq!(a.frob_norm().to_bits(), reference.3.to_bits());
+        }
+    }
+}
+
+// ---- Large matrices: sizes that provably engage the pool ----------------
+
+#[test]
+fn engaged_dense_kernels_match_references_bitwise() {
+    // 300·60·50 = 900k work units >> PAR_MIN_ROW_WORK, so the pool engages
+    // at every threads > 1 setting.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut next = || {
+        use rand::Rng;
+        rng.gen_range(-2.0f32..2.0)
+    };
+    let a = Dense::from_fn(300, 60, |_, _| next());
+    let b = Dense::from_fn(60, 50, |_, _| next());
+    let at = Dense::from_fn(60, 300, |_, _| next());
+    let bt = Dense::from_fn(50, 60, |_, _| next());
+    assert_all_threads_match("matmul", &ref_matmul(&a, &b), || a.matmul(&b));
+    assert_all_threads_match("matmul_transa", &ref_matmul_transa(&at, &b), || {
+        at.matmul_transa(&b)
+    });
+    assert_all_threads_match("matmul_transb", &ref_matmul_transb(&a, &bt), || {
+        a.matmul_transb(&bt)
+    });
+
+    // Element-wise ops above PAR_MIN_ELEMS (300 * 60 = 18_000 > 8_192).
+    let big_b = Dense::from_fn(300, 60, |_, _| next());
+    let elem_ref = {
+        let _g = pool::scoped_threads(Some(1));
+        let mut acc = a.clone();
+        acc.add_assign(&big_b);
+        acc.scale_assign(0.5);
+        (
+            a.zip_map(&big_b, |x, y| x * y + 0.25),
+            acc,
+            a.sum(),
+            a.sum_rows(),
+        )
+    };
+    for threads in THREAD_SWEEP {
+        let _g = pool::scoped_threads(Some(threads));
+        assert!(bits_eq(
+            &a.zip_map(&big_b, |x, y| x * y + 0.25),
+            &elem_ref.0
+        ));
+        let mut acc = a.clone();
+        acc.add_assign(&big_b);
+        acc.scale_assign(0.5);
+        assert!(bits_eq(&acc, &elem_ref.1));
+        assert_eq!(a.sum().to_bits(), elem_ref.2.to_bits());
+        assert!(bits_eq(&a.sum_rows(), &elem_ref.3));
+    }
+}
+
+#[test]
+fn engaged_sparse_kernels_match_references_bitwise() {
+    // nnz·f ≈ 3k·96 work units, and f = 96 clears the transpose break-even
+    // (f·(1 − 1/threads) > TRANSPOSE_COST_F_UNITS) at every swept thread
+    // count ≥ 2: SpMM, its backward via the parallel transpose+gather
+    // path, and the partitioned transpose itself all engage.
+    let g = churn_skewed(500, 2, 3_000, 0.3, 0.9, 5);
+    let lap = g.snapshot(0).laplacian();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut next = || {
+        use rand::Rng;
+        rng.gen_range(-2.0f32..2.0)
+    };
+    let x = Dense::from_fn(500, 96, |_, _| next());
+    assert_all_threads_match("spmm", &ref_spmm(&lap, &x), || lap.spmm(&x));
+    assert_all_threads_match("spmm_transa", &ref_spmm_transa(&lap, &x), || {
+        lap.spmm_transa(&x)
+    });
+    let transpose_ref = {
+        let _g = pool::scoped_threads(Some(1));
+        lap.transpose()
+    };
+    for threads in THREAD_SWEEP {
+        let _g = pool::scoped_threads(Some(threads));
+        assert_eq!(
+            lap.transpose(),
+            transpose_ref,
+            "transpose at {threads} threads"
+        );
+    }
+}
+
+// ---- Full-epoch determinism: train_single loss streams ------------------
+
+#[test]
+fn train_single_loss_stream_is_bitwise_identical_at_any_thread_count() {
+    // Big enough that the GCN SpMM, the LSTM GEMMs, and the element-wise
+    // backward all clear the parallel-engage thresholds.
+    let g = churn_skewed(600, 5, 2_400, 0.3, 0.9, 11);
+    let cfg = ModelConfig {
+        kind: ModelKind::TmGcn,
+        input_f: 2,
+        hidden: 16,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+    let run = |threads: usize| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let model = Model::new(cfg, &mut store, &mut rng);
+        let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+        let opts = TrainOptions {
+            epochs: 2,
+            lr: 0.05,
+            nb: 2,
+            seed: 7,
+            threads: Some(threads),
+        };
+        let stats = train_single(&model, &head, &mut store, &task, &opts);
+        let losses: Vec<u64> = stats.iter().map(|s| s.loss.to_bits()).collect();
+        (losses, store.values_flat())
+    };
+    let (loss_ref, params_ref) = run(1);
+    for threads in [2, 3, 8] {
+        let (losses, params) = run(threads);
+        assert_eq!(
+            losses, loss_ref,
+            "loss stream diverges at {threads} threads"
+        );
+        let identical = params
+            .iter()
+            .zip(&params_ref)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "parameters diverge at {threads} threads");
+    }
+}

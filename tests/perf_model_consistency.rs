@@ -62,6 +62,7 @@ fn perf_engine_transfer_matches_functional_accounting() {
             lr: 0.01,
             nb,
             seed: 7,
+            threads: None,
         },
     );
     let functional_gd = stats[0].transfer_gd_bytes;

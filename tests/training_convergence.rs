@@ -41,6 +41,7 @@ fn all_models_reduce_loss_on_skewed_churn() {
                 lr: 0.05,
                 nb: 2,
                 seed: 5,
+                threads: None,
             },
         );
         let first = stats.first().unwrap().loss;
@@ -72,6 +73,7 @@ fn link_prediction_beats_chance_on_aml_like_data() {
             lr: 0.1,
             nb: 1,
             seed: 9,
+            threads: None,
         },
     );
     let best_train = stats.iter().map(|s| s.train_acc).fold(0.0, f64::max);
@@ -106,6 +108,7 @@ fn precompute_does_not_change_the_math() {
                     lr: 0.05,
                     nb: 2,
                     seed: 3,
+                    threads: None,
                 },
             );
             (stats.last().unwrap().loss, store.values_flat())
@@ -142,6 +145,7 @@ fn longer_training_does_not_blow_up() {
                 lr: 0.05,
                 nb: 2,
                 seed: 11,
+                threads: None,
             },
         );
         for s in &stats {
