@@ -68,6 +68,14 @@ impl ParamStore {
         &self.entries[id.0].name
     }
 
+    /// Looks a parameter up by its registered name (checkpoint import).
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(ParamId)
+    }
+
     /// Immutable value.
     pub fn value(&self, id: ParamId) -> &Dense {
         &self.entries[id.0].value
@@ -170,6 +178,16 @@ mod tests {
         assert_eq!(store.value(id).shape(), (2, 3));
         assert_eq!(store.grad(id).sum(), 0.0);
         assert_eq!(store.total_elems(), 6);
+    }
+
+    #[test]
+    fn id_of_finds_registered_names() {
+        let mut store = ParamStore::new();
+        let a = store.add("gcn0.w", Dense::zeros(2, 2));
+        let b = store.add("gcn0.b", Dense::zeros(1, 2));
+        assert_eq!(store.id_of("gcn0.w"), Some(a));
+        assert_eq!(store.id_of("gcn0.b"), Some(b));
+        assert_eq!(store.id_of("missing"), None);
     }
 
     #[test]

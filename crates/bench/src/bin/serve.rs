@@ -1,0 +1,6 @@
+//! Harness binary for the serving benchmark; pass `--fast` for the CI
+//! smoke workload.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::serve::run(fast);
+}

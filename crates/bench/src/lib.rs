@@ -9,8 +9,10 @@
 //! `fig6_convergence`, `fig7_weak_scaling`, `table2_partition`,
 //! `table3_hybrid`, `ablations`, `streaming` (event-ingestion throughput
 //! and incremental-vs-rebuild window advance), `kernel_scaling` (serial vs
-//! threaded kernels, recorded to `BENCH_parallel.json`), plus `calib`
-//! (machine-constant calibration) and `run_all`.
+//! threaded kernels, recorded to `BENCH_parallel.json`), `serve`
+//! (incremental-vs-full inference recompute and query throughput,
+//! recorded to `BENCH_serve.json`), plus `calib` (machine-constant
+//! calibration) and `run_all`.
 
 pub mod ablations;
 pub mod fig4;
@@ -18,6 +20,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod kernel_scaling;
+pub mod serve;
 pub mod streaming;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,232 @@
+//! Serving benchmark: incremental frontier recompute vs full recompute on
+//! a window advance, plus batched query latency/throughput, recorded to
+//! `BENCH_serve.json`.
+//!
+//! Every timed incremental advance is cross-checked **bitwise** against
+//! the from-scratch forward (outside the timed region), so the measured
+//! speedup is between two paths that provably compute the same bits. The
+//! workload is gradual churn (a fraction of a percent of edges per
+//! window) — the regime a live service sees — where the per-layer
+//! frontier stays a small multiple of the touched set and the incremental
+//! path must win by at least [`REQUIRED_SPEEDUP`].
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dgnn_autograd::ParamStore;
+use dgnn_models::{LinkPredHead, Model, ModelConfig, ModelKind};
+use dgnn_serve::{Checkpoint, InferenceServer, InferenceSession, ServeModel};
+use dgnn_stream::EdgeEvent;
+use dgnn_tensor::Dense;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ms;
+
+/// Minimum incremental-over-full speedup on the gradual-churn workload.
+pub const REQUIRED_SPEEDUP: f64 = 3.0;
+
+/// One serve-bench run's headline numbers.
+pub struct ServeBenchResult {
+    /// Mean incremental advance time per window (ms).
+    pub incremental_ms: f64,
+    /// Mean full-recompute time per window (ms).
+    pub full_ms: f64,
+    /// full / incremental.
+    pub speedup: f64,
+    /// Batched node-embedding lookups per second.
+    pub predict_qps: f64,
+    /// Batched link scores per second.
+    pub score_qps: f64,
+}
+
+/// Runs the serving benchmark. `fast` shrinks the workload (CI smoke).
+pub fn run(fast: bool) -> ServeBenchResult {
+    // Bounded degree, no hubs: the per-layer frontier of a touched vertex
+    // is its d-hop ball, so the incremental regime needs |touched|·deg²
+    // well under n. Hub-heavy graphs widen the ball to the whole graph
+    // within two hops — that regime degenerates to a full recompute and is
+    // exactly what a production deployment would shard around.
+    let (n, deg, windows, churn_edges) = if fast {
+        (3_000usize, 6usize, 6usize, 8usize)
+    } else {
+        (10_000, 6, 10, 10)
+    };
+    let (input_f, hidden) = (16usize, 32usize);
+    println!(
+        "== Serving: n={n}, ~{} sym edges, {windows} windows x {churn_edges} churned edges, \
+         f={input_f}, h={hidden} ==",
+        n * deg
+    );
+
+    // A real model + head through the checkpoint path, so the bench also
+    // exercises save/load.
+    let cfg = ModelConfig {
+        kind: ModelKind::EvolveGcn,
+        input_f,
+        hidden,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    let start = Instant::now();
+    let bytes = Checkpoint::from_store(&model, &head, &store).to_bytes();
+    let cp = Checkpoint::from_bytes(&bytes).expect("checkpoint roundtrip");
+    let serve_model = ServeModel::from_checkpoint(&cp).expect("serve model");
+    println!(
+        "checkpoint: {} params, {} bytes, save+load {}",
+        cp.params.len(),
+        bytes.len(),
+        ms(start.elapsed().as_secs_f64() * 1e3)
+    );
+
+    let features = Dense::from_fn(n, input_f, |r, c| {
+        ((r * 31 + c * 7) % 23) as f32 / 23.0 - 0.5
+    });
+    let mut session = InferenceSession::new(serve_model, features);
+
+    // Bulk load: a sparse random graph with a mild power-law flavor.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * deg / 2);
+    for _ in 0..n * deg / 2 {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        edges.push((u, v));
+    }
+    let bulk: Vec<EdgeEvent> = edges
+        .iter()
+        .map(|&(u, v)| EdgeEvent::add(0, u, v, 1.0))
+        .collect();
+    session.ingest(&bulk);
+    let start = Instant::now();
+    session.advance();
+    println!(
+        "bulk load: {} events applied + first forward in {}",
+        bulk.len(),
+        ms(start.elapsed().as_secs_f64() * 1e3)
+    );
+    session.assert_matches_full();
+
+    // -- Window advances: incremental vs full recompute ----------------
+    let mut incremental_s = 0.0f64;
+    let mut full_s = 0.0f64;
+    let mut frontier_total = 0usize;
+    for w in 1..=windows as u64 {
+        let evs: Vec<EdgeEvent> = (0..churn_edges)
+            .flat_map(|_| {
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                let kind = rng.gen_range(0..3u8);
+                match kind {
+                    0 => {
+                        let nu = rng.gen_range(0..n as u32);
+                        let nv = rng.gen_range(0..n as u32);
+                        vec![EdgeEvent::add(w, nu, nv, 1.0)]
+                    }
+                    1 => vec![EdgeEvent::remove(w, u, v)],
+                    _ => vec![EdgeEvent::update(w, u, v, 2.0)],
+                }
+            })
+            .collect();
+
+        let start = Instant::now();
+        session.ingest(&evs);
+        let report = session.advance();
+        incremental_s += start.elapsed().as_secs_f64();
+        frontier_total += report.frontier_rows.last().copied().unwrap_or(0);
+
+        let start = Instant::now();
+        let full = session.full_forward();
+        full_s += start.elapsed().as_secs_f64();
+        black_box(full.last().map(|d| d.len()));
+
+        // Bitwise parity between the two timed paths, every window.
+        session.assert_matches_full();
+    }
+    let incremental_ms = incremental_s * 1e3 / windows as f64;
+    let full_ms = full_s * 1e3 / windows as f64;
+    let speedup = full_s / incremental_s;
+    println!(
+        "window advance: incremental {} | full recompute {} | speedup {speedup:.2}x \
+         (mean final-layer frontier {} of {n} rows)",
+        ms(incremental_ms),
+        ms(full_ms),
+        frontier_total / windows
+    );
+
+    // -- Batched query latency/throughput ------------------------------
+    let server = InferenceServer::new(session);
+    let batch = 256usize;
+    let reps = if fast { 200 } else { 400 };
+    let nodes: Vec<u32> = (0..batch as u32).map(|i| (i * 97) % n as u32).collect();
+    let pairs: Vec<(u32, u32)> = nodes
+        .iter()
+        .map(|&u| (u, (u * 31 + 1) % n as u32))
+        .collect();
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(server.predict_nodes(&nodes));
+    }
+    let predict_s = start.elapsed().as_secs_f64();
+    let predict_qps = (batch * reps) as f64 / predict_s;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(server.score_links(&pairs));
+    }
+    let score_s = start.elapsed().as_secs_f64();
+    let score_qps = (batch * reps) as f64 / score_s;
+    println!(
+        "queries (batch {batch}): predict_nodes {:.2}M/s ({:.1}µs/batch) | \
+         score_links {:.2}M/s ({:.1}µs/batch)",
+        predict_qps / 1e6,
+        predict_s * 1e6 / reps as f64,
+        score_qps / 1e6,
+        score_s * 1e6 / reps as f64
+    );
+
+    let result = ServeBenchResult {
+        incremental_ms,
+        full_ms,
+        speedup,
+        predict_qps,
+        score_qps,
+    };
+    write_json(&result, n, n * deg, windows, churn_edges, fast);
+
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "incremental advance should be >= {REQUIRED_SPEEDUP}x a full recompute on gradual churn, \
+         got {speedup:.2}x"
+    );
+    println!(
+        "PASS: incremental inference >= {REQUIRED_SPEEDUP}x full recompute, bitwise-identical"
+    );
+    result
+}
+
+fn write_json(
+    r: &ServeBenchResult,
+    n: usize,
+    edges: usize,
+    windows: usize,
+    churn_edges: usize,
+    fast: bool,
+) {
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let s = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"fast\": {fast},\n  \"host_threads\": {host_threads},\n  \
+         \"n\": {n},\n  \"edges\": {edges},\n  \"windows\": {windows},\n  \
+         \"churn_edges_per_window\": {churn_edges},\n  \
+         \"incremental_ms_per_window\": {:.3},\n  \"full_ms_per_window\": {:.3},\n  \
+         \"speedup\": {:.2},\n  \"required_speedup\": {REQUIRED_SPEEDUP},\n  \
+         \"predict_nodes_per_sec\": {:.0},\n  \"score_links_per_sec\": {:.0}\n}}\n",
+        r.incremental_ms, r.full_ms, r.speedup, r.predict_qps, r.score_qps
+    );
+    match std::fs::write("BENCH_serve.json", &s) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => println!("could not write BENCH_serve.json: {e}"),
+    }
+}

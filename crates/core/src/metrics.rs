@@ -125,6 +125,65 @@ mod tests {
     }
 
     #[test]
+    fn auc_all_tied_is_exactly_chance() {
+        // Every score in one tie group: the midrank convention must land
+        // on exactly 0.5 regardless of class balance or sample count.
+        for (pos, neg) in [(1usize, 1usize), (3, 7), (10, 2)] {
+            let n = pos + neg;
+            let scores = vec![1.25f32; n];
+            let labels: Vec<u32> = (0..n).map(|i| u32::from(i < pos)).collect();
+            assert_eq!(auc(&scores, &labels), 0.5, "pos={pos} neg={neg}");
+        }
+    }
+
+    #[test]
+    fn auc_tie_group_spanning_both_classes() {
+        // neg at 0.1; tie group {pos, pos, neg} at 0.5; pos at 0.9.
+        // Midrank of the tie group = (2+3+4)/3 = 3; rank-sum(pos) =
+        // 3 + 3 + 5 = 11; U = 11 - 3·4/2 = 5; AUC = 5/(3·2) = 5/6.
+        let scores = [0.1f32, 0.5, 0.5, 0.5, 0.9];
+        let labels = [0u32, 1, 1, 0, 1];
+        let got = auc(&scores, &labels);
+        assert!((got - 5.0 / 6.0).abs() < 1e-12, "got {got}");
+        // Shuffling the tied entries must not change the midrank result.
+        let scores2 = [0.5f32, 0.1, 0.9, 0.5, 0.5];
+        let labels2 = [0u32, 0, 1, 1, 1];
+        assert_eq!(auc(&scores2, &labels2), got);
+    }
+
+    #[test]
+    fn auc_multiple_tie_groups() {
+        // Two tie groups: {neg, pos} at 0.2 and {neg, pos} at 0.8.
+        // Midranks 1.5 and 3.5: rank-sum(pos) = 5; U = 5 - 3 = 2;
+        // AUC = 2/4 = 0.5 — symmetric groups balance out exactly.
+        let scores = [0.2f32, 0.2, 0.8, 0.8];
+        let labels = [0u32, 1, 0, 1];
+        assert_eq!(auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_nan_scores_rank_last_not_panic() {
+        // total_cmp orders NaN above every real score, so a diverged
+        // positive ranks top (AUC 1) and a diverged negative ranks top
+        // (AUC 0) — degraded but defined, never a panic.
+        assert_eq!(auc(&[f32::NAN, 0.5], &[1, 0]), 1.0);
+        assert_eq!(auc(&[f32::NAN, 0.5], &[0, 1]), 0.0);
+        // NaN == NaN is false, so multiple NaNs do NOT merge into a tie
+        // group: the stable sort keeps their input order and each takes
+        // its own rank (the tie-group `==` deliberately stays value
+        // equality so +0.0/-0.0 still tie).
+        assert_eq!(auc(&[f32::NAN, f32::NAN], &[1, 0]), 0.0);
+        assert_eq!(auc(&[f32::NAN, f32::NAN], &[0, 1]), 1.0);
+        // ±0.0 are one tie group even though total_cmp orders them.
+        assert_eq!(auc(&[0.0f32, -0.0], &[1, 0]), 0.5);
+    }
+
+    #[test]
+    fn auc_empty_inputs_are_chance() {
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
     fn gd_speedup_handles_zero() {
         let s = EpochStats::default();
         assert_eq!(s.gd_speedup(), 1.0);

@@ -28,6 +28,27 @@ impl ModelKind {
         [ModelKind::CdGcn, ModelKind::EvolveGcn, ModelKind::TmGcn]
     }
 
+    /// Stable on-disk tag of this architecture, used by the `dgnn-serve`
+    /// checkpoint header. Codes are append-only: existing values must
+    /// never be renumbered, or old checkpoints would decode wrongly.
+    pub fn code(&self) -> u8 {
+        match self {
+            ModelKind::CdGcn => 0,
+            ModelKind::EvolveGcn => 1,
+            ModelKind::TmGcn => 2,
+        }
+    }
+
+    /// Decodes an on-disk architecture tag written by [`ModelKind::code`].
+    pub fn from_code(code: u8) -> Option<ModelKind> {
+        match code {
+            0 => Some(ModelKind::CdGcn),
+            1 => Some(ModelKind::EvolveGcn),
+            2 => Some(ModelKind::TmGcn),
+            _ => None,
+        }
+    }
+
     /// Whether the temporal component needs the two all-to-all
     /// redistributions. EvolveGCN applies its LSTM to replicated weight
     /// matrices and is communication-free apart from the epoch-end gradient
@@ -121,6 +142,14 @@ mod tests {
         let tm = ModelConfig::paper_defaults(ModelKind::TmGcn);
         assert_eq!(tm.gcn_out(0), 6);
         assert_eq!(tm.gcn_in(1), 6);
+    }
+
+    #[test]
+    fn kind_codes_roundtrip_and_reject_unknown() {
+        for kind in ModelKind::all() {
+            assert_eq!(ModelKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(ModelKind::from_code(250), None);
     }
 
     #[test]

@@ -40,6 +40,11 @@ impl LinkPredHead {
         self.classes
     }
 
+    /// Embedding width the head expects (checkpoint-header metadata).
+    pub fn emb(&self) -> usize {
+        self.emb
+    }
+
     /// Binds the head onto a tape segment.
     pub fn bind(&self, tape: &mut Tape, store: &ParamStore) -> LinkPredVars {
         LinkPredVars {

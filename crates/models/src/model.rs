@@ -82,6 +82,13 @@ impl Model {
         self.cfg.kind
     }
 
+    /// The per-layer GCN components, in layer order — the parameter-export
+    /// hook the serving stack uses to lift trained spatial weights out of a
+    /// live model.
+    pub fn gcn_layers(&self) -> &[GcnLayer] {
+        &self.gcn
+    }
+
     /// Initial carry for a timeline starting at `t = 0`, for a vertex chunk
     /// of `chunk_rows` rows.
     pub fn initial_carry(&self, chunk_rows: usize) -> CarryState {

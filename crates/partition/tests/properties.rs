@@ -125,3 +125,32 @@ fn partitioner_beats_random_on_clustered_graphs() {
         "partitioner ({smart_cost}) should clearly beat random ({random_cost})"
     );
 }
+
+#[test]
+fn balanced_ranges_more_parts_than_items() {
+    // Degenerate boundary the distributed trainers can hit when more
+    // ranks than timesteps are configured: the first `len` parts get one
+    // item each, the tail parts are empty ranges pinned at `len`.
+    let ranges = balanced_ranges(3, 7);
+    assert_eq!(ranges.len(), 7);
+    assert_eq!(&ranges[..3], &[0..1, 1..2, 2..3]);
+    for r in &ranges[3..] {
+        assert!(r.is_empty(), "tail range {r:?} should be empty");
+        assert_eq!((r.start, r.end), (3, 3));
+    }
+}
+
+#[test]
+fn balanced_ranges_zero_length() {
+    // An empty timeline: every part is the empty range at 0.
+    let ranges = balanced_ranges(0, 4);
+    assert_eq!(ranges, vec![0..0, 0..0, 0..0, 0..0]);
+    // And the two degeneracies combined with a single part.
+    assert_eq!(balanced_ranges(0, 1), vec![0..0]);
+}
+
+#[test]
+#[should_panic(expected = "need at least one part")]
+fn balanced_ranges_zero_parts_panics() {
+    let _ = balanced_ranges(5, 0);
+}

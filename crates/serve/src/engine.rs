@@ -1,0 +1,803 @@
+//! The incremental inference engine: a value-level GCN forward over the
+//! live graph, recomputing only the multi-hop frontier of touched vertices
+//! on each window advance.
+//!
+//! ## The incremental-recompute contract
+//!
+//! After every [`InferenceSession::advance`], each cached layer activation
+//! is **bit-identical** to what [`InferenceSession::full_forward`] computes
+//! from scratch on the materialized graph. The argument has three legs:
+//!
+//! 1. *Locality of the operator.* Row `u` of the normalized Laplacian
+//!    `Ã[u, v] = a_uv · d(u)^{-1/2} · d(v)^{-1/2}` depends only on row `u`
+//!    of the (symmetric) adjacency and the degrees of `u` and its
+//!    neighbors. An edge touch changes adjacency rows and degrees of its
+//!    two endpoints only, so the set of changed `Ã` rows is contained in
+//!    `T ∪ N(T)` (touched vertices and their new neighborhood — a removed
+//!    edge's partner is itself touched).
+//! 2. *Locality of the layers.* Layer output row `u` is a function of `Ã`
+//!    row `u` and the previous layer's rows at `u`'s neighbors, so the
+//!    dirty set expands by one hop per GCN layer:
+//!    `F_0 = T ∪ N(T)`, `F_{l+1} = F_l ∪ N(F_l)`.
+//! 3. *Bitwise-reproducible row arithmetic.* Rebuilt `Ã` rows, the
+//!    row-subset SpMM ([`Csr::spmm_rows`]), the row-subset GEMM, and the
+//!    element-wise bias/activation all run the exact per-row expression
+//!    the full path runs, and rows outside the frontier keep cached values
+//!    whose inputs did not change — equal expressions over equal bits give
+//!    equal bits, at every thread count (the PR-2 determinism contract).
+//!
+//! Events are ingested as **undirected interactions**: each event is
+//! applied to `(u, v)` and mirrored onto `(v, u)`, keeping the adjacency
+//! symmetric — which is also what makes the per-layer frontier expansion
+//! sound (out-neighbors and in-neighbors coincide). The serving operator
+//! normalizes this symmetric adjacency directly; it is the value-level
+//! analogue of the symmetrized training Laplacian, with the mirrored
+//! event stream playing the role of `(A + Aᵀ)`.
+
+use dgnn_autograd::ParamStore;
+use dgnn_graph::GraphDiff;
+use dgnn_models::{LinkPredHead, Model, ModelKind};
+use dgnn_stream::{DeltaBatcher, EdgeEvent, StreamingGraph};
+use dgnn_tensor::{Csr, Dense};
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+
+/// One GCN layer's frozen parameters.
+#[derive(Clone, Debug)]
+pub struct ServeLayer {
+    /// Weight matrix (`in_f × out_f`).
+    pub w: Dense,
+    /// Bias row (`1 × out_f`).
+    pub b: Dense,
+    /// CD-GCN's skip concatenation of the aggregated input.
+    pub skip_concat: bool,
+}
+
+impl ServeLayer {
+    /// Output width given this layer's weight and skip setting.
+    pub fn out_width(&self) -> usize {
+        if self.skip_concat {
+            self.w.rows() + self.w.cols()
+        } else {
+            self.w.cols()
+        }
+    }
+
+    /// The layer forward for a block of pre-aggregated rows: the exact
+    /// per-row arithmetic of the full forward, applied to any row subset.
+    fn forward_rows(&self, agg: &Dense) -> Dense {
+        let lin = agg.matmul(&self.w);
+        let pre = lin.add_row_broadcast(&self.b);
+        if self.skip_concat {
+            relu(&agg.concat_cols(&pre))
+        } else {
+            relu(&pre)
+        }
+    }
+}
+
+/// ReLU as one shared expression, so the full and incremental paths cannot
+/// drift apart.
+fn relu(m: &Dense) -> Dense {
+    m.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// The frozen spatial stack served at inference time: the per-layer GCN
+/// weights plus the link-prediction head. Temporal components (feature /
+/// weight LSTMs) evolve only during training; serving freezes the spatial
+/// weights they produced, which is exactly the static part of the forward
+/// that the current snapshot determines.
+#[derive(Clone, Debug)]
+pub struct ServeModel {
+    layers: Vec<ServeLayer>,
+    head_u: Dense,
+    head_b: Dense,
+}
+
+impl ServeModel {
+    /// Builds from explicit parts (tests, synthetic benches).
+    ///
+    /// # Panics
+    /// Panics when the layer widths do not compose — hand-built parts are
+    /// a programmer error, unlike checkpoints, which get typed errors.
+    pub fn from_parts(layers: Vec<ServeLayer>, head_u: Dense, head_b: Dense) -> Self {
+        Self::checked(layers, head_u, head_b).expect("serve model parts must compose")
+    }
+
+    /// Lifts the spatial stack out of a decoded [`Checkpoint`].
+    pub fn from_checkpoint(cp: &Checkpoint) -> Result<Self, CheckpointError> {
+        let mut layers = Vec::with_capacity(cp.config.layers());
+        for l in 0..cp.config.layers() {
+            let take = |suffix: &str| {
+                cp.param(&format!("gcn{l}.{suffix}"))
+                    .cloned()
+                    .ok_or_else(|| {
+                        CheckpointError::StoreMismatch(format!("checkpoint lacks gcn{l}.{suffix}"))
+                    })
+            };
+            layers.push(ServeLayer {
+                w: take("w")?,
+                b: take("b")?,
+                skip_concat: cp.config.kind == ModelKind::CdGcn,
+            });
+        }
+        let head_u = cp
+            .param("head.u")
+            .cloned()
+            .ok_or_else(|| CheckpointError::StoreMismatch("checkpoint lacks head.u".into()))?;
+        let head_b = cp
+            .param("head.b")
+            .cloned()
+            .ok_or_else(|| CheckpointError::StoreMismatch("checkpoint lacks head.b".into()))?;
+        Self::checked(layers, head_u, head_b)
+    }
+
+    /// Lifts the spatial stack straight out of a live trained model.
+    pub fn from_model(
+        model: &Model,
+        head: &LinkPredHead,
+        store: &ParamStore,
+    ) -> Result<Self, CheckpointError> {
+        let layers = model
+            .gcn_layers()
+            .iter()
+            .map(|g| ServeLayer {
+                w: store.value(g.w).clone(),
+                b: store.value(g.b).clone(),
+                skip_concat: g.skip_concat(),
+            })
+            .collect();
+        Self::checked(
+            layers,
+            store.value(head.u).clone(),
+            store.value(head.b).clone(),
+        )
+    }
+
+    /// Validates that the layer widths actually compose as a pure spatial
+    /// stack. CD-GCN fails here by construction: its trained `gcn1.w` takes
+    /// `hidden` rows because the training forward interposes a feature
+    /// LSTM (`gcn_out → hidden`) between the layers, a temporal component
+    /// the snapshot forward cannot supply — serving it would be a shape
+    /// panic at the first query, so it is refused up front as a typed
+    /// error.
+    fn checked(
+        layers: Vec<ServeLayer>,
+        head_u: Dense,
+        head_b: Dense,
+    ) -> Result<Self, CheckpointError> {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for (l, pair) in layers.windows(2).enumerate() {
+            let (out_w, in_w) = (pair[0].out_width(), pair[1].w.rows());
+            if out_w != in_w {
+                return Err(CheckpointError::UnsupportedModel(format!(
+                    "layer {l} emits width {out_w} but layer {} consumes width {in_w}; \
+                     the layers do not compose without the training-time temporal \
+                     component (CD-GCN cannot be served as a pure spatial stack)",
+                    l + 1
+                )));
+            }
+        }
+        let emb = layers.last().unwrap().out_width();
+        if head_u.rows() != 2 * emb {
+            return Err(CheckpointError::UnsupportedModel(format!(
+                "head expects embeddings of width {} but the stack emits {emb}",
+                head_u.rows() / 2
+            )));
+        }
+        if head_u.cols() < 2 || head_b.cols() != head_u.cols() {
+            return Err(CheckpointError::UnsupportedModel(format!(
+                "link scoring needs a >= 2-class head with matching bias \
+                 (head.u has {} classes, head.b has {})",
+                head_u.cols(),
+                head_b.cols()
+            )));
+        }
+        Ok(Self {
+            layers,
+            head_u,
+            head_b,
+        })
+    }
+
+    /// Number of GCN layers.
+    pub fn layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input feature width the first layer expects.
+    pub fn input_f(&self) -> usize {
+        self.layers[0].w.rows()
+    }
+
+    /// Final embedding width.
+    pub fn embedding_dim(&self) -> usize {
+        self.layers.last().unwrap().out_width()
+    }
+
+    /// The head's projection and bias (shared with published snapshots).
+    pub fn head(&self) -> (&Dense, &Dense) {
+        (&self.head_u, &self.head_b)
+    }
+}
+
+/// Link scores for explicit head parameters and an embedding matrix: the
+/// positive-class logit margin `logit₁ − logit₀` of each pair. All kernels
+/// involved (row gather, GEMM, bias broadcast) run on the intra-rank
+/// thread pool and are bit-stable at every thread count.
+pub fn score_links_with(
+    head_u: &Dense,
+    head_b: &Dense,
+    z: &Dense,
+    pairs: &[(u32, u32)],
+) -> Vec<f32> {
+    assert!(head_b.cols() >= 2, "link scoring needs >= 2 classes");
+    let src: Vec<u32> = pairs.iter().map(|&(u, _)| u).collect();
+    let dst: Vec<u32> = pairs.iter().map(|&(_, v)| v).collect();
+    let zu = z.gather_rows(&src);
+    let zv = z.gather_rows(&dst);
+    let logits = zu.concat_cols(&zv).matmul(head_u).add_row_broadcast(head_b);
+    (0..pairs.len())
+        .map(|i| logits.get(i, 1) - logits.get(i, 0))
+        .collect()
+}
+
+/// What one [`InferenceSession::advance`] did.
+#[derive(Clone, Debug)]
+pub struct AdvanceReport {
+    /// Monotone snapshot version after the advance.
+    pub version: u64,
+    /// The §3.2 graph difference this window shipped (subscription hook
+    /// for replicas / transfer accounting).
+    pub diff: GraphDiff,
+    /// Vertices touched by the window's events.
+    pub touched: usize,
+    /// Recomputed rows per GCN layer (the multi-hop frontier sizes).
+    pub frontier_rows: Vec<usize>,
+}
+
+/// A live inference session: frozen weights, fixed node features, an
+/// evolving graph, and cached per-layer activations maintained by frontier
+/// recompute.
+pub struct InferenceSession {
+    model: ServeModel,
+    features: Dense,
+    batcher: DeltaBatcher,
+    /// `1/√(1 + deg(u))` per vertex, maintained alongside the graph.
+    isd: Vec<f32>,
+    /// The current normalized operator.
+    a_hat: Csr,
+    /// Cached layer outputs over the current snapshot (`N × width_l`).
+    acts: Vec<Dense>,
+    version: u64,
+}
+
+impl InferenceSession {
+    /// Opens a session over an empty graph of `features.rows()` vertices.
+    pub fn new(model: ServeModel, features: Dense) -> Self {
+        assert_eq!(
+            features.cols(),
+            model.input_f(),
+            "feature width does not match the first layer"
+        );
+        let n = features.rows();
+        let mut s = Self {
+            model,
+            features,
+            batcher: DeltaBatcher::new(n),
+            isd: vec![1.0; n],
+            a_hat: Csr::empty(n, n),
+            acts: Vec::new(),
+            version: 0,
+        };
+        s.rebuild_full();
+        s
+    }
+
+    /// Opens a session from a decoded checkpoint.
+    pub fn from_checkpoint(cp: &Checkpoint, features: Dense) -> Result<Self, CheckpointError> {
+        Ok(Self::new(ServeModel::from_checkpoint(cp)?, features))
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Monotone snapshot version (bumped by every advance).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The live (symmetrized) graph state.
+    pub fn graph(&self) -> &StreamingGraph {
+        self.batcher.graph()
+    }
+
+    /// The serving model.
+    pub fn model(&self) -> &ServeModel {
+        &self.model
+    }
+
+    /// Final-layer embeddings over the current snapshot (`N × emb`).
+    pub fn embeddings(&self) -> &Dense {
+        self.acts.last().unwrap()
+    }
+
+    /// Ingests timestamped events (time-ordered, as a stream delivers
+    /// them). Each event is an undirected interaction: it is applied to
+    /// both `(u, v)` and `(v, u)`. Queries keep answering from the current
+    /// snapshot until [`InferenceSession::advance`] closes the window.
+    pub fn ingest(&mut self, events: &[EdgeEvent]) {
+        for ev in events {
+            self.batcher.apply(ev);
+            if ev.src != ev.dst {
+                self.batcher.apply(&EdgeEvent {
+                    src: ev.dst,
+                    dst: ev.src,
+                    ..*ev
+                });
+            }
+        }
+    }
+
+    /// Closes the window: refreshes the normalized operator rows invalidated
+    /// by the ingested events and recomputes exactly the per-layer frontier
+    /// of activation rows they can reach. Embeddings afterwards are
+    /// bit-identical to [`InferenceSession::full_forward`].
+    pub fn advance(&mut self) -> AdvanceReport {
+        let touched = self.batcher.touched_vertices();
+        let diff = self.batcher.flush();
+        self.version += 1;
+        if touched.is_empty() {
+            return AdvanceReport {
+                version: self.version,
+                diff,
+                touched: 0,
+                frontier_rows: vec![0; self.model.layers()],
+            };
+        }
+
+        // Degrees changed only at touched vertices.
+        for &u in &touched {
+            self.isd[u as usize] = inv_sqrt_deg(self.batcher.graph().row(u), u);
+        }
+
+        // Ã rows needing rebuild: touched vertices and their (new)
+        // neighborhood — a dropped edge's partner is itself touched.
+        let dirty = self.expand_graph(&touched);
+        self.refresh_lap_rows(&dirty);
+
+        // Per-layer frontier recompute over the cached activations.
+        let mut frontier = dirty;
+        let mut frontier_rows = Vec::with_capacity(self.model.layers());
+        for l in 0..self.model.layers() {
+            frontier_rows.push(frontier.len());
+            let input = if l == 0 {
+                &self.features
+            } else {
+                &self.acts[l - 1]
+            };
+            let agg = self.a_hat.spmm_rows(input, &frontier);
+            let rows = self.model.layers[l].forward_rows(&agg);
+            self.acts[l].set_rows(&frontier, &rows);
+            if l + 1 < self.model.layers() {
+                frontier = self.expand_operator(&frontier);
+            }
+        }
+
+        AdvanceReport {
+            version: self.version,
+            diff,
+            touched: touched.len(),
+            frontier_rows,
+        }
+    }
+
+    /// Batched node-embedding lookup (`out[i] = Z[nodes[i]]`).
+    pub fn predict_nodes(&self, nodes: &[u32]) -> Dense {
+        self.embeddings().gather_rows(nodes)
+    }
+
+    /// Batched link scoring: positive-class logit margin per pair.
+    pub fn score_links(&self, pairs: &[(u32, u32)]) -> Vec<f32> {
+        score_links_with(
+            &self.model.head_u,
+            &self.model.head_b,
+            self.embeddings(),
+            pairs,
+        )
+    }
+
+    /// The from-scratch reference: materializes the graph, builds the full
+    /// normalized operator, and runs the whole forward. Returns every
+    /// layer's activations. This is what the cached state is contractually
+    /// bit-identical to after each advance.
+    pub fn full_forward(&self) -> Vec<Dense> {
+        let adj = self.batcher.graph().materialize();
+        let n = adj.rows();
+        // One scratch row buffer feeds the shared degree + row expressions
+        // in both passes — no per-row allocations in this timed baseline.
+        let mut row: Vec<(u32, f32)> = Vec::new();
+        let mut isd = vec![0f32; n];
+        for u in 0..n as u32 {
+            row.clear();
+            row.extend(adj.row_iter(u as usize));
+            isd[u as usize] = inv_sqrt_deg(&row, u);
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::with_capacity(adj.nnz() + n);
+        let mut values = Vec::with_capacity(adj.nnz() + n);
+        indptr.push(0);
+        for u in 0..n as u32 {
+            row.clear();
+            row.extend(adj.row_iter(u as usize));
+            push_lap_row(u, &row, &isd, &mut indices, &mut values);
+            indptr.push(indices.len());
+        }
+        let a_full = Csr::from_parts(n, n, indptr, indices, values);
+
+        let mut acts = Vec::with_capacity(self.model.layers());
+        for l in 0..self.model.layers() {
+            let input = if l == 0 { &self.features } else { &acts[l - 1] };
+            let agg = a_full.spmm(input);
+            acts.push(self.model.layers[l].forward_rows(&agg));
+        }
+        acts
+    }
+
+    /// Asserts the cached activations equal the from-scratch forward bit
+    /// for bit (test/bench guard).
+    pub fn assert_matches_full(&self) {
+        let full = self.full_forward();
+        for (l, (cached, fresh)) in self.acts.iter().zip(&full).enumerate() {
+            assert_eq!(cached.shape(), fresh.shape(), "layer {l} shape");
+            for (i, (a, b)) in cached.data().iter().zip(fresh.data()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "layer {l} diverges at flat index {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// Rebuilds the operator and every activation from scratch (session
+    /// open, or a fallback if a caller ever needs to resynchronize).
+    fn rebuild_full(&mut self) {
+        let n = self.n();
+        for u in 0..n as u32 {
+            self.isd[u as usize] = inv_sqrt_deg(self.batcher.graph().row(u), u);
+        }
+        // Refreshing with every row dirty rebuilds the whole operator (the
+        // stale one is empty, so the structural path is taken).
+        let all: Vec<u32> = (0..n as u32).collect();
+        self.refresh_lap_rows(&all);
+        self.acts = self.full_forward();
+    }
+
+    /// `rows ∪ N(rows)` over the live graph's rows (sorted, deduplicated).
+    fn expand_graph(&self, rows: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::with_capacity(rows.len() * 4);
+        for &u in rows {
+            out.push(u);
+            out.extend(self.batcher.graph().row(u).iter().map(|&(c, _)| c));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// `rows ∪ N(rows)` over the current operator's structure (sorted,
+    /// deduplicated) — the per-layer frontier expansion.
+    fn expand_operator(&self, rows: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::with_capacity(rows.len() * 4);
+        for &u in rows {
+            // The operator's row includes the self-loop, covering `u`.
+            out.extend(self.a_hat.row_iter(u as usize).map(|(c, _)| c));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Refreshes the operator's `dirty` rows (sorted ascending) from the
+    /// live graph.
+    ///
+    /// When no dirty row changes its column structure — weight-only churn,
+    /// or degree-induced rescaling of neighbor rows, both of which leave
+    /// sparsity untouched — the new values are patched **in place**, and
+    /// the advance cost tracks the frontier instead of paying the
+    /// O(n + nnz) whole-CSR splice. Structural edits fall back to the
+    /// splice. Either path writes exactly the bytes [`push_lap_row`]
+    /// produces, so the bitwise contract is unaffected.
+    fn refresh_lap_rows(&mut self, dirty: &[u32]) {
+        // Build every rebuilt row once, into one scratch arena.
+        let mut scratch_idx: Vec<u32> = Vec::with_capacity(dirty.len() * 8);
+        let mut scratch_val: Vec<f32> = Vec::with_capacity(dirty.len() * 8);
+        let mut bounds: Vec<usize> = Vec::with_capacity(dirty.len() + 1);
+        bounds.push(0);
+        for &u in dirty {
+            push_lap_row(
+                u,
+                self.batcher.graph().row(u),
+                &self.isd,
+                &mut scratch_idx,
+                &mut scratch_val,
+            );
+            bounds.push(scratch_idx.len());
+        }
+
+        let structural = dirty.iter().enumerate().any(|(i, &u)| {
+            let (lo, hi) = (
+                self.a_hat.indptr()[u as usize],
+                self.a_hat.indptr()[u as usize + 1],
+            );
+            self.a_hat.indices()[lo..hi] != scratch_idx[bounds[i]..bounds[i + 1]]
+        });
+        if !structural {
+            let starts: Vec<usize> = dirty
+                .iter()
+                .map(|&u| self.a_hat.indptr()[u as usize])
+                .collect();
+            let values = self.a_hat.values_mut();
+            for (i, &lo) in starts.iter().enumerate() {
+                let (s, e) = (bounds[i], bounds[i + 1]);
+                values[lo..lo + (e - s)].copy_from_slice(&scratch_val[s..e]);
+            }
+            return;
+        }
+
+        // Structural splice: one pass over the old operator, dirty rows
+        // taken from the scratch arena.
+        let n = self.n();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices: Vec<u32> = Vec::with_capacity(self.a_hat.nnz() + scratch_idx.len() + n);
+        let mut values: Vec<f32> = Vec::with_capacity(indices.capacity());
+        indptr.push(0);
+        let mut d = 0usize;
+        for u in 0..n as u32 {
+            if d < dirty.len() && dirty[d] == u {
+                let (s, e) = (bounds[d], bounds[d + 1]);
+                d += 1;
+                indices.extend_from_slice(&scratch_idx[s..e]);
+                values.extend_from_slice(&scratch_val[s..e]);
+            } else {
+                let old_indptr = self.a_hat.indptr();
+                let (lo, hi) = (old_indptr[u as usize], old_indptr[u as usize + 1]);
+                indices.extend_from_slice(&self.a_hat.indices()[lo..hi]);
+                values.extend_from_slice(&self.a_hat.values()[lo..hi]);
+            }
+            indptr.push(indices.len());
+        }
+        debug_assert_eq!(d, dirty.len(), "dirty rows must be sorted and in range");
+        self.a_hat = Csr::from_parts(n, n, indptr, indices, values);
+    }
+}
+
+/// `1/√(1 + deg(u))`, where `deg` counts stored non-self neighbors — the
+/// `+1` is the operator's own self-loop. One shared expression for the
+/// full and incremental paths.
+fn inv_sqrt_deg(row: &[(u32, f32)], u: u32) -> f32 {
+    let has_self = row.binary_search_by_key(&u, |&(c, _)| c).is_ok();
+    let deg = 1 + row.len() - usize::from(has_self);
+    1.0 / (deg as f32).sqrt()
+}
+
+/// Appends row `u` of the normalized operator: every stored non-self
+/// neighbor scaled by `isd[u]·isd[v]`, plus the unit self-loop scaled by
+/// `isd[u]²`, in column order. Stored self-loops are ignored — the
+/// operator supplies the canonical unit one. One shared expression for
+/// the full and incremental paths.
+fn push_lap_row(
+    u: u32,
+    row: &[(u32, f32)],
+    isd: &[f32],
+    indices: &mut Vec<u32>,
+    values: &mut Vec<f32>,
+) {
+    let su = isd[u as usize];
+    let mut diag_done = false;
+    for &(c, w) in row {
+        if c == u {
+            continue;
+        }
+        if !diag_done && c > u {
+            indices.push(u);
+            values.push(su * su);
+            diag_done = true;
+        }
+        indices.push(c);
+        values.push(w * (su * isd[c as usize]));
+    }
+    if !diag_done {
+        indices.push(u);
+        values.push(su * su);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A deterministic two-layer model (no RNG: fixed pseudo-pattern).
+    pub(crate) fn tiny_model(input_f: usize, hidden: usize, skip: bool) -> ServeModel {
+        let w = |rows: usize, cols: usize, salt: usize| {
+            Dense::from_fn(rows, cols, |r, c| {
+                ((r * 31 + c * 17 + salt * 7) % 13) as f32 / 13.0 - 0.5
+            })
+        };
+        let l0 = ServeLayer {
+            w: w(input_f, hidden, 1),
+            b: Dense::full(1, hidden, 0.05),
+            skip_concat: skip,
+        };
+        let l1 = ServeLayer {
+            w: w(l0.out_width(), hidden, 2),
+            b: Dense::full(1, hidden, 0.05),
+            skip_concat: skip,
+        };
+        let emb = l1.out_width();
+        ServeModel::from_parts(vec![l0, l1], w(2 * emb, 2, 3), Dense::zeros(1, 2))
+    }
+
+    fn feats(n: usize, f: usize) -> Dense {
+        Dense::from_fn(n, f, |r, c| ((r * 13 + c * 5) % 11) as f32 / 11.0)
+    }
+
+    #[test]
+    fn empty_graph_forward_is_identity_operator() {
+        let s = InferenceSession::new(tiny_model(3, 4, false), feats(6, 3));
+        // With no edges Ã = I: layer 0 equals relu(X·W + b) exactly.
+        let expect = relu(
+            &feats(6, 3)
+                .matmul(&s.model.layers[0].w)
+                .add_row_broadcast(&s.model.layers[0].b),
+        );
+        assert_eq!(s.acts[0], expect);
+        s.assert_matches_full();
+    }
+
+    #[test]
+    fn single_advance_matches_full_forward() {
+        for skip in [false, true] {
+            let mut s = InferenceSession::new(tiny_model(3, 4, skip), feats(8, 3));
+            s.ingest(&[
+                EdgeEvent::add(0, 0, 1, 1.0),
+                EdgeEvent::add(0, 1, 2, 0.5),
+                EdgeEvent::add(0, 5, 6, 2.0),
+            ]);
+            let report = s.advance();
+            assert_eq!(report.version, 1);
+            assert_eq!(report.touched, 5);
+            // Frontiers grow (weakly) layer over layer.
+            assert!(report.frontier_rows[0] <= report.frontier_rows[1]);
+            s.assert_matches_full();
+        }
+    }
+
+    #[test]
+    fn removals_and_weight_updates_stay_consistent() {
+        let mut s = InferenceSession::new(tiny_model(2, 3, false), feats(10, 2));
+        s.ingest(&[
+            EdgeEvent::add(0, 0, 1, 1.0),
+            EdgeEvent::add(0, 1, 2, 1.0),
+            EdgeEvent::add(0, 2, 3, 1.0),
+            EdgeEvent::add(0, 8, 9, 1.0),
+        ]);
+        s.advance();
+        s.assert_matches_full();
+        s.ingest(&[
+            EdgeEvent::remove(1, 1, 2),
+            EdgeEvent::update(1, 0, 1, 4.0),
+            EdgeEvent::add(1, 3, 4, 1.0),
+        ]);
+        let r = s.advance();
+        assert_eq!(r.version, 2);
+        s.assert_matches_full();
+        // The untouched far component (8, 9) was not recomputed.
+        assert!(!r.frontier_rows.is_empty());
+        assert!(r.frontier_rows.iter().all(|&f| f < 10));
+    }
+
+    #[test]
+    fn unservable_heads_are_refused_with_typed_errors() {
+        use dgnn_models::ModelConfig;
+        let cfg = ModelConfig {
+            kind: ModelKind::TmGcn,
+            input_f: 2,
+            hidden: 3,
+            mprod_window: 2,
+            smoothing_window: 2,
+        };
+        let mk = |head_u: Dense, head_b: Dense| Checkpoint {
+            config: cfg,
+            head_emb: 3,
+            head_classes: head_u.cols(),
+            params: vec![
+                ("gcn0.w".into(), Dense::zeros(2, 3)),
+                ("gcn0.b".into(), Dense::zeros(1, 3)),
+                ("gcn1.w".into(), Dense::zeros(3, 3)),
+                ("gcn1.b".into(), Dense::zeros(1, 3)),
+                ("head.u".into(), head_u),
+                ("head.b".into(), head_b),
+            ],
+        };
+        // A single-class head cannot produce a link-score margin.
+        let cp = mk(Dense::zeros(6, 1), Dense::zeros(1, 1));
+        assert!(matches!(
+            ServeModel::from_checkpoint(&cp),
+            Err(CheckpointError::UnsupportedModel(_))
+        ));
+        // A bias whose width disagrees with the projection.
+        let cp = mk(Dense::zeros(6, 2), Dense::zeros(1, 3));
+        assert!(matches!(
+            ServeModel::from_checkpoint(&cp),
+            Err(CheckpointError::UnsupportedModel(_))
+        ));
+        // The consistent two-class head is accepted.
+        let cp = mk(Dense::zeros(6, 2), Dense::zeros(1, 2));
+        assert!(ServeModel::from_checkpoint(&cp).is_ok());
+    }
+
+    #[test]
+    fn weight_only_windows_patch_values_in_place() {
+        let mut s = InferenceSession::new(tiny_model(2, 3, false), feats(12, 2));
+        s.ingest(&[
+            EdgeEvent::add(0, 0, 1, 1.0),
+            EdgeEvent::add(0, 1, 2, 1.0),
+            EdgeEvent::add(0, 5, 6, 1.0),
+        ]);
+        s.advance();
+        let structure_before: Vec<usize> = s.a_hat.indptr().to_vec();
+        // Pure weight churn: sparsity is untouched, so the fast path runs
+        // (observable as identical indptr) and the bits still match a full
+        // recompute.
+        s.ingest(&[
+            EdgeEvent::update(1, 0, 1, 3.5),
+            EdgeEvent::update(1, 5, 6, 0.125),
+        ]);
+        s.advance();
+        assert_eq!(s.a_hat.indptr(), &structure_before[..]);
+        s.assert_matches_full();
+        // A reverted add/remove pair inside one window is also value-only.
+        s.ingest(&[EdgeEvent::remove(2, 1, 2), EdgeEvent::add(2, 1, 2, 9.0)]);
+        s.advance();
+        s.assert_matches_full();
+    }
+
+    #[test]
+    fn empty_advance_bumps_version_only() {
+        let mut s = InferenceSession::new(tiny_model(2, 3, false), feats(4, 2));
+        let before = s.embeddings().clone();
+        let r = s.advance();
+        assert_eq!(r.version, 1);
+        assert_eq!(r.touched, 0);
+        assert_eq!(s.embeddings(), &before);
+    }
+
+    #[test]
+    fn self_loop_events_are_tolerated() {
+        let mut s = InferenceSession::new(tiny_model(2, 3, false), feats(5, 2));
+        s.ingest(&[EdgeEvent::add(0, 2, 2, 3.0), EdgeEvent::add(0, 0, 1, 1.0)]);
+        s.advance();
+        // Stored self-loops are ignored by the operator (unit loop wins).
+        s.assert_matches_full();
+    }
+
+    #[test]
+    fn scores_are_head_logit_margins() {
+        let mut s = InferenceSession::new(tiny_model(2, 3, false), feats(6, 2));
+        s.ingest(&[EdgeEvent::add(0, 0, 1, 1.0)]);
+        s.advance();
+        let scores = s.score_links(&[(0, 1), (3, 4)]);
+        assert_eq!(scores.len(), 2);
+        let z = s.predict_nodes(&[0, 1]);
+        let cat = z.row_block(0, 1).concat_cols(&z.row_block(1, 1));
+        let logits = cat
+            .matmul(&s.model.head_u)
+            .add_row_broadcast(&s.model.head_b);
+        let manual = logits.get(0, 1) - logits.get(0, 0);
+        assert_eq!(scores[0].to_bits(), manual.to_bits());
+    }
+}

@@ -1,0 +1,203 @@
+//! Concurrent serving: a writer applies window advances while readers
+//! answer batched queries from immutable published snapshots.
+//!
+//! The consistency model is snapshot isolation by publication: after each
+//! advance the writer clones the final-layer embeddings into a fresh
+//! immutable [`ServingSnapshot`] and swaps the shared `Arc` under a brief
+//! write lock. Readers clone the `Arc` under a read lock and then compute
+//! entirely lock-free on frozen data — a query can never observe half of
+//! one window and half of the next (no torn reads), which the stress test
+//! pins with a per-snapshot digest. Queries run on the PR-2 intra-rank
+//! thread pool through the batched `gather_rows`/`matmul` kernels, so a
+//! large batch parallelizes without extra plumbing.
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use dgnn_stream::EdgeEvent;
+use dgnn_tensor::Dense;
+
+use crate::engine::{score_links_with, AdvanceReport, InferenceSession};
+
+/// One immutable published state of the serving model.
+#[derive(Clone, Debug)]
+pub struct ServingSnapshot {
+    /// Monotone snapshot version (one per advance).
+    pub version: u64,
+    /// Event clock of the underlying graph at publication.
+    pub clock: u64,
+    /// Final-layer embeddings (`N × emb`).
+    pub embeddings: Dense,
+    head_u: Dense,
+    head_b: Dense,
+    /// Digest over `(version, clock, embedding bits)`, written at
+    /// publication; readers recompute it to prove they saw one coherent
+    /// snapshot.
+    pub digest: u64,
+}
+
+/// FNV-1a over the version, clock, and every embedding bit pattern.
+pub fn snapshot_digest(version: u64, clock: u64, embeddings: &Dense) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(version);
+    eat(clock);
+    eat(embeddings.rows() as u64);
+    eat(embeddings.cols() as u64);
+    for &v in embeddings.data() {
+        eat(u64::from(v.to_bits()));
+    }
+    h
+}
+
+impl ServingSnapshot {
+    /// Recomputes the digest from the carried data (consistency probe).
+    pub fn recompute_digest(&self) -> u64 {
+        snapshot_digest(self.version, self.clock, &self.embeddings)
+    }
+
+    /// Batched node-embedding lookup against this frozen snapshot.
+    pub fn predict_nodes(&self, nodes: &[u32]) -> Dense {
+        self.embeddings.gather_rows(nodes)
+    }
+
+    /// Batched link scoring against this frozen snapshot.
+    pub fn score_links(&self, pairs: &[(u32, u32)]) -> Vec<f32> {
+        score_links_with(&self.head_u, &self.head_b, &self.embeddings, pairs)
+    }
+}
+
+/// A shareable serving endpoint: one writer mutates the session, any
+/// number of readers query published snapshots.
+pub struct InferenceServer {
+    session: Mutex<InferenceSession>,
+    published: RwLock<Arc<ServingSnapshot>>,
+}
+
+impl InferenceServer {
+    /// Wraps a session, publishing its current state as version 0 (or
+    /// whatever the session has advanced to).
+    pub fn new(session: InferenceSession) -> Self {
+        let snapshot = Arc::new(Self::snapshot_of(&session));
+        Self {
+            session: Mutex::new(session),
+            published: RwLock::new(snapshot),
+        }
+    }
+
+    fn snapshot_of(session: &InferenceSession) -> ServingSnapshot {
+        let embeddings = session.embeddings().clone();
+        let (head_u, head_b) = session.model().head();
+        let version = session.version();
+        let clock = session.graph().clock();
+        let digest = snapshot_digest(version, clock, &embeddings);
+        ServingSnapshot {
+            version,
+            clock,
+            embeddings,
+            head_u: head_u.clone(),
+            head_b: head_b.clone(),
+            digest,
+        }
+    }
+
+    /// The latest published snapshot. Cheap: clones an `Arc` under a read
+    /// lock held for the duration of the clone only.
+    pub fn snapshot(&self) -> Arc<ServingSnapshot> {
+        Arc::clone(&self.published.read().expect("published lock poisoned"))
+    }
+
+    /// Ingests a window of events, advances the session incrementally, and
+    /// publishes the new snapshot. Serialized across callers by the writer
+    /// lock; readers are never blocked for longer than the `Arc` swap.
+    pub fn ingest_and_advance(&self, events: &[EdgeEvent]) -> AdvanceReport {
+        let mut session = self.session.lock().expect("session lock poisoned");
+        session.ingest(events);
+        let report = session.advance();
+        let snapshot = Arc::new(Self::snapshot_of(&session));
+        // Publish while still holding the writer lock, so versions are
+        // published in order.
+        *self.published.write().expect("published lock poisoned") = snapshot;
+        report
+    }
+
+    /// Convenience: batched node lookup on the latest snapshot.
+    pub fn predict_nodes(&self, nodes: &[u32]) -> (Dense, u64) {
+        let snap = self.snapshot();
+        (snap.predict_nodes(nodes), snap.version)
+    }
+
+    /// Convenience: batched link scoring on the latest snapshot.
+    pub fn score_links(&self, pairs: &[(u32, u32)]) -> (Vec<f32>, u64) {
+        let snap = self.snapshot();
+        (snap.score_links(pairs), snap.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tests::tiny_model;
+
+    fn feats(n: usize, f: usize) -> Dense {
+        Dense::from_fn(n, f, |r, c| ((r * 7 + c) % 5) as f32 / 5.0)
+    }
+
+    #[test]
+    fn publishes_versions_in_order_with_valid_digests() {
+        let server =
+            InferenceServer::new(InferenceSession::new(tiny_model(2, 3, false), feats(8, 2)));
+        assert_eq!(server.snapshot().version, 0);
+        assert_eq!(
+            server.snapshot().recompute_digest(),
+            server.snapshot().digest
+        );
+        let r1 = server.ingest_and_advance(&[EdgeEvent::add(0, 0, 1, 1.0)]);
+        let r2 = server.ingest_and_advance(&[EdgeEvent::add(1, 2, 3, 1.0)]);
+        assert_eq!((r1.version, r2.version), (1, 2));
+        let snap = server.snapshot();
+        assert_eq!(snap.version, 2);
+        assert_eq!(snap.recompute_digest(), snap.digest);
+    }
+
+    #[test]
+    fn snapshot_queries_match_session_queries() {
+        let session = {
+            let mut s = InferenceSession::new(tiny_model(2, 3, false), feats(6, 2));
+            s.ingest(&[EdgeEvent::add(0, 0, 1, 1.0), EdgeEvent::add(0, 4, 5, 2.0)]);
+            s.advance();
+            s
+        };
+        let expect_nodes = session.predict_nodes(&[0, 1, 5]);
+        let expect_scores = session.score_links(&[(0, 1), (2, 3)]);
+        let server = InferenceServer::new(session);
+        let (nodes, v1) = server.predict_nodes(&[0, 1, 5]);
+        let (scores, v2) = server.score_links(&[(0, 1), (2, 3)]);
+        assert_eq!((v1, v2), (1, 1));
+        assert_eq!(nodes, expect_nodes);
+        assert_eq!(
+            scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            expect_scores
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn old_snapshots_stay_frozen_across_advances() {
+        let server =
+            InferenceServer::new(InferenceSession::new(tiny_model(2, 3, false), feats(6, 2)));
+        let old = server.snapshot();
+        let old_digest = old.digest;
+        server.ingest_and_advance(&[EdgeEvent::add(0, 0, 1, 1.0)]);
+        // The handle we took before the advance is untouched.
+        assert_eq!(old.version, 0);
+        assert_eq!(old.recompute_digest(), old_digest);
+        assert_ne!(server.snapshot().version, old.version);
+    }
+}

@@ -76,6 +76,22 @@ impl DeltaBatcher {
         }
     }
 
+    /// The vertices incident to any edge touched since the last flush,
+    /// sorted and deduplicated — the seed set a diff subscriber (e.g. the
+    /// `dgnn-serve` incremental inference engine) expands into its
+    /// per-layer recompute frontier. Call before [`DeltaBatcher::flush`] /
+    /// [`DeltaBatcher::advance`], which clear the journal.
+    pub fn touched_vertices(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .touched
+            .iter()
+            .flat_map(|&((u, v), _)| [u, v])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Emits the accumulated changes as a [`GraphDiff`] relative to the
     /// state at the previous flush and clears the batch.
     ///
@@ -184,6 +200,20 @@ mod tests {
         assert_eq!(d.ext_next, vec![(1, 2)]);
         let next = reconstruct(&Csr::empty(3, 3), &d);
         assert_eq!(next.to_coo(), vec![(1, 2, 1.0)]);
+    }
+
+    #[test]
+    fn touched_vertices_covers_both_endpoints_and_clears_on_flush() {
+        let mut b = DeltaBatcher::new(6);
+        b.apply(&EdgeEvent::add(0, 4, 1, 1.0));
+        b.apply(&EdgeEvent::add(0, 1, 2, 1.0));
+        b.apply(&EdgeEvent::remove(0, 4, 1));
+        // Sorted, deduplicated, and covering reverted touches too.
+        assert_eq!(b.touched_vertices(), vec![1, 2, 4]);
+        let _ = b.flush();
+        assert!(b.touched_vertices().is_empty());
+        b.apply(&EdgeEvent::update(1, 5, 5, 2.0));
+        assert_eq!(b.touched_vertices(), vec![5]);
     }
 
     #[test]

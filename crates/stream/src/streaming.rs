@@ -56,6 +56,13 @@ impl StreamingGraph {
         self.clock
     }
 
+    /// The column-sorted `(column, weight)` adjacency of row `u` — direct
+    /// row access for consumers that rebuild derived per-row state (e.g.
+    /// normalized-Laplacian rows) incrementally.
+    pub fn row(&self, u: u32) -> &[(u32, f32)] {
+        &self.rows[u as usize]
+    }
+
     /// Current weight of `(u, v)`, if the edge is present.
     pub fn weight(&self, u: u32, v: u32) -> Option<f32> {
         let row = &self.rows[u as usize];

@@ -480,6 +480,26 @@ impl Dense {
         }
     }
 
+    /// Overwrites the given rows from `src` (`self[idx[i]] = src[i]`) — the
+    /// scatter that writes frontier-recomputed rows back into a cached
+    /// activation matrix. Later duplicates win, matching a serial loop.
+    ///
+    /// # Panics
+    /// Panics on a length/width mismatch or an out-of-range row index —
+    /// all validated up front, before any row is written.
+    pub fn set_rows(&mut self, idx: &[u32], src: &Dense) {
+        assert_eq!(idx.len(), src.rows, "set_rows length mismatch");
+        assert_eq!(self.cols, src.cols, "set_rows width mismatch");
+        assert!(
+            idx.iter().all(|&r| (r as usize) < self.rows),
+            "set_rows row index out of range"
+        );
+        for (i, &r) in idx.iter().enumerate() {
+            self.data[r as usize * self.cols..(r as usize + 1) * self.cols]
+                .copy_from_slice(src.row(i));
+        }
+    }
+
     /// Sum of all elements, in the fixed-chunk order of
     /// [`pool::reduce_chunks`] (thread-count invariant; identical to a
     /// plain serial sum for matrices of at most one reduction chunk).
@@ -616,6 +636,23 @@ mod tests {
         acc.scatter_add_rows(&[2, 0, 2], &g);
         // Row 2 was gathered twice, so it accumulates twice.
         assert_eq!(acc, m(3, 2, &[1.0, 2.0, 0.0, 0.0, 10.0, 12.0]));
+    }
+
+    #[test]
+    fn set_rows_overwrites_targets() {
+        let mut a = Dense::zeros(4, 2);
+        a.set_rows(&[2, 0], &m(2, 2, &[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(a, m(4, 2, &[3.0, 4.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0]));
+        // Later duplicates win.
+        a.set_rows(&[1, 1], &m(2, 2, &[9.0, 9.0, 7.0, 8.0]));
+        assert_eq!(a.row(1), &[7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_rows row index out of range")]
+    fn set_rows_index_panics() {
+        let mut a = Dense::zeros(2, 2);
+        a.set_rows(&[2], &Dense::zeros(1, 2));
     }
 
     #[test]

@@ -375,6 +375,46 @@ impl Csr {
         out
     }
 
+    /// Sparse × dense product restricted to a subset of output rows:
+    /// `out[i] = (self * x)[rows[i]]`. The inner loop per output row is the
+    /// same serial gather [`Csr::spmm`] runs, so every produced row is
+    /// bit-identical to the corresponding row of the full product at any
+    /// thread count — the kernel behind frontier-restricted incremental
+    /// inference, where only the rows reachable from a graph change are
+    /// recomputed.
+    ///
+    /// # Panics
+    /// Panics when `x` does not have `self.cols` rows, or when any entry of
+    /// `rows` is out of range — validated up front.
+    pub fn spmm_rows(&self, x: &Dense, rows: &[u32]) -> Dense {
+        assert_eq!(self.cols, x.rows(), "spmm_rows shape mismatch");
+        assert!(
+            rows.iter().all(|&r| (r as usize) < self.rows),
+            "spmm_rows row index out of range"
+        );
+        let f = x.cols();
+        let mut out = Dense::zeros(rows.len(), f);
+        let work: usize = rows
+            .iter()
+            .map(|&r| self.indptr[r as usize + 1] - self.indptr[r as usize])
+            .sum::<usize>()
+            .saturating_mul(f);
+        pool::par_rows(out.data_mut(), f, work, |i0, block| {
+            for (di, out_row) in block.chunks_mut(f).enumerate() {
+                let r = rows[i0 + di] as usize;
+                for k in self.indptr[r]..self.indptr[r + 1] {
+                    let c = self.indices[k] as usize;
+                    let v = self.values[k];
+                    let x_row = &x.data()[c * f..(c + 1) * f];
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            }
+        });
+        out
+    }
+
     /// The row-parallel gather shared by [`Csr::spmm`]'s inner loop and the
     /// transpose path of [`Csr::spmm_transa`]. `x` is indexed by this
     /// matrix's columns *without* a shape assertion on the row count — the
@@ -672,6 +712,44 @@ mod tests {
         }
         let doubled = a.spmm_transa(&x);
         assert!(doubled.approx_eq(&first.scale(2.0), 1e-3));
+    }
+
+    #[test]
+    fn spmm_rows_matches_full_product_bitwise() {
+        let edges: Vec<(u32, u32)> = (0..600u32).map(|i| (i % 37, (i * 11) % 41)).collect();
+        let a = Csr::from_edges(50, &edges);
+        let x = Dense::from_fn(50, 7, |r, c| ((r * 13 + c * 3) % 17) as f32 - 8.0);
+        let full = a.spmm(&x);
+        for threads in [1usize, 4] {
+            let _g = crate::pool::scoped_threads(Some(threads));
+            let rows: Vec<u32> = vec![0, 3, 3, 17, 49];
+            let sub = a.spmm_rows(&x, &rows);
+            assert_eq!(sub.shape(), (5, 7));
+            for (i, &r) in rows.iter().enumerate() {
+                for c in 0..7 {
+                    assert_eq!(
+                        sub.get(i, c).to_bits(),
+                        full.get(r as usize, c).to_bits(),
+                        "row {r} col {c} at {threads} threads"
+                    );
+                }
+            }
+            assert_eq!(a.spmm_rows(&x, &[]).shape(), (0, 7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm_rows row index out of range")]
+    fn spmm_rows_index_panics() {
+        let a = Csr::empty(3, 3);
+        let _ = a.spmm_rows(&Dense::zeros(3, 2), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm_rows shape mismatch")]
+    fn spmm_rows_shape_panics() {
+        let a = Csr::empty(3, 4);
+        let _ = a.spmm_rows(&Dense::zeros(3, 2), &[0]);
     }
 
     #[test]

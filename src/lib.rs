@@ -8,6 +8,7 @@ pub use dgnn_core as core;
 pub use dgnn_graph as graph;
 pub use dgnn_models as models;
 pub use dgnn_partition as partition;
+pub use dgnn_serve as serve;
 pub use dgnn_sim as sim;
 pub use dgnn_stream as stream;
 pub use dgnn_tensor as tensor;

@@ -1,0 +1,220 @@
+//! Checkpoint round-trip: a model trained by `train_single`, saved to the
+//! versioned binary format, loaded back, and served — predictions must be
+//! bit-identical to serving the original in-memory parameters. Negative
+//! cases (truncation, foreign magic, future format revision, flipped
+//! bits) must surface as typed `CheckpointError`s, not panics.
+
+use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
+use dgnn_core::task::{prepare_task_holdout, TaskOptions};
+use dgnn_serve::{Checkpoint, CheckpointError, InferenceSession, ServeModel};
+use dgnn_stream::EdgeEvent;
+use dgnn_tensor::Dense;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained() -> (Model, LinkPredHead, ParamStore, usize) {
+    let g = dgnn_graph::gen::churn_skewed(40, 6, 150, 0.3, 0.9, 5);
+    let cfg = ModelConfig {
+        kind: ModelKind::TmGcn,
+        input_f: 2,
+        hidden: 5,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    let opts = TrainOptions {
+        epochs: 3,
+        lr: 0.05,
+        nb: 2,
+        seed: 3,
+        threads: None,
+    };
+    let _ = train_single(&model, &head, &mut store, &task, &opts);
+    (model, head, store, g.n())
+}
+
+fn serve_scores(model: ServeModel, n: usize) -> (Vec<f32>, Vec<u32>) {
+    let features = Dense::from_fn(n, 2, |r, c| ((r * 19 + c * 7) % 13) as f32 / 13.0);
+    let mut session = InferenceSession::new(model, features);
+    let events: Vec<EdgeEvent> = (0..n as u32)
+        .map(|u| EdgeEvent::add(0, u, (u * 11 + 1) % n as u32, 1.0))
+        .collect();
+    session.ingest(&events);
+    session.advance();
+    session.assert_matches_full();
+    let pairs: Vec<(u32, u32)> = (0..n as u32).map(|u| (u, (u + 3) % n as u32)).collect();
+    let scores = session.score_links(&pairs);
+    let emb_bits = session
+        .embeddings()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    (scores, emb_bits)
+}
+
+#[test]
+fn save_load_serve_is_bit_identical() {
+    let (model, head, store, n) = trained();
+    let cp = Checkpoint::from_store(&model, &head, &store);
+    let bytes = cp.to_bytes();
+    let loaded = Checkpoint::from_bytes(&bytes).expect("decode");
+
+    // Every parameter round-trips bit for bit.
+    assert_eq!(loaded.params.len(), store.len());
+    for (name, value) in &loaded.params {
+        let id = store.id_of(name).expect("name survives");
+        let orig = store.value(id);
+        assert_eq!(orig.shape(), value.shape(), "{name}");
+        assert!(
+            orig.data()
+                .iter()
+                .zip(value.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{name} changed bits across the roundtrip"
+        );
+    }
+
+    // Serving the loaded checkpoint equals serving the live parameters.
+    let (scores_live, emb_live) = serve_scores(
+        ServeModel::from_model(&model, &head, &store).expect("servable"),
+        n,
+    );
+    let (scores_loaded, emb_loaded) = serve_scores(
+        ServeModel::from_checkpoint(&loaded).expect("serve model"),
+        n,
+    );
+    assert_eq!(emb_live, emb_loaded, "embeddings diverge after reload");
+    assert_eq!(
+        scores_live.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        scores_loaded
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<Vec<_>>(),
+        "link scores diverge after reload"
+    );
+}
+
+#[test]
+fn file_roundtrip_and_load_into_store() {
+    let (model, head, store, _) = trained();
+    let cp = Checkpoint::from_store(&model, &head, &store);
+    let path = std::env::temp_dir().join(format!("dgnn_ckpt_{}.bin", std::process::id()));
+    cp.save(&path).expect("save");
+    let loaded = Checkpoint::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    // Import into a freshly initialized store of the same architecture.
+    let mut rng = StdRng::seed_from_u64(999); // different init on purpose
+    let mut fresh = ParamStore::new();
+    let model2 = Model::new(loaded.config, &mut fresh, &mut rng);
+    let head2 = LinkPredHead::new(&mut fresh, loaded.head_emb, loaded.head_classes, &mut rng);
+    assert_eq!(model2.config().hidden, model.config().hidden);
+    assert_eq!(head2.classes(), head.classes());
+    loaded.load_into(&mut fresh).expect("import");
+    assert_eq!(fresh.values_flat(), store.values_flat());
+}
+
+#[test]
+fn cdgcn_checkpoints_are_refused_with_a_typed_error() {
+    // CD-GCN's gcn1.w consumes `hidden` rows because training interposes a
+    // feature LSTM between the layers; a pure spatial stack cannot supply
+    // that, so serving must refuse up front — typed, not a shape panic.
+    let cfg = ModelConfig {
+        kind: ModelKind::CdGcn,
+        input_f: 2,
+        hidden: 5,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    let cp = Checkpoint::from_bytes(&Checkpoint::from_store(&model, &head, &store).to_bytes())
+        .expect("the checkpoint itself decodes fine");
+    assert!(matches!(
+        ServeModel::from_checkpoint(&cp),
+        Err(CheckpointError::UnsupportedModel(_))
+    ));
+    assert!(matches!(
+        ServeModel::from_model(&model, &head, &store),
+        Err(CheckpointError::UnsupportedModel(_))
+    ));
+}
+
+#[test]
+fn load_into_mismatched_store_is_typed() {
+    let (model, head, store, _) = trained();
+    let cp = Checkpoint::from_store(&model, &head, &store);
+    let mut empty = ParamStore::new();
+    assert!(matches!(
+        cp.load_into(&mut empty),
+        Err(CheckpointError::StoreMismatch(_))
+    ));
+    // Same names, wrong shape.
+    let mut wrong = ParamStore::new();
+    for (name, _) in &cp.params {
+        wrong.add(name.clone(), Dense::zeros(1, 1));
+    }
+    assert!(matches!(
+        cp.load_into(&mut wrong),
+        Err(CheckpointError::StoreMismatch(_))
+    ));
+}
+
+#[test]
+fn truncated_and_corrupt_files_are_typed_errors() {
+    let (model, head, store, _) = trained();
+    let bytes = Checkpoint::from_store(&model, &head, &store).to_bytes();
+
+    // Truncation at a spread of prefixes, including mid-header and
+    // mid-payload.
+    for len in [
+        0,
+        3,
+        7,
+        9,
+        bytes.len() / 3,
+        bytes.len() - 5,
+        bytes.len() - 1,
+    ] {
+        assert!(
+            matches!(
+                Checkpoint::from_bytes(&bytes[..len]),
+                Err(CheckpointError::Truncated)
+            ),
+            "prefix {len}"
+        );
+    }
+
+    // Foreign magic.
+    let mut foreign = bytes.clone();
+    foreign[..4].copy_from_slice(b"PNG\0");
+    assert!(matches!(
+        Checkpoint::from_bytes(&foreign),
+        Err(CheckpointError::BadMagic(_))
+    ));
+
+    // A future format revision is refused with the found revision.
+    let mut future = bytes.clone();
+    future[4..8].copy_from_slice(&7u32.to_le_bytes());
+    match Checkpoint::from_bytes(&future) {
+        Err(CheckpointError::UnsupportedVersion { found }) => assert_eq!(found, 7),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A flipped payload bit fails the checksum.
+    let mut corrupt = bytes.clone();
+    let idx = corrupt.len() - 16;
+    corrupt[idx] ^= 0x01;
+    assert!(matches!(
+        Checkpoint::from_bytes(&corrupt),
+        Err(CheckpointError::ChecksumMismatch { .. })
+    ));
+}
