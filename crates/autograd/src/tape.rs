@@ -478,9 +478,8 @@ impl Tape {
             }
             Op::NarrowCols { x, start } => {
                 let (x, start) = (*x, *start);
-                let (rows, cols) = self.value(x).shape();
-                let mut dx = Dense::zeros(rows, cols);
-                dx.add_into_cols(start, g);
+                let cols = self.value(x).cols();
+                let dx = g.pad_cols(cols, start);
                 self.accumulate(x, dx);
             }
             Op::GatherRows { x, idx } => {
@@ -535,6 +534,26 @@ impl Tape {
             if let Some(g) = self.grads[v.0].as_ref() {
                 store.add_grad(id, g);
             }
+        }
+    }
+
+    /// Consumes the tape, returning every node value, cached softmax, and
+    /// gradient buffer to this thread's workspace arena
+    /// ([`dgnn_tensor::workspace`]). A retired checkpoint block's scratch
+    /// then backs the next block's tape instead of fresh allocations. No-op
+    /// (a plain drop) when no workspace is engaged.
+    pub fn recycle(self) {
+        if !dgnn_tensor::workspace::is_engaged() {
+            return;
+        }
+        for node in self.nodes {
+            dgnn_tensor::workspace::recycle(node.value);
+            if let Op::SoftmaxXent { probs, .. } = node.op {
+                dgnn_tensor::workspace::recycle(probs);
+            }
+        }
+        for g in self.grads.into_iter().flatten() {
+            dgnn_tensor::workspace::recycle(g);
         }
     }
 }

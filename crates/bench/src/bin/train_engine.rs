@@ -1,0 +1,6 @@
+//! Harness binary for the execution-engine workspace benchmark; pass
+//! `--fast` for the reduced CI smoke workload.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::train_engine::run(fast);
+}

@@ -25,6 +25,7 @@ pub mod streaming;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod train_engine;
 
 /// The GPU counts swept by the paper's strong-scaling plots.
 pub const P_SWEEP: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];

@@ -1,0 +1,165 @@
+//! Execution-engine workspace benchmark: epoch time and backing-buffer
+//! allocations per epoch for the checkpointed trainer, with the per-rank
+//! buffer workspace suppressed (baseline) and engaged (reuse).
+//!
+//! The engaged-size configuration uses wide vertex sets (megabyte tape
+//! nodes), the bandwidth-bound regime where the arena pays off twice: no
+//! allocator round-trips (large buffers otherwise churn mmap/page-zeroing)
+//! and no pre-zeroing pass on overwrite-only kernels — the baseline
+//! writes every elementwise output twice, the workspace path once. Both
+//! modes produce bit-identical parameters (cross-checked here and pinned
+//! by `tests/engine_equivalence.rs`); the workspace is purely an
+//! allocation optimisation. Results land in `BENCH_engine.json`.
+
+use std::time::Instant;
+
+use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
+use dgnn_tensor::{digest::digest_f32, workspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ms;
+
+/// Required steady-state epoch speedup of the workspace path.
+pub const REQUIRED_SPEEDUP: f64 = 1.2;
+
+struct ModeResult {
+    epoch_ms: f64,
+    allocs_per_epoch: f64,
+    reused_per_epoch: f64,
+    params_digest: u64,
+}
+
+/// One timed training run: `epochs` epochs of `train_single`, preceded by
+/// an untimed warm-up epoch (page faults, pool spin-up, arena fill).
+fn run_mode(task: &Task, cfg: ModelConfig, epochs: usize, reuse: bool) -> ModeResult {
+    let _off = (!reuse).then(workspace::disable);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    let warm = TrainOptions {
+        epochs: 1,
+        lr: 0.05,
+        nb: 4,
+        seed: 7,
+        threads: None,
+    };
+    let _ = train_single(&model, &head, &mut store, task, &warm);
+
+    workspace::reset_alloc_stats();
+    let opts = TrainOptions { epochs, ..warm };
+    let start = Instant::now();
+    let stats = train_single(&model, &head, &mut store, task, &opts);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(stats.len(), epochs);
+    let (fresh, reused) = workspace::alloc_stats();
+    ModeResult {
+        epoch_ms: elapsed * 1e3 / epochs as f64,
+        allocs_per_epoch: fresh as f64 / epochs as f64,
+        reused_per_epoch: reused as f64 / epochs as f64,
+        params_digest: digest_f32(&store.values_flat()),
+    }
+}
+
+/// Runs the engine workspace benchmark. `fast` shrinks the workload for
+/// the CI smoke step.
+pub fn run(fast: bool) {
+    let (n, t, m, epochs, reps) = if fast {
+        (8192, 8, 48000, 3, 2)
+    } else {
+        (8192, 8, 48000, 4, 3)
+    };
+    let cfg = ModelConfig {
+        kind: ModelKind::CdGcn,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    println!("== Engine workspace reuse: n={n}, T={t}, m={m}, nb=4, CD-GCN ==");
+    let g = dgnn_graph::gen::churn_skewed(n, t + 1, m, 0.3, 0.9, 11);
+    let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+
+    // Interleave the modes and keep each mode's best epoch time, so a
+    // noisy neighbour hitting one rep does not skew the ratio.
+    let mut base: Option<ModeResult> = None;
+    let mut ws: Option<ModeResult> = None;
+    for _ in 0..reps {
+        let b = run_mode(&task, cfg, epochs, false);
+        let w = run_mode(&task, cfg, epochs, true);
+        if base.as_ref().is_none_or(|prev| b.epoch_ms < prev.epoch_ms) {
+            base = Some(b);
+        }
+        if ws.as_ref().is_none_or(|prev| w.epoch_ms < prev.epoch_ms) {
+            ws = Some(w);
+        }
+    }
+    let base = base.expect("at least one rep");
+    let ws = ws.expect("at least one rep");
+
+    assert_eq!(
+        base.params_digest, ws.params_digest,
+        "workspace reuse changed training results"
+    );
+    let speedup = base.epoch_ms / ws.epoch_ms;
+    let alloc_ratio = base.allocs_per_epoch / ws.allocs_per_epoch.max(1.0);
+    println!(
+        "baseline : {} /epoch, {:.0} buffer allocs/epoch",
+        ms(base.epoch_ms),
+        base.allocs_per_epoch
+    );
+    println!(
+        "workspace: {} /epoch, {:.0} fresh + {:.0} reused buffers/epoch",
+        ms(ws.epoch_ms),
+        ws.allocs_per_epoch,
+        ws.reused_per_epoch
+    );
+    println!("epoch speedup: {speedup:.2}x, alloc reduction: {alloc_ratio:.0}x");
+
+    write_json(n, t, m, fast, &base, &ws, speedup, alloc_ratio);
+
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "workspace reuse should speed epochs by >= {REQUIRED_SPEEDUP}x on the engaged-size \
+         config, got {speedup:.2}x"
+    );
+    println!("PASS: workspace epochs >= {REQUIRED_SPEEDUP}x baseline, bit-identical parameters");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    n: usize,
+    t: usize,
+    m: usize,
+    fast: bool,
+    base: &ModeResult,
+    ws: &ModeResult,
+    speedup: f64,
+    alloc_ratio: f64,
+) {
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let s = format!(
+        "{{\n  \"bench\": \"train_engine\",\n  \"fast\": {fast},\n  \
+         \"host_threads\": {host_threads},\n  \"n\": {n},\n  \"t\": {t},\n  \
+         \"edges_per_snapshot\": {m},\n  \"model\": \"cdgcn\",\n  \"nb\": 4,\n  \
+         \"baseline_epoch_ms\": {:.3},\n  \"workspace_epoch_ms\": {:.3},\n  \
+         \"baseline_allocs_per_epoch\": {:.0},\n  \
+         \"workspace_allocs_per_epoch\": {:.0},\n  \
+         \"workspace_reused_per_epoch\": {:.0},\n  \
+         \"epoch_speedup\": {:.2},\n  \"alloc_reduction\": {:.0},\n  \
+         \"required_speedup\": {REQUIRED_SPEEDUP}\n}}\n",
+        base.epoch_ms,
+        ws.epoch_ms,
+        base.allocs_per_epoch,
+        ws.allocs_per_epoch,
+        ws.reused_per_epoch,
+        speedup,
+        alloc_ratio,
+    );
+    match std::fs::write("BENCH_engine.json", &s) {
+        Ok(()) => println!("wrote BENCH_engine.json"),
+        Err(e) => println!("could not write BENCH_engine.json: {e}"),
+    }
+}

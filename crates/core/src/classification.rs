@@ -3,17 +3,17 @@
 //! ... predictions are derived by projecting each embedding matrix Z_t to
 //! the label space via a learnable weight matrix U".
 //!
-//! Implemented for the single-GPU checkpointed trainer; the motivating
+//! A front-end of the shared execution engine: the single-rank layout with
+//! the class-weighted classification objective
+//! ([`crate::engine::classify::SingleRankClassification`]). The motivating
 //! workload is laundering-account detection on the AML-Sim stand-in
 //! ([`dgnn_graph::gen::amlsim_with_labels`]).
 
-use std::rc::Rc;
+use dgnn_autograd::ParamStore;
+use dgnn_models::{ClassificationHead, Model};
 
-use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
-use dgnn_models::{CarryGrads, CarryState, ClassificationHead, Model};
-use dgnn_partition::balanced_ranges;
-use dgnn_tensor::{Csr, Dense};
-
+use crate::engine::classify::SingleRankClassification;
+use crate::engine::{checkpoint_blocks, run_engine};
 use crate::metrics::TrainOptions;
 use crate::task::Task;
 
@@ -27,141 +27,6 @@ pub struct ClassEpochStats {
     /// Balanced accuracy (mean of per-class recalls) — the meaningful
     /// metric when positives are rare, as laundering accounts are.
     pub balanced_accuracy: f64,
-}
-
-/// Per-class recall counts.
-#[derive(Clone, Copy, Debug, Default)]
-struct Recalls {
-    correct: [f64; 2],
-    total: [f64; 2],
-}
-
-impl Recalls {
-    fn add(&mut self, logits: &Dense, labels: &[u32]) {
-        for (r, &label) in labels.iter().enumerate() {
-            let row = logits.row(r);
-            let pred = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i as u32)
-                .unwrap();
-            let c = (label as usize).min(1);
-            self.total[c] += 1.0;
-            if pred == label {
-                self.correct[c] += 1.0;
-            }
-        }
-    }
-
-    fn accuracy(&self) -> f64 {
-        let total = self.total[0] + self.total[1];
-        if total == 0.0 {
-            return 0.0;
-        }
-        (self.correct[0] + self.correct[1]) / total
-    }
-
-    fn balanced(&self) -> f64 {
-        let mut acc = 0.0;
-        let mut classes = 0.0;
-        for c in 0..2 {
-            if self.total[c] > 0.0 {
-                acc += self.correct[c] / self.total[c];
-                classes += 1.0;
-            }
-        }
-        if classes == 0.0 {
-            0.0
-        } else {
-            acc / classes
-        }
-    }
-}
-
-struct ClsBlockRun<'m> {
-    tape: Tape,
-    seg: dgnn_models::Segment<'m>,
-    loss_vars: Vec<Var>,
-    logit_vars: Vec<Var>,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_block_cls<'m>(
-    model: &'m Model,
-    head: &ClassificationHead,
-    store: &ParamStore,
-    task: &Task,
-    labels: &[Rc<Vec<u32>>],
-    laps: &[Rc<Csr>],
-    block: std::ops::Range<usize>,
-    carry_in: &CarryState,
-    class_weights: &[f32; 2],
-) -> ClsBlockRun<'m> {
-    let mut tape = Tape::new();
-    let mut seg = model.bind_segment(&mut tape, store, block.clone(), carry_in);
-    let head_vars = head.bind(&mut tape, store);
-
-    let mut feats: Vec<Var> = block
-        .clone()
-        .map(|t| match &task.preagg {
-            Some(pre) => tape.constant(pre[t].clone()),
-            None => tape.constant(task.features[t].clone()),
-        })
-        .collect();
-    for layer in 0..model.config().layers() {
-        let spatial: Vec<Var> = block
-            .clone()
-            .map(|t| {
-                let x = feats[t - block.start];
-                if layer == 0 && task.preagg.is_some() {
-                    seg.spatial_preagg(&mut tape, t, x)
-                } else {
-                    seg.spatial(&mut tape, layer, t, Rc::clone(&laps[t]), x)
-                }
-            })
-            .collect();
-        feats = seg.temporal(&mut tape, layer, 0, &spatial);
-    }
-
-    // Class-weighted loss: rare laundering accounts would otherwise be
-    // drowned out. Weighting is realised by evaluating the two classes'
-    // vertices as separate sample groups and combining the scalar losses.
-    let mut loss_vars = Vec::with_capacity(block.len());
-    let mut logit_vars = Vec::with_capacity(block.len());
-    for t in block.clone() {
-        let z = feats[t - block.start];
-        let lab = Rc::clone(&labels[t]);
-        let pos_idx: Vec<u32> = (0..lab.len() as u32)
-            .filter(|&v| lab[v as usize] == 1)
-            .collect();
-        let neg_idx: Vec<u32> = (0..lab.len() as u32)
-            .filter(|&v| lab[v as usize] == 0)
-            .collect();
-        // Logits for every vertex (metrics + per-class loss groups).
-        let logits = head.logits(&mut tape, head_vars, z);
-        logit_vars.push(logits);
-        let mut parts: Vec<(f32, Var)> = Vec::new();
-        if !neg_idx.is_empty() {
-            let zg = tape.gather_rows(logits, Rc::new(neg_idx.clone()));
-            let l = tape.softmax_cross_entropy(zg, Rc::new(vec![0u32; neg_idx.len()]));
-            parts.push((class_weights[0], l));
-        }
-        if !pos_idx.is_empty() {
-            let zg = tape.gather_rows(logits, Rc::new(pos_idx.clone()));
-            let l = tape.softmax_cross_entropy(zg, Rc::new(vec![1u32; pos_idx.len()]));
-            parts.push((class_weights[1], l));
-        }
-        let total_w: f32 = parts.iter().map(|(w, _)| w).sum();
-        let terms: Vec<(f32, Var)> = parts.into_iter().map(|(w, v)| (w / total_w, v)).collect();
-        loss_vars.push(tape.lin_comb(&terms));
-    }
-    ClsBlockRun {
-        tape,
-        seg,
-        loss_vars,
-        logit_vars,
-    }
 }
 
 /// Trains the model for per-vertex classification with gradient
@@ -179,69 +44,7 @@ pub fn train_single_classification(
 ) -> Vec<ClassEpochStats> {
     assert_eq!(labels.len(), task.t, "one label vector per timestep");
     let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
-    let labels: Vec<Rc<Vec<u32>>> = labels.iter().map(|l| Rc::new(l.clone())).collect();
-    let blocks = balanced_ranges(task.t, opts.nb.min(task.t));
-    let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();
-    let mut opt = Adam::new(opts.lr);
-    let class_weights = [1.0f32, 1.0];
-
-    let mut out = Vec::with_capacity(opts.epochs);
-    for _epoch in 0..opts.epochs {
-        store.zero_grad();
-        let mut carries: Vec<CarryState> = vec![model.initial_carry(task.n)];
-        let mut loss_sum = 0.0f64;
-        let mut recalls = Recalls::default();
-        for block in &blocks {
-            let run = run_block_cls(
-                model,
-                head,
-                store,
-                task,
-                &labels,
-                &laps,
-                block.clone(),
-                carries.last().unwrap(),
-                &class_weights,
-            );
-            for (i, t) in block.clone().enumerate() {
-                loss_sum += f64::from(run.tape.value(run.loss_vars[i]).get(0, 0));
-                recalls.add(run.tape.value(run.logit_vars[i]), &labels[t]);
-            }
-            carries.push(run.seg.carry_out(&run.tape));
-        }
-
-        let mut carry_grads: Option<CarryGrads> = None;
-        for (b, block) in blocks.iter().enumerate().rev() {
-            let mut run = run_block_cls(
-                model,
-                head,
-                store,
-                task,
-                &labels,
-                &laps,
-                block.clone(),
-                &carries[b],
-                &class_weights,
-            );
-            let mut seeds: Vec<(Var, Dense)> = run
-                .loss_vars
-                .iter()
-                .map(|&lv| (lv, Dense::full(1, 1, 1.0 / task.t as f32)))
-                .collect();
-            if let Some(cg) = &carry_grads {
-                seeds.extend(run.seg.carry_out_seeds(cg));
-            }
-            run.tape.backward(&seeds);
-            run.tape.accumulate_param_grads(store);
-            carry_grads = Some(run.seg.carry_in_grads(&run.tape));
-        }
-        opt.step(store);
-
-        out.push(ClassEpochStats {
-            loss: loss_sum / task.t as f64,
-            accuracy: recalls.accuracy(),
-            balanced_accuracy: recalls.balanced(),
-        });
-    }
-    out
+    let blocks = checkpoint_blocks(opts, task.t);
+    let mut strategy = SingleRankClassification::new(model, head, task, labels);
+    run_engine(&mut strategy, store, &blocks, opts.epochs, opts.lr)
 }

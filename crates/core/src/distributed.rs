@@ -1,321 +1,20 @@
-//! The snapshot-partitioned distributed trainer (paper §4.2, Fig. 3).
-//!
-//! Timesteps are split contiguously among ranks within every checkpoint
-//! block. The GCN phase is communication-free; the temporal phase runs on
-//! contiguous vertex chunks after an all-to-all redistribution, and a
-//! second all-to-all restores snapshot ownership for the next layer. The
-//! backward pass mirrors the forward with reversed all-to-alls; parameters
-//! are replicated and their gradients all-reduced once per epoch.
-//!
-//! EvolveGCN takes the communication-free path of paper §5.5: every rank
-//! evolves the (replicated) weight chain locally and only the epoch-end
-//! gradient all-reduce touches the network.
-//!
-//! The staged backward interleaves `Tape::backward` sweeps with the reverse
-//! all-to-alls; each stage's seeds land on nodes that no earlier stage has
-//! propagated (the tape enforces this).
+//! The snapshot-partitioned distributed trainer (paper §4.2, Fig. 3) — a
+//! thin wrapper binding the
+//! [`TimePartitioned`](crate::engine::time_part::TimePartitioned) strategy
+//! to the shared execution engine; the layout and staged backward live in
+//! `crate::engine::time_part`.
 
-use std::ops::Range;
-use std::rc::Rc;
-
-use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
 use dgnn_graph::{DynamicGraph, Snapshot};
-use dgnn_models::{
-    accuracy, CarryGrads, CarryState, LinkPredHead, Model, ModelConfig, ModelKind, Segment,
-};
-use dgnn_partition::{balanced_ranges, VertexChunks};
+use dgnn_models::{LinkPredHead, Model, ModelConfig};
 use dgnn_sim::{run_ranks, Comm};
-use dgnn_tensor::{Csr, Dense};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::engine::time_part::TimePartitioned;
+use crate::engine::{run_engine, EngineConfig};
 use crate::metrics::{EpochStats, TrainOptions};
 use crate::task::{prepare_task, Task, TaskOptions};
-
-/// Per-layer communication bookkeeping of one block run.
-struct LayerIo {
-    /// Spatial outputs for owned timesteps.
-    spatial: Vec<Var>,
-    /// Temporal inputs for every block timestep (this rank's vertex chunk).
-    b_in: Vec<Var>,
-    /// Temporal outputs for every block timestep.
-    b_out: Vec<Var>,
-    /// Reassembled temporal outputs for owned timesteps (next layer input).
-    c_in: Vec<Var>,
-}
-
-struct DistBlockRun<'m> {
-    tape: Tape,
-    seg: Segment<'m>,
-    loss_vars: Vec<Var>,
-    logit_vars: Vec<Var>,
-    z_vars: Vec<Var>,
-    layers_io: Vec<LayerIo>,
-}
-
-/// Vertical stack of row blocks `range` taken from `mats`, or an empty
-/// matrix of the given width.
-fn pack_rows(mats: &[&Dense], range: &Range<usize>, width: usize) -> Dense {
-    if mats.is_empty() || range.is_empty() {
-        return Dense::zeros(0, width);
-    }
-    let blocks: Vec<Dense> = mats
-        .iter()
-        .map(|m| m.row_block(range.start, range.len()))
-        .collect();
-    Dense::vstack(&blocks.iter().collect::<Vec<_>>())
-}
-
-/// The timesteps of `block` owned by each rank (contiguous split).
-fn owned_per_rank(block: &Range<usize>, p: usize) -> Vec<Vec<usize>> {
-    balanced_ranges(block.len(), p)
-        .into_iter()
-        .map(|r| r.map(|i| block.start + i).collect())
-        .collect()
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_block_dist<'m>(
-    comm: &mut Comm,
-    model: &'m Model,
-    head: &LinkPredHead,
-    store: &ParamStore,
-    task: &Task,
-    laps: &[Rc<Csr>],
-    block: Range<usize>,
-    carry_in: &CarryState,
-    chunks: &VertexChunks,
-) -> DistBlockRun<'m> {
-    let rank = comm.rank();
-    let p = comm.world();
-    let cfg = *model.config();
-    let owned_all = owned_per_rank(&block, p);
-    let owned = owned_all[rank].clone();
-    let my_range = chunks.range(rank);
-
-    let mut tape = Tape::new();
-    let mut seg = model.bind_segment(&mut tape, store, block.clone(), carry_in);
-    let head_vars = head.bind(&mut tape, store);
-
-    // Layer-0 inputs for owned timesteps.
-    let mut feats: Vec<Var> = owned
-        .iter()
-        .map(|&t| match &task.preagg {
-            Some(pre) => tape.constant(pre[t].clone()),
-            None => tape.constant(task.features[t].clone()),
-        })
-        .collect();
-
-    let mut layers_io = Vec::with_capacity(cfg.layers());
-    for layer in 0..cfg.layers() {
-        let spatial: Vec<Var> = owned
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| {
-                let x = feats[i];
-                if layer == 0 && task.preagg.is_some() {
-                    seg.spatial_preagg(&mut tape, t, x)
-                } else {
-                    seg.spatial(&mut tape, layer, t, Rc::clone(&laps[t]), x)
-                }
-            })
-            .collect();
-
-        if !model.kind().uses_redistribution() {
-            // EvolveGCN: identity temporal, no redistribution.
-            feats = spatial.clone();
-            layers_io.push(LayerIo {
-                spatial,
-                b_in: Vec::new(),
-                b_out: Vec::new(),
-                c_in: Vec::new(),
-            });
-            continue;
-        }
-
-        let gcn_w = cfg.gcn_out(layer);
-        // --- Redistribution 1: GCN outputs → vertex chunks. ---
-        let spatial_vals: Vec<&Dense> = spatial.iter().map(|&v| tape.value(v)).collect();
-        let send: Vec<Dense> = (0..p)
-            .map(|q| pack_rows(&spatial_vals, &chunks.range(q), gcn_w))
-            .collect();
-        let recv = comm.all_to_all_dense(send);
-        // Unpack: one chunk matrix per block timestep.
-        let mut b_in = Vec::with_capacity(block.len());
-        for t in block.clone() {
-            let owner = owned_all
-                .iter()
-                .position(|ts| ts.contains(&t))
-                .expect("every timestep has an owner");
-            let pos = owned_all[owner].iter().position(|&x| x == t).unwrap();
-            let chunk = recv[owner].row_block(pos * my_range.len(), my_range.len());
-            b_in.push(tape.input(chunk));
-        }
-
-        // --- Temporal phase on the vertex chunk, whole block. ---
-        let b_out = seg.temporal(&mut tape, layer, 0, &b_in);
-
-        // --- Redistribution 2: temporal outputs → snapshot owners. ---
-        let tmp_w = cfg.temporal_out(layer);
-        let send2: Vec<Dense> = (0..p)
-            .map(|r| {
-                let mats: Vec<&Dense> = owned_all[r]
-                    .iter()
-                    .map(|&t| tape.value(b_out[t - block.start]))
-                    .collect();
-                if mats.is_empty() {
-                    Dense::zeros(0, tmp_w)
-                } else {
-                    Dense::vstack(&mats)
-                }
-            })
-            .collect();
-        let recv2 = comm.all_to_all_dense(send2);
-        let c_in: Vec<Var> = owned
-            .iter()
-            .enumerate()
-            .map(|(i, _)| {
-                let parts: Vec<Dense> = (0..p)
-                    .map(|q| {
-                        let qlen = chunks.len_of(q);
-                        recv2[q].row_block(i * qlen, qlen)
-                    })
-                    .collect();
-                tape.input(Dense::vstack(&parts.iter().collect::<Vec<_>>()))
-            })
-            .collect();
-        feats = c_in.clone();
-        layers_io.push(LayerIo {
-            spatial,
-            b_in,
-            b_out,
-            c_in,
-        });
-    }
-
-    // Losses on owned timesteps.
-    let mut loss_vars = Vec::with_capacity(owned.len());
-    let mut logit_vars = Vec::with_capacity(owned.len());
-    for (i, &t) in owned.iter().enumerate() {
-        let z = feats[i];
-        let logits = head.logits(&mut tape, head_vars, z, &task.train[t]);
-        let loss = tape.softmax_cross_entropy(logits, Rc::new(task.train[t].labels.clone()));
-        logit_vars.push(logits);
-        loss_vars.push(loss);
-    }
-    DistBlockRun {
-        tape,
-        seg,
-        loss_vars,
-        logit_vars,
-        z_vars: feats,
-        layers_io,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn backward_block_dist(
-    comm: &mut Comm,
-    run: &mut DistBlockRun<'_>,
-    model: &Model,
-    task: &Task,
-    block: &Range<usize>,
-    carry_grads: Option<&CarryGrads>,
-    chunks: &VertexChunks,
-) {
-    let rank = comm.rank();
-    let p = comm.world();
-    let cfg = *model.config();
-    let owned_all = owned_per_rank(block, p);
-    let owned = owned_all[rank].clone();
-    let my_range = chunks.range(rank);
-
-    // Stage 1: loss seeds (every timestep contributes 1/T to the epoch
-    // loss). EvolveGCN also takes its carry seeds here — its whole block is
-    // one connected sweep.
-    let mut seeds: Vec<(Var, Dense)> = run
-        .loss_vars
-        .iter()
-        .map(|&lv| (lv, Dense::full(1, 1, 1.0 / task.t as f32)))
-        .collect();
-    if !model.kind().uses_redistribution() {
-        if let Some(cg) = carry_grads {
-            seeds.extend(run.seg.carry_out_seeds(cg));
-        }
-        run.tape.backward(&seeds);
-        return;
-    }
-    run.tape.backward(&seeds);
-
-    for layer in (0..cfg.layers()).rev() {
-        let io = &run.layers_io[layer];
-        let tmp_w = cfg.temporal_out(layer);
-        let gcn_w = cfg.gcn_out(layer);
-
-        // --- Reverse redistribution 2: dC (owned ts) → chunk owners. ---
-        let dc: Vec<Dense> = io
-            .c_in
-            .iter()
-            .map(|&v| {
-                run.tape
-                    .grad(v)
-                    .expect("c_in must receive a gradient")
-                    .clone()
-            })
-            .collect();
-        let dc_refs: Vec<&Dense> = dc.iter().collect();
-        let send: Vec<Dense> = (0..p)
-            .map(|q| pack_rows(&dc_refs, &chunks.range(q), tmp_w))
-            .collect();
-        let recv = comm.all_to_all_dense(send);
-        let mut seeds2: Vec<(Var, Dense)> = Vec::with_capacity(block.len());
-        for t in block.clone() {
-            let owner = owned_all.iter().position(|ts| ts.contains(&t)).unwrap();
-            let pos = owned_all[owner].iter().position(|&x| x == t).unwrap();
-            let g = recv[owner].row_block(pos * my_range.len(), my_range.len());
-            seeds2.push((io.b_out[t - block.start], g));
-        }
-        if let Some(cg) = carry_grads {
-            seeds2.extend(run.seg.carry_out_seeds_layer(cg, layer));
-        }
-        run.tape.backward(&seeds2);
-
-        // --- Reverse redistribution 1: dB (block ts, my chunk) → owners. ---
-        let send2: Vec<Dense> = (0..p)
-            .map(|r| {
-                let mats: Vec<&Dense> = owned_all[r]
-                    .iter()
-                    .map(|&t| {
-                        run.tape
-                            .grad(io.b_in[t - block.start])
-                            .expect("b_in must receive a gradient")
-                    })
-                    .collect();
-                if mats.is_empty() {
-                    Dense::zeros(0, gcn_w)
-                } else {
-                    Dense::vstack(&mats)
-                }
-            })
-            .collect();
-        let recv2 = comm.all_to_all_dense(send2);
-        let seeds3: Vec<(Var, Dense)> = owned
-            .iter()
-            .enumerate()
-            .map(|(i, _)| {
-                let parts: Vec<Dense> = (0..p)
-                    .map(|q| {
-                        let qlen = chunks.len_of(q);
-                        recv2[q].row_block(i * qlen, qlen)
-                    })
-                    .collect();
-                let g = Dense::vstack(&parts.iter().collect::<Vec<_>>());
-                (io.spatial[i], g)
-            })
-            .collect();
-        run.tape.backward(&seeds3);
-    }
-}
+use dgnn_autograd::ParamStore;
 
 /// Distributed training with snapshot partitioning over `p` rank threads.
 ///
@@ -331,8 +30,9 @@ pub fn train_distributed(
     p: usize,
 ) -> Vec<EpochStats> {
     let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
-    let task = prepare_task(raw, next, &cfg, task_opts);
-    let results = run_ranks(p, |comm| train_rank(comm, &task, cfg, opts));
+    let econf = EngineConfig::new(*opts, *task_opts);
+    let task = prepare_task(raw, next, &cfg, &econf.resolved_task(true));
+    let results = run_ranks(p, |comm| train_rank(comm, &task, cfg, &econf));
     results.into_iter().next().expect("at least one rank")
 }
 
@@ -340,140 +40,26 @@ fn train_rank(
     comm: &mut Comm,
     task: &Task,
     cfg: ModelConfig,
-    opts: &TrainOptions,
+    econf: &EngineConfig,
 ) -> Vec<EpochStats> {
     // `opts.threads` (installed by the entry fn) reaches this rank thread
     // via `run_ranks`' override propagation: each rank owns an independent
     // pool of that size.
-    let p = comm.world();
+    let opts = &econf.train;
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut store = ParamStore::new();
     let model = Model::new(cfg, &mut store, &mut rng);
     let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
-    let mut opt = Adam::new(opts.lr);
-
-    let blocks = balanced_ranges(task.t, opts.nb.min(task.t));
-    let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();
-    let chunks = VertexChunks::new(task.n, p);
-    // Temporal carries live on this rank's vertex chunk; EvolveGCN's weight
-    // chain is replicated so its carry shape is chunk-independent.
-    let chunk_rows = match model.kind() {
-        ModelKind::EvolveGcn => task.n,
-        _ => chunks.range(comm.rank()).len(),
-    };
-
-    // Transfer accounting: each rank's runs within each block, first
-    // snapshot naive, rest as differences (paper §6.2).
-    let (mut naive_bytes, mut gd_bytes) = (0u64, 0u64);
-    for block in &blocks {
-        let owned = owned_per_rank(block, p)[comm.rank()].clone();
-        if owned.is_empty() {
-            continue;
-        }
-        let slices: Vec<&Csr> = owned
-            .iter()
-            .map(|&t| task.graph.snapshot(t).adj())
-            .collect();
-        let acc = dgnn_graph::diff::chunk_transfer(&slices);
-        naive_bytes += 2 * acc.naive_bytes;
-        gd_bytes += 2 * acc.gd_bytes;
-    }
-
-    let mut out = Vec::with_capacity(opts.epochs);
-    for _epoch in 0..opts.epochs {
-        let comm_bytes_start = comm.bytes_sent();
-        store.zero_grad();
-
-        // ---- Forward over blocks, storing carries. ----
-        let mut carries: Vec<CarryState> = vec![model.initial_carry(chunk_rows)];
-        let mut loss_sum = 0.0f64;
-        let mut correct = 0f64;
-        let mut total = 0f64;
-        let mut last_z: Option<Dense> = None;
-        for block in &blocks {
-            let run = run_block_dist(
-                comm,
-                &model,
-                &head,
-                &store,
-                task,
-                &laps,
-                block.clone(),
-                carries.last().unwrap(),
-                &chunks,
-            );
-            let owned = owned_per_rank(block, p)[comm.rank()].clone();
-            for (i, &t) in owned.iter().enumerate() {
-                loss_sum += f64::from(run.tape.value(run.loss_vars[i]).get(0, 0));
-                let logits = run.tape.value(run.logit_vars[i]);
-                let acc = accuracy(logits, &task.train[t].labels);
-                correct += acc * task.train[t].labels.len() as f64;
-                total += task.train[t].labels.len() as f64;
-            }
-            if owned.last() == Some(&(task.t - 1)) {
-                last_z = Some(run.tape.value(*run.z_vars.last().unwrap()).clone());
-            }
-            carries.push(run.seg.carry_out(&run.tape));
-        }
-
-        // ---- Backward over blocks in reverse (rerun + staged sweeps). ----
-        let mut carry_grads: Option<CarryGrads> = None;
-        for (b, block) in blocks.iter().enumerate().rev() {
-            let mut run = run_block_dist(
-                comm,
-                &model,
-                &head,
-                &store,
-                task,
-                &laps,
-                block.clone(),
-                &carries[b],
-                &chunks,
-            );
-            backward_block_dist(
-                comm,
-                &mut run,
-                &model,
-                task,
-                block,
-                carry_grads.as_ref(),
-                &chunks,
-            );
-            run.tape.accumulate_param_grads(&mut store);
-            carry_grads = Some(run.seg.carry_in_grads(&run.tape));
-        }
-
-        // ---- Gradient all-reduce and identical optimizer step. ----
-        let mut flat = store.grads_flat();
-        comm.all_reduce_sum(&mut flat);
-        store.set_grads_from_flat(&flat);
-        opt.step(&mut store);
-
-        // ---- Statistics. ----
-        let mut stats = [loss_sum as f32, correct as f32, total as f32, 0.0, 0.0];
-        if let Some(z) = &last_z {
-            let logits = head.predict(&store, z, &task.test);
-            let acc = accuracy(&logits, &task.test.labels);
-            stats[3] = (acc * task.test.labels.len() as f64) as f32;
-            stats[4] = task.test.labels.len() as f32;
-        }
-        comm.all_reduce_sum(&mut stats);
-        out.push(EpochStats {
-            loss: f64::from(stats[0]) / task.t as f64,
-            train_acc: f64::from(stats[1]) / f64::from(stats[2]).max(1.0),
-            test_acc: f64::from(stats[3]) / f64::from(stats[4]).max(1.0),
-            transfer_naive_bytes: naive_bytes,
-            transfer_gd_bytes: gd_bytes,
-            comm_bytes: comm.bytes_sent() - comm_bytes_start,
-        });
-    }
-    out
+    let blocks = econf.blocks(task.t);
+    let mut strategy = TimePartitioned::new(comm, &model, &head, task, &blocks);
+    run_engine(&mut strategy, &mut store, &blocks, opts.epochs, opts.lr)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dgnn_graph::gen::{churn, churn_skewed};
+    use dgnn_models::ModelKind;
 
     fn tiny_cfg(kind: ModelKind) -> ModelConfig {
         ModelConfig {

@@ -1,0 +1,356 @@
+//! The unified checkpointed training engine (paper §3, Fig. 2).
+//!
+//! Every trainer in this crate is the *same* algorithm — a timeline cut
+//! into `nb` checkpoint blocks, walked forward storing only the carries
+//! `π_b`, then walked backward re-running each block on a fresh tape —
+//! specialised only by how timesteps and vertices are laid out across
+//! ranks. [`run_engine`] owns that loop once: the snapshot schedule, the
+//! forward/recompute/backward block order, optimizer stepping, carry
+//! bookkeeping, and workspace recycling. A [`ParallelStrategy`] supplies
+//! the parts that differ:
+//!
+//! * how one block runs forward on a tape (which timesteps this rank owns,
+//!   which `dgnn-sim` collectives move activations between layers);
+//! * how the backward sweeps are staged (one sweep for a single rank,
+//!   comm-interleaved stages for the distributed layouts);
+//! * how gradients are reduced across replicas and how per-epoch metrics
+//!   are assembled.
+//!
+//! The concrete strategies are [`SingleRank`](single_rank::SingleRank)
+//! (paper §3), [`TimePartitioned`](time_part::TimePartitioned) (§4.2),
+//! [`HybridRows`](hybrid_rows::HybridRows) (§6.5) and
+//! [`VertexPartitioned`](vertex_part::VertexPartitioned) (§4.1/§6.4);
+//! vertex classification rides the single-rank layout with its own
+//! objective ([`classify::SingleRankClassification`]), and the streaming
+//! trainer is a front-end that feeds windows to the single-rank engine.
+//! Adding a new layout (e.g. DGC-style chunked partitioning) means
+//! implementing the trait — roughly a hundred lines — not forking a
+//! trainer.
+//!
+//! # Bit-identity
+//!
+//! The engine executes exactly the operation sequences of the trainers it
+//! replaced: `tests/engine_equivalence.rs` pins every strategy's loss
+//! stream and final parameters to golden bit patterns captured from the
+//! pre-engine trainers, at multiple thread counts.
+
+pub(crate) mod classify;
+pub(crate) mod hybrid_rows;
+pub(crate) mod single_rank;
+pub(crate) mod time_part;
+pub(crate) mod vertex_part;
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
+use dgnn_graph::diff::chunk_transfer;
+use dgnn_models::{CarryGrads, CarryState, LayerCarry, Model, Segment};
+use dgnn_tensor::{workspace, Csr, Dense};
+
+use crate::metrics::TrainOptions;
+use crate::task::{Task, TaskOptions};
+
+/// Engine-level configuration: the one place that owns the training and
+/// task-preparation knobs the entry points used to default independently.
+///
+/// Defaults (documented here so call sites no longer re-state them):
+///
+/// * `train` — [`TrainOptions::default`]: 10 epochs, Adam lr `0.01`, one
+///   checkpoint block, seed 42, thread count resolved from
+///   `DGNN_THREADS` / available parallelism.
+/// * `task` — [`TaskOptions::default`]: sampling fraction θ = 0.1,
+///   sampling seed 17, and the §5.5 first-layer pre-aggregation *enabled*.
+/// * Strategies whose spatial phase runs on row-partitioned operators
+///   (hybrid, vertex-partitioned) cannot consume the pre-aggregated
+///   `Ã·X`; [`EngineConfig::resolved_task`] turns it off for them here,
+///   rather than at each call site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Trainer options (epochs, lr, checkpoint blocks, seed, threads).
+    pub train: TrainOptions,
+    /// Task-preparation options (sampling, pre-aggregation).
+    pub task: TaskOptions,
+}
+
+impl EngineConfig {
+    /// Bundles explicit trainer and task options.
+    pub fn new(train: TrainOptions, task: TaskOptions) -> Self {
+        Self { train, task }
+    }
+
+    /// The task options a strategy actually prepares with: first-layer
+    /// pre-aggregation is forced off when the strategy cannot use it.
+    pub fn resolved_task(&self, supports_preagg: bool) -> TaskOptions {
+        TaskOptions {
+            precompute_first_layer: self.task.precompute_first_layer && supports_preagg,
+            ..self.task
+        }
+    }
+
+    /// The checkpoint-block schedule for a `t`-timestep timeline.
+    pub fn blocks(&self, t: usize) -> Vec<Range<usize>> {
+        checkpoint_blocks(&self.train, t)
+    }
+}
+
+/// The checkpoint-block schedule for a `t`-timestep timeline: `nb`
+/// balanced contiguous ranges, clamped to one block per timestep. Entry
+/// points whose task is already prepared call this directly; full
+/// [`EngineConfig`] holders go through [`EngineConfig::blocks`].
+pub fn checkpoint_blocks(train: &TrainOptions, t: usize) -> Vec<Range<usize>> {
+    assert!(train.nb >= 1, "need at least one block");
+    dgnn_partition::balanced_ranges(t, train.nb.min(t))
+}
+
+/// The artifacts of one block run: the tape, the bound model segment, the
+/// per-owned-timestep loss/logit variables, the final-layer embeddings,
+/// and whatever per-layer bookkeeping the strategy's backward needs.
+pub(crate) struct BlockRun<'m, Io> {
+    pub tape: Tape,
+    pub seg: Segment<'m>,
+    /// Per-owned-timestep loss variables.
+    pub loss_vars: Vec<Var>,
+    /// Per-owned-timestep logits variables (for accuracy).
+    pub logit_vars: Vec<Var>,
+    /// Final-layer embedding variables per owned timestep.
+    pub z_vars: Vec<Var>,
+    /// Strategy-specific per-layer artifacts (comm bookkeeping).
+    pub io: Io,
+}
+
+impl<Io> BlockRun<'_, Io> {
+    /// Retires the run, returning its tape scratch to the workspace arena.
+    pub(crate) fn retire(self) {
+        self.tape.recycle();
+    }
+}
+
+/// One rank's view of a parallel training layout. See the module docs for
+/// the division of labour between the engine loop and a strategy.
+pub(crate) trait ParallelStrategy<'m> {
+    /// Per-block strategy artifacts threaded from forward to backward.
+    type Io;
+    /// Per-epoch metric accumulator.
+    type Stats: Default;
+    /// Per-epoch output record.
+    type EpochOut;
+
+    /// The model this strategy trains (borrowed for the whole run).
+    fn model(&self) -> &'m Model;
+
+    /// Rows of this rank's temporal carry (its vertex-chunk height).
+    fn carry_rows(&self) -> usize;
+
+    /// Called at the top of every epoch (volume marks, counters).
+    fn begin_epoch(&mut self) {}
+
+    /// Runs one block forward on a fresh tape — both the forward pass and
+    /// the backward pass's recompute go through here, exactly as in paper
+    /// Fig. 2.
+    fn forward_block(
+        &mut self,
+        store: &ParamStore,
+        block: Range<usize>,
+        carry_in: &CarryState,
+    ) -> BlockRun<'m, Self::Io>;
+
+    /// Stages the backward sweeps of a re-run block: loss seeds, carry
+    /// seeds from the block above, and any reverse collectives.
+    fn backward_block(
+        &mut self,
+        run: &mut BlockRun<'m, Self::Io>,
+        block: &Range<usize>,
+        carry_grads: Option<&CarryGrads>,
+    );
+
+    /// Folds one forward block into the epoch accumulator and captures the
+    /// final timestep's embeddings when this rank owns them.
+    fn observe_block(
+        &mut self,
+        run: &BlockRun<'m, Self::Io>,
+        block: &Range<usize>,
+        stats: &mut Self::Stats,
+        last_z: &mut Option<Dense>,
+    );
+
+    /// Reduces parameter gradients across replicas (no-op on one rank).
+    fn reduce_grads(&mut self, _store: &mut ParamStore) {}
+
+    /// Assembles the epoch record (runs *after* the optimizer step, so
+    /// held-out evaluation sees the updated parameters).
+    fn finish_epoch(
+        &mut self,
+        stats: Self::Stats,
+        last_z: Option<Dense>,
+        store: &ParamStore,
+    ) -> Self::EpochOut;
+}
+
+/// The checkpointed training loop (paper §3.1), shared by every strategy:
+/// forward over blocks storing carries, backward re-running blocks in
+/// reverse with carry-gradient seeds, gradient reduction, optimizer step,
+/// metrics. Engages a per-rank buffer workspace for the duration so
+/// steady-state epochs reuse tape scratch instead of allocating.
+pub(crate) fn run_engine<'m, S: ParallelStrategy<'m>>(
+    strategy: &mut S,
+    store: &mut ParamStore,
+    blocks: &[Range<usize>],
+    epochs: usize,
+    lr: f32,
+) -> Vec<S::EpochOut> {
+    let _ws = workspace::engage();
+    let model = strategy.model();
+    let mut opt = Adam::new(lr);
+    let mut out = Vec::with_capacity(epochs);
+    for _epoch in 0..epochs {
+        strategy.begin_epoch();
+        store.zero_grad();
+
+        // ---- Forward pass: store π_b for every block. ----
+        let mut carries: Vec<CarryState> = vec![model.initial_carry(strategy.carry_rows())];
+        let mut stats = S::Stats::default();
+        let mut last_z: Option<Dense> = None;
+        for block in blocks {
+            let run = strategy.forward_block(store, block.clone(), carries.last().unwrap());
+            strategy.observe_block(&run, block, &mut stats, &mut last_z);
+            carries.push(run.seg.carry_out(&run.tape));
+            // Tape retires here: only π_b survives, as in the paper.
+            run.retire();
+        }
+
+        // ---- Backward pass: rerun blocks in reverse. ----
+        let mut carry_grads: Option<CarryGrads> = None;
+        for (b, block) in blocks.iter().enumerate().rev() {
+            let mut run = strategy.forward_block(store, block.clone(), &carries[b]);
+            strategy.backward_block(&mut run, block, carry_grads.as_ref());
+            run.tape.accumulate_param_grads(store);
+            let next = run.seg.carry_in_grads(&run.tape);
+            if let Some(old) = carry_grads.replace(next) {
+                recycle_carry_grads(old);
+            }
+            run.retire();
+        }
+        if let Some(last) = carry_grads.take() {
+            recycle_carry_grads(last);
+        }
+        recycle_carries(carries);
+
+        strategy.reduce_grads(store);
+        opt.step(store);
+        out.push(strategy.finish_epoch(stats, last_z.take(), store));
+    }
+    out
+}
+
+/// Returns the carries' matrices to the workspace arena at epoch end.
+fn recycle_carries(carries: Vec<CarryState>) {
+    if !workspace::is_engaged() {
+        return;
+    }
+    for carry in carries {
+        for layer in carry.layers {
+            match layer {
+                LayerCarry::Lstm { h, c } | LayerCarry::Egcn { h, c } => {
+                    workspace::recycle(h);
+                    workspace::recycle(c);
+                }
+                LayerCarry::Window { frames } => frames.into_iter().for_each(workspace::recycle),
+            }
+        }
+    }
+}
+
+/// Returns a retired carry-gradient bundle's matrices to the arena.
+fn recycle_carry_grads(grads: CarryGrads) {
+    if !workspace::is_engaged() {
+        return;
+    }
+    for layer in grads.layers {
+        if let Some(dh) = layer.dh {
+            workspace::recycle(dh);
+        }
+        if let Some(dc) = layer.dc {
+            workspace::recycle(dc);
+        }
+        layer
+            .dframes
+            .into_iter()
+            .flatten()
+            .for_each(workspace::recycle);
+    }
+}
+
+/// Snapshot-transfer accounting shared by the strategies (paper §3.2):
+/// the given snapshots move twice per epoch — once for the forward pass
+/// and once for the backward rerun — under both the naive and the
+/// graph-difference encodings. Returns `(naive_bytes, gd_bytes)`.
+pub(crate) fn transfer_bytes<'a>(chunks: impl Iterator<Item = Vec<&'a Csr>>) -> (u64, u64) {
+    let (mut naive, mut gd) = (0u64, 0u64);
+    for slices in chunks {
+        if slices.is_empty() {
+            continue;
+        }
+        let acc = chunk_transfer(&slices);
+        naive += 2 * acc.naive_bytes;
+        gd += 2 * acc.gd_bytes;
+    }
+    (naive, gd)
+}
+
+/// The dense (whole-row) layer walk shared by the single-rank layouts:
+/// layer-0 inputs from the features or the §5.5 pre-aggregation, then per
+/// layer the spatial GCN phase followed by the temporal phase over the
+/// whole block. Returns the final-layer embeddings per block timestep.
+pub(crate) fn dense_layer_walk<'m>(
+    tape: &mut Tape,
+    seg: &mut Segment<'m>,
+    model: &Model,
+    task: &Task,
+    laps: &[Rc<Csr>],
+    block: &Range<usize>,
+) -> Vec<Var> {
+    let mut feats: Vec<Var> = Vec::with_capacity(block.len());
+    for t in block.clone() {
+        match &task.preagg {
+            Some(pre) => feats.push(tape.constant(pre[t].clone())),
+            None => feats.push(tape.constant(task.features[t].clone())),
+        }
+    }
+    for layer in 0..model.config().layers() {
+        let spatial: Vec<Var> = block
+            .clone()
+            .map(|t| {
+                let x = feats[t - block.start];
+                if layer == 0 && task.preagg.is_some() {
+                    seg.spatial_preagg(tape, t, x)
+                } else {
+                    seg.spatial(tape, layer, t, Rc::clone(&laps[t]), x)
+                }
+            })
+            .collect();
+        feats = seg.temporal(tape, layer, 0, &spatial);
+    }
+    feats
+}
+
+/// Uniform `1/T` loss seeds plus the next block's carry gradients — the
+/// single-sweep backward of the single-rank layouts.
+pub(crate) fn single_sweep_backward<Io>(
+    run: &mut BlockRun<'_, Io>,
+    t_total: usize,
+    carry_grads: Option<&CarryGrads>,
+) {
+    let mut seeds: Vec<(Var, Dense)> = run
+        .loss_vars
+        .iter()
+        .map(|&lv| (lv, Dense::full(1, 1, 1.0 / t_total as f32)))
+        .collect();
+    if let Some(cg) = carry_grads {
+        seeds.extend(run.seg.carry_out_seeds(cg));
+    }
+    run.tape.backward(&seeds);
+    // `backward` clones its seed matrices onto the tape, so the originals
+    // can go back to the arena.
+    seeds.into_iter().for_each(|(_, d)| workspace::recycle(d));
+}

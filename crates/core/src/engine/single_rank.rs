@@ -1,0 +1,169 @@
+//! The single-rank strategy (paper §3, Fig. 2): one simulated GPU owns
+//! every timestep of every block. The GCN and temporal phases are
+//! communication-free; snapshot transfers are accounted per block run
+//! under both the naive and graph-difference encodings (paper §3.2).
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use dgnn_autograd::{ParamStore, Tape};
+use dgnn_models::{accuracy, CarryGrads, CarryState, LinkPredHead, Model};
+use dgnn_tensor::{Csr, Dense};
+
+use crate::engine::{
+    dense_layer_walk, single_sweep_backward, transfer_bytes, BlockRun, ParallelStrategy,
+};
+use crate::metrics::EpochStats;
+use crate::task::Task;
+
+/// Runs one block forward on a fresh tape (single-rank layout). Shared
+/// with the streaming front-end's forward-only evaluation.
+pub(crate) fn run_block<'m>(
+    model: &'m Model,
+    head: &LinkPredHead,
+    store: &ParamStore,
+    task: &Task,
+    laps: &[Rc<Csr>],
+    block: Range<usize>,
+    carry_in: &CarryState,
+) -> BlockRun<'m, ()> {
+    let mut tape = Tape::new();
+    let mut seg = model.bind_segment(&mut tape, store, block.clone(), carry_in);
+    let head_vars = head.bind(&mut tape, store);
+    let feats = dense_layer_walk(&mut tape, &mut seg, model, task, laps, &block);
+
+    let mut loss_vars = Vec::with_capacity(block.len());
+    let mut logit_vars = Vec::with_capacity(block.len());
+    for t in block.clone() {
+        let z = feats[t - block.start];
+        let logits = head.logits(&mut tape, head_vars, z, &task.train[t]);
+        let loss = tape.softmax_cross_entropy(logits, Rc::new(task.train[t].labels.clone()));
+        logit_vars.push(logits);
+        loss_vars.push(loss);
+    }
+    BlockRun {
+        tape,
+        seg,
+        loss_vars,
+        logit_vars,
+        z_vars: feats,
+        io: (),
+    }
+}
+
+/// Per-epoch link-prediction accumulator of the single-rank strategy.
+#[derive(Default)]
+pub(crate) struct SingleStats {
+    loss_sum: f64,
+    correct: usize,
+    total: usize,
+}
+
+/// The single-rank layout: the whole timeline on one rank.
+pub(crate) struct SingleRank<'m> {
+    model: &'m Model,
+    head: &'m LinkPredHead,
+    task: &'m Task,
+    laps: Vec<Rc<Csr>>,
+    naive_bytes: u64,
+    gd_bytes: u64,
+}
+
+impl<'m> SingleRank<'m> {
+    /// Builds the strategy and its transfer accounting over `blocks`
+    /// (topology-only, identical across epochs).
+    pub fn new(
+        model: &'m Model,
+        head: &'m LinkPredHead,
+        task: &'m Task,
+        blocks: &[Range<usize>],
+    ) -> Self {
+        let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();
+        let (naive_bytes, gd_bytes) = transfer_bytes(
+            blocks
+                .iter()
+                .map(|b| b.clone().map(|t| task.graph.snapshot(t).adj()).collect()),
+        );
+        Self {
+            model,
+            head,
+            task,
+            laps,
+            naive_bytes,
+            gd_bytes,
+        }
+    }
+}
+
+impl<'m> ParallelStrategy<'m> for SingleRank<'m> {
+    type Io = ();
+    type Stats = SingleStats;
+    type EpochOut = EpochStats;
+
+    fn model(&self) -> &'m Model {
+        self.model
+    }
+
+    fn carry_rows(&self) -> usize {
+        self.task.n
+    }
+
+    fn forward_block(
+        &mut self,
+        store: &ParamStore,
+        block: Range<usize>,
+        carry_in: &CarryState,
+    ) -> BlockRun<'m, ()> {
+        run_block(
+            self.model, self.head, store, self.task, &self.laps, block, carry_in,
+        )
+    }
+
+    fn backward_block(
+        &mut self,
+        run: &mut BlockRun<'m, ()>,
+        _block: &Range<usize>,
+        carry_grads: Option<&CarryGrads>,
+    ) {
+        single_sweep_backward(run, self.task.t, carry_grads);
+    }
+
+    fn observe_block(
+        &mut self,
+        run: &BlockRun<'m, ()>,
+        block: &Range<usize>,
+        stats: &mut SingleStats,
+        last_z: &mut Option<Dense>,
+    ) {
+        for (i, t) in block.clone().enumerate() {
+            stats.loss_sum += f64::from(run.tape.value(run.loss_vars[i]).get(0, 0));
+            let logits = run.tape.value(run.logit_vars[i]);
+            let acc = accuracy(logits, &self.task.train[t].labels);
+            stats.correct += (acc * self.task.train[t].labels.len() as f64).round() as usize;
+            stats.total += self.task.train[t].labels.len();
+        }
+        if block.end == self.task.t {
+            *last_z = Some(run.tape.value(*run.z_vars.last().unwrap()).clone());
+        }
+    }
+
+    fn finish_epoch(
+        &mut self,
+        stats: SingleStats,
+        last_z: Option<Dense>,
+        store: &ParamStore,
+    ) -> EpochStats {
+        // Test accuracy from the last timestep's embeddings.
+        let z = last_z.expect("last block must end at T");
+        let test_logits = self.head.predict(store, &z, &self.task.test);
+        let test_acc = accuracy(&test_logits, &self.task.test.labels);
+        EpochStats {
+            loss: stats.loss_sum / self.task.t as f64,
+            train_acc: stats.correct as f64 / stats.total.max(1) as f64,
+            test_acc,
+            transfer_naive_bytes: self.naive_bytes,
+            transfer_gd_bytes: self.gd_bytes,
+            comm_bytes: 0,
+        }
+    }
+}

@@ -1,236 +1,29 @@
-//! The hybrid trainer (paper §6.5): individual snapshots too large for one
-//! GPU are split row-wise among the members of a processor group. This
-//! implements the paper's exploratory experiment — one group whose members
-//! share *every* snapshot — which trained AMLSim-Large-1/2 on two GPUs.
-//!
-//! Each member holds a row block of every Laplacian and feature matrix. The
-//! SpMM needs the full feature matrix, obtained by an all-gather of row
-//! blocks; the temporal component runs locally on the member's rows. As
-//! with the other schemes, the execution faithfully simulates the
-//! sequential algorithm.
+//! The hybrid trainer (paper §6.5) — a thin wrapper binding the
+//! [`HybridRows`](crate::engine::hybrid_rows::HybridRows) strategy to the
+//! shared execution engine. Each member of one processor group holds a
+//! row block of every Laplacian and feature matrix; the layout and staged
+//! backward live in `crate::engine::hybrid_rows`.
 
-use std::ops::Range;
-use std::rc::Rc;
-
-use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
-use dgnn_graph::{DynamicGraph, EdgeSamples, Snapshot};
-use dgnn_models::{accuracy, CarryGrads, CarryState, LinkPredHead, Model, ModelConfig, Segment};
+use dgnn_graph::{DynamicGraph, Snapshot};
+use dgnn_models::{LinkPredHead, Model, ModelConfig};
 use dgnn_partition::balanced_ranges;
-use dgnn_sim::{run_ranks, Comm, Payload};
-use dgnn_tensor::{Csr, Dense};
+use dgnn_sim::run_ranks;
+use dgnn_tensor::Csr;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::engine::hybrid_rows::HybridRows;
+use crate::engine::{run_engine, EngineConfig};
 use crate::metrics::{EpochStats, TrainOptions};
-use crate::task::{prepare_task, Task, TaskOptions};
-
-struct HLayerIo {
-    /// Per timestep: the P row-block leaves composing the stacked input
-    /// (`None` entries at layer 0, where inputs are constants).
-    x_slots: Vec<Vec<Option<Var>>>,
-    /// Temporal outputs per timestep (my rows).
-    z_out: Vec<Var>,
-}
-
-struct HBlockRun<'m> {
-    tape: Tape,
-    seg: Segment<'m>,
-    layers_io: Vec<HLayerIo>,
-    z_full: Vec<Var>,
-    loss_vars: Vec<Var>,
-    logit_vars: Vec<Var>,
-    sample_slices: Vec<EdgeSamples>,
-}
-
-fn gather_dense(comm: &mut Comm, mine: Dense) -> Vec<Dense> {
-    comm.all_gather(Payload::Dense(mine))
-        .into_iter()
-        .map(|p| match p {
-            Payload::Dense(d) => d,
-            other => panic!("expected dense, got {other:?}"),
-        })
-        .collect()
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_block_hybrid<'m>(
-    comm: &mut Comm,
-    model: &'m Model,
-    head: &LinkPredHead,
-    store: &ParamStore,
-    task: &Task,
-    a_rows: &[Csr],
-    block: Range<usize>,
-    carry_in: &CarryState,
-) -> HBlockRun<'m> {
-    let rank = comm.rank();
-    let p = comm.world();
-    let cfg = *model.config();
-    let rows = balanced_ranges(task.n, p);
-    let my = rows[rank].clone();
-
-    let mut tape = Tape::new();
-    let mut seg = model.bind_segment(&mut tape, store, block.clone(), carry_in);
-    let head_vars = head.bind(&mut tape, store);
-
-    // My feature rows per block timestep.
-    let mut x_vals: Vec<Dense> = block
-        .clone()
-        .map(|t| task.features[t].row_block(my.start, my.len()))
-        .collect();
-
-    let mut layers_io: Vec<HLayerIo> = Vec::with_capacity(cfg.layers());
-    let mut prev_z: Vec<Var> = Vec::new();
-    for layer in 0..cfg.layers() {
-        let mut io = HLayerIo {
-            x_slots: Vec::new(),
-            z_out: Vec::new(),
-        };
-        let mut spatial = Vec::with_capacity(block.len());
-        for (i, t) in block.clone().enumerate() {
-            // All-gather the row blocks of this layer's input.
-            let parts = gather_dense(comm, x_vals[i].clone());
-            let mut slots: Vec<Option<Var>> = Vec::with_capacity(p);
-            let mut slot_vars: Vec<Var> = Vec::with_capacity(p);
-            for part in parts {
-                let v = if layer == 0 {
-                    slots.push(None);
-                    tape.constant(part)
-                } else {
-                    let v = tape.input(part);
-                    slots.push(Some(v));
-                    v
-                };
-                slot_vars.push(v);
-            }
-            io.x_slots.push(slots);
-            let x_full = tape.concat_rows(&slot_vars);
-            spatial.push(seg.spatial_rows(&mut tape, layer, t, Rc::new(a_rows[t].clone()), x_full));
-        }
-        let z_out = seg.temporal(&mut tape, layer, 0, &spatial);
-        x_vals = z_out.iter().map(|&v| tape.value(v).clone()).collect();
-        io.z_out = z_out.clone();
-        prev_z = z_out;
-        layers_io.push(io);
-    }
-
-    // Losses from all-gathered embeddings; my slice of each sample set.
-    let mut z_full = Vec::with_capacity(block.len());
-    let mut loss_vars = Vec::with_capacity(block.len());
-    let mut logit_vars = Vec::with_capacity(block.len());
-    let mut sample_slices = Vec::with_capacity(block.len());
-    for (i, t) in block.clone().enumerate() {
-        let parts = gather_dense(comm, tape.value(prev_z[i]).clone());
-        let full = Dense::vstack(&parts.iter().collect::<Vec<_>>());
-        let zf = tape.input(full);
-        z_full.push(zf);
-        let slice_range = balanced_ranges(task.train[t].len(), p)[rank].clone();
-        let slice = task.train[t].slice(slice_range);
-        let logits = head.logits(&mut tape, head_vars, zf, &slice);
-        let loss = tape.softmax_cross_entropy(logits, Rc::new(slice.labels.clone()));
-        logit_vars.push(logits);
-        loss_vars.push(loss);
-        sample_slices.push(slice);
-    }
-    HBlockRun {
-        tape,
-        seg,
-        layers_io,
-        z_full,
-        loss_vars,
-        logit_vars,
-        sample_slices,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn backward_block_hybrid(
-    comm: &mut Comm,
-    run: &mut HBlockRun<'_>,
-    model: &Model,
-    task: &Task,
-    block: &Range<usize>,
-    carry_grads: Option<&CarryGrads>,
-) {
-    let rank = comm.rank();
-    let p = comm.world();
-    let cfg = *model.config();
-    let rows = balanced_ranges(task.n, p);
-    let my = rows[rank].clone();
-
-    // Stage 0: loss seeds weighted by the sample-slice fraction.
-    let seeds: Vec<(Var, Dense)> = run
-        .loss_vars
-        .iter()
-        .enumerate()
-        .map(|(i, &lv)| {
-            let t = block.start + i;
-            let w = run.sample_slices[i].len() as f32
-                / task.train[t].len().max(1) as f32
-                / task.t as f32;
-            (lv, Dense::full(1, 1, w))
-        })
-        .collect();
-    run.tape.backward(&seeds);
-
-    // Sum embedding grads across ranks; keep my rows.
-    let mut dz_rows: Vec<Dense> = Vec::with_capacity(block.len());
-    for zf in &run.z_full {
-        let mut dz = match run.tape.grad(*zf) {
-            Some(g) => g.clone(),
-            None => {
-                let (r, c) = run.tape.value(*zf).shape();
-                Dense::zeros(r, c)
-            }
-        };
-        let mut flat = dz.data().to_vec();
-        comm.all_reduce_sum(&mut flat);
-        dz.data_mut().copy_from_slice(&flat);
-        dz_rows.push(dz.row_block(my.start, my.len()));
-    }
-
-    for layer in (0..cfg.layers()).rev() {
-        let mut seeds: Vec<(Var, Dense)> = Vec::new();
-        for (i, _) in block.clone().enumerate() {
-            seeds.push((run.layers_io[layer].z_out[i], dz_rows[i].clone()));
-        }
-        if let Some(cg) = carry_grads {
-            seeds.extend(run.seg.carry_out_seeds_layer(cg, layer));
-        }
-        run.tape.backward(&seeds);
-
-        if layer > 0 {
-            // Reverse all-gather: sum each slot's grads over ranks; my rows
-            // of the result seed the layer below.
-            let w = cfg.gcn_in(layer);
-            for (i, _) in block.clone().enumerate() {
-                let mut dx = Dense::zeros(task.n, w);
-                for (q, slot) in run.layers_io[layer].x_slots[i].iter().enumerate() {
-                    if let Some(v) = slot {
-                        if let Some(g) = run.tape.grad(*v) {
-                            let qr = rows[q].clone();
-                            let mut block_g = dx.row_block(qr.start, qr.len());
-                            block_g.add_assign(g);
-                            // Write back.
-                            for (r_local, r_global) in qr.clone().enumerate() {
-                                for c in 0..w {
-                                    dx.set(r_global, c, block_g.get(r_local, c));
-                                }
-                            }
-                        }
-                    }
-                }
-                let mut flat = dx.data().to_vec();
-                comm.all_reduce_sum(&mut flat);
-                dx.data_mut().copy_from_slice(&flat);
-                dz_rows[i] = dx.row_block(my.start, my.len());
-            }
-        }
-    }
-}
+use crate::task::{prepare_task, TaskOptions};
+use dgnn_autograd::ParamStore;
 
 /// Hybrid training: one group of `p` ranks sharing every snapshot row-wise
 /// (the paper's §6.5 two-GPU experiment). Returns per-epoch statistics.
+///
+/// The row-split SpMM consumes whole Laplacian rows, so the §5.5 first-layer
+/// pre-aggregation does not apply; [`EngineConfig`] disables it here
+/// regardless of `task_opts`.
 pub fn train_hybrid(
     raw: &DynamicGraph,
     next: &Snapshot,
@@ -240,7 +33,8 @@ pub fn train_hybrid(
     p: usize,
 ) -> Vec<EpochStats> {
     let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
-    let task = prepare_task(raw, next, &cfg, task_opts);
+    let econf = EngineConfig::new(*opts, *task_opts);
+    let task = prepare_task(raw, next, &cfg, &econf.resolved_task(false));
     let results = run_ranks(p, |comm| {
         // Each member extracts its row blocks of every Laplacian.
         let rows = balanced_ranges(task.n, comm.world());
@@ -250,106 +44,21 @@ pub fn train_hybrid(
             .iter()
             .map(|lap| lap.row_block(my.start, my.len()))
             .collect();
-        train_rank_hybrid(comm, &task, &a_rows, cfg, opts)
+        let mut rng = StdRng::seed_from_u64(econf.train.seed);
+        let mut store = ParamStore::new();
+        let model = Model::new(cfg, &mut store, &mut rng);
+        let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+        let blocks = econf.blocks(task.t);
+        let mut strategy = HybridRows::new(comm, &model, &head, &task, &a_rows);
+        run_engine(
+            &mut strategy,
+            &mut store,
+            &blocks,
+            econf.train.epochs,
+            econf.train.lr,
+        )
     });
     results.into_iter().next().expect("at least one rank")
-}
-
-fn train_rank_hybrid(
-    comm: &mut Comm,
-    task: &Task,
-    a_rows: &[Csr],
-    cfg: ModelConfig,
-    opts: &TrainOptions,
-) -> Vec<EpochStats> {
-    let rank = comm.rank();
-    let p = comm.world();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut store = ParamStore::new();
-    let model = Model::new(cfg, &mut store, &mut rng);
-    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
-    let mut opt = Adam::new(opts.lr);
-    let blocks = balanced_ranges(task.t, opts.nb.min(task.t));
-    let chunk_rows = match model.kind() {
-        dgnn_models::ModelKind::EvolveGcn => task.n,
-        _ => balanced_ranges(task.n, p)[rank].len(),
-    };
-
-    let mut out = Vec::with_capacity(opts.epochs);
-    for _epoch in 0..opts.epochs {
-        let comm_bytes_start = comm.bytes_sent();
-        store.zero_grad();
-        let mut carries: Vec<CarryState> = vec![model.initial_carry(chunk_rows)];
-        let mut loss_sum = 0.0f64;
-        let mut correct = 0f64;
-        let mut total = 0f64;
-        let mut last_z: Option<Dense> = None;
-        for block in &blocks {
-            let run = run_block_hybrid(
-                comm,
-                &model,
-                &head,
-                &store,
-                task,
-                a_rows,
-                block.clone(),
-                carries.last().unwrap(),
-            );
-            for (i, t) in block.clone().enumerate() {
-                let w = run.sample_slices[i].len() as f64 / task.train[t].len().max(1) as f64;
-                loss_sum += f64::from(run.tape.value(run.loss_vars[i]).get(0, 0)) * w;
-                let logits = run.tape.value(run.logit_vars[i]);
-                let acc = accuracy(logits, &run.sample_slices[i].labels);
-                correct += acc * run.sample_slices[i].len() as f64;
-                total += run.sample_slices[i].len() as f64;
-            }
-            if block.end == task.t {
-                last_z = Some(run.tape.value(*run.z_full.last().unwrap()).clone());
-            }
-            carries.push(run.seg.carry_out(&run.tape));
-        }
-
-        let mut carry_grads: Option<CarryGrads> = None;
-        for (b, block) in blocks.iter().enumerate().rev() {
-            let mut run = run_block_hybrid(
-                comm,
-                &model,
-                &head,
-                &store,
-                task,
-                a_rows,
-                block.clone(),
-                &carries[b],
-            );
-            backward_block_hybrid(comm, &mut run, &model, task, block, carry_grads.as_ref());
-            run.tape.accumulate_param_grads(&mut store);
-            carry_grads = Some(run.seg.carry_in_grads(&run.tape));
-        }
-
-        let mut flat = store.grads_flat();
-        comm.all_reduce_sum(&mut flat);
-        store.set_grads_from_flat(&flat);
-        opt.step(&mut store);
-
-        let mut stats = [loss_sum as f32, correct as f32, total as f32, 0.0, 0.0];
-        if rank == 0 {
-            let z = last_z.as_ref().expect("rank 0 sees the last block");
-            let logits = head.predict(&store, z, &task.test);
-            let acc = accuracy(&logits, &task.test.labels);
-            stats[3] = (acc * task.test.labels.len() as f64) as f32;
-            stats[4] = task.test.labels.len() as f32;
-        }
-        comm.all_reduce_sum(&mut stats);
-        out.push(EpochStats {
-            loss: f64::from(stats[0]) / task.t as f64,
-            train_acc: f64::from(stats[1]) / f64::from(stats[2]).max(1.0),
-            test_acc: f64::from(stats[3]) / f64::from(stats[4]).max(1.0),
-            transfer_naive_bytes: 0,
-            transfer_gd_bytes: 0,
-            comm_bytes: comm.bytes_sent() - comm_bytes_start,
-        });
-    }
-    out
 }
 
 #[cfg(test)]
@@ -388,5 +97,45 @@ mod tests {
             2,
         );
         assert!(stats.last().unwrap().loss < stats.first().unwrap().loss);
+    }
+
+    #[test]
+    fn preagg_request_is_neutralised_by_engine_config() {
+        // The hybrid layout cannot consume Ã·X; requesting it must not
+        // change results (the engine config disables it up front).
+        let g = churn(20, 5, 80, 0.3, 6);
+        let raw = g.time_slice(0, 4);
+        let next = g.snapshot(4).clone();
+        let cfg = ModelConfig {
+            kind: ModelKind::TmGcn,
+            input_f: 2,
+            hidden: 4,
+            mprod_window: 3,
+            smoothing_window: 3,
+        };
+        let run = |preagg: bool| {
+            train_hybrid(
+                &raw,
+                &next,
+                cfg,
+                &TaskOptions {
+                    precompute_first_layer: preagg,
+                    ..Default::default()
+                },
+                &TrainOptions {
+                    epochs: 2,
+                    lr: 0.02,
+                    nb: 1,
+                    seed: 3,
+                    threads: None,
+                },
+                2,
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        }
     }
 }

@@ -1,26 +1,33 @@
 //! # dgnn-core
 //!
 //! The paper's primary contribution: efficient training of dynamic GNNs at
-//! scale. Four trainers share the model/segment machinery of `dgnn-models`:
+//! scale. One checkpointed execution engine ([`engine`]) owns the training
+//! loop — snapshot schedule, block forward/recompute/backward, optimizer
+//! stepping, workspace reuse — parameterised by a parallelism strategy;
+//! the public entry points are thin bindings of a strategy to the engine:
 //!
-//! * [`single::train_single`] — gradient-checkpointed single-GPU training
-//!   with graph-difference transfer accounting (paper §3).
-//! * [`distributed::train_distributed`] — snapshot partitioning with
-//!   all-to-all redistribution over real rank threads (paper §4.2).
+//! * [`single::train_single`] — the single-rank strategy (paper §3) with
+//!   graph-difference transfer accounting.
+//! * [`distributed::train_distributed`] — snapshot (time) partitioning
+//!   with all-to-all redistribution over real rank threads (paper §4.2).
 //! * [`vertex_dist::train_vertex_partitioned`] — the hypergraph-based
 //!   vertex-partitioning baseline (paper §4.1, §6.4).
 //! * [`hybrid::train_hybrid`] — intra-snapshot row splitting for snapshots
 //!   too large for one GPU (paper §6.5).
+//! * [`classification::train_single_classification`] — the single-rank
+//!   layout with the class-weighted vertex-classification objective (§2.2).
 //! * [`streaming::train_streaming`] — online/continual training over a
 //!   `dgnn-stream` event log: windows close, snapshots materialize
 //!   incrementally, and the model warm-starts from the previous window.
 //!
-//! All four faithfully simulate the sequential algorithm: identical seeds
-//! produce matching loss/accuracy trajectories (paper Fig. 6), which the
-//! integration tests assert.
+//! All strategies faithfully simulate the sequential algorithm: identical
+//! seeds produce matching loss/accuracy trajectories (paper Fig. 6), and
+//! `tests/engine_equivalence.rs` pins every entry point's loss stream and
+//! final parameters to pre-engine golden bit patterns.
 
 pub mod classification;
 pub mod distributed;
+pub mod engine;
 pub mod hybrid;
 pub mod metrics;
 pub mod single;
@@ -30,6 +37,7 @@ pub mod vertex_dist;
 
 pub use classification::{train_single_classification, ClassEpochStats};
 pub use distributed::train_distributed;
+pub use engine::EngineConfig;
 pub use hybrid::train_hybrid;
 pub use metrics::{auc, EpochStats, TrainOptions};
 pub use single::train_single;

@@ -1,4 +1,6 @@
-//! The single-GPU checkpointed trainer (paper §3, Fig. 2).
+//! The single-GPU checkpointed trainer (paper §3, Fig. 2) — a thin wrapper
+//! binding the [`SingleRank`](crate::engine::single_rank::SingleRank)
+//! strategy to the shared execution engine ([`crate::engine`]).
 //!
 //! The timeline is cut into `nb` blocks. The forward pass walks blocks in
 //! order, keeping only one block's tape alive at a time and storing the
@@ -11,85 +13,13 @@
 //! the graph-difference encodings — twice per epoch per block, once for the
 //! forward pass and once for the backward rerun (paper §3.2).
 
-use std::rc::Rc;
+use dgnn_autograd::ParamStore;
+use dgnn_models::{LinkPredHead, Model};
 
-use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
-use dgnn_graph::diff::chunk_transfer;
-use dgnn_models::{accuracy, CarryGrads, CarryState, LinkPredHead, Model, Segment};
-use dgnn_partition::balanced_ranges;
-use dgnn_tensor::{Csr, Dense};
-
+use crate::engine::single_rank::SingleRank;
+use crate::engine::{checkpoint_blocks, run_engine};
 use crate::metrics::{EpochStats, TrainOptions};
 use crate::task::Task;
-
-/// The forward artifacts of one block run.
-pub(crate) struct BlockRun<'m> {
-    pub tape: Tape,
-    pub seg: Segment<'m>,
-    /// Per-owned-timestep loss variables.
-    pub loss_vars: Vec<Var>,
-    /// Per-owned-timestep logits variables (for accuracy).
-    pub logit_vars: Vec<Var>,
-    /// Final-layer embedding variables per owned timestep.
-    pub z_vars: Vec<Var>,
-}
-
-/// Runs one block forward on a fresh tape (single-rank layout: this rank
-/// owns every timestep of the block).
-pub(crate) fn run_block<'m>(
-    model: &'m Model,
-    head: &LinkPredHead,
-    store: &ParamStore,
-    task: &Task,
-    laps: &[Rc<Csr>],
-    block: std::ops::Range<usize>,
-    carry_in: &CarryState,
-) -> BlockRun<'m> {
-    let mut tape = Tape::new();
-    let mut seg = model.bind_segment(&mut tape, store, block.clone(), carry_in);
-    let head_vars = head.bind(&mut tape, store);
-    let layers = model.config().layers();
-
-    // Layer-0 inputs: features, or the pre-aggregated Ã·X.
-    let mut feats: Vec<Var> = Vec::with_capacity(block.len());
-    for t in block.clone() {
-        match &task.preagg {
-            Some(pre) => feats.push(tape.constant(pre[t].clone())),
-            None => feats.push(tape.constant(task.features[t].clone())),
-        }
-    }
-    for layer in 0..layers {
-        let spatial: Vec<Var> = block
-            .clone()
-            .map(|t| {
-                let x = feats[t - block.start];
-                if layer == 0 && task.preagg.is_some() {
-                    seg.spatial_preagg(&mut tape, t, x)
-                } else {
-                    seg.spatial(&mut tape, layer, t, Rc::clone(&laps[t]), x)
-                }
-            })
-            .collect();
-        feats = seg.temporal(&mut tape, layer, 0, &spatial);
-    }
-
-    let mut loss_vars = Vec::with_capacity(block.len());
-    let mut logit_vars = Vec::with_capacity(block.len());
-    for t in block.clone() {
-        let z = feats[t - block.start];
-        let logits = head.logits(&mut tape, head_vars, z, &task.train[t]);
-        let loss = tape.softmax_cross_entropy(logits, Rc::new(task.train[t].labels.clone()));
-        logit_vars.push(logits);
-        loss_vars.push(loss);
-    }
-    BlockRun {
-        tape,
-        seg,
-        loss_vars,
-        logit_vars,
-        z_vars: feats,
-    }
-}
 
 /// Trains the model with gradient checkpointing on a single simulated GPU
 /// and returns per-epoch statistics.
@@ -100,93 +30,10 @@ pub fn train_single(
     task: &Task,
     opts: &TrainOptions,
 ) -> Vec<EpochStats> {
-    assert!(opts.nb >= 1, "need at least one block");
     let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
-    let blocks = balanced_ranges(task.t, opts.nb.min(task.t));
-    let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();
-    let mut opt = Adam::new(opts.lr);
-
-    // Transfer accounting is topology-only and identical across epochs:
-    // each block's snapshots move once forward and once in the rerun.
-    let (mut naive_bytes, mut gd_bytes) = (0u64, 0u64);
-    for block in &blocks {
-        let slices: Vec<&Csr> = block
-            .clone()
-            .map(|t| task.graph.snapshot(t).adj())
-            .collect();
-        let acc = chunk_transfer(&slices);
-        naive_bytes += 2 * acc.naive_bytes;
-        gd_bytes += 2 * acc.gd_bytes;
-    }
-
-    let mut out = Vec::with_capacity(opts.epochs);
-    for _epoch in 0..opts.epochs {
-        store.zero_grad();
-
-        // ---- Forward pass: store π_b for every block. ----
-        let mut carries: Vec<CarryState> = vec![model.initial_carry(task.n)];
-        let mut loss_sum = 0.0f64;
-        let mut correct = 0usize;
-        let mut total = 0usize;
-        let mut last_z: Option<Dense> = None;
-        for block in &blocks {
-            let run = run_block(
-                model,
-                head,
-                store,
-                task,
-                &laps,
-                block.clone(),
-                carries.last().unwrap(),
-            );
-            for (i, t) in block.clone().enumerate() {
-                loss_sum += f64::from(run.tape.value(run.loss_vars[i]).get(0, 0));
-                let logits = run.tape.value(run.logit_vars[i]);
-                let acc = accuracy(logits, &task.train[t].labels);
-                correct += (acc * task.train[t].labels.len() as f64).round() as usize;
-                total += task.train[t].labels.len();
-            }
-            if block.end == task.t {
-                last_z = Some(run.tape.value(*run.z_vars.last().unwrap()).clone());
-            }
-            carries.push(run.seg.carry_out(&run.tape));
-            // Tape drops here: only π_b survives, as in the paper.
-        }
-
-        // ---- Backward pass: rerun blocks in reverse. ----
-        let mut carry_grads: Option<CarryGrads> = None;
-        for (b, block) in blocks.iter().enumerate().rev() {
-            let mut run = run_block(model, head, store, task, &laps, block.clone(), &carries[b]);
-            let mut seeds: Vec<(Var, Dense)> = run
-                .loss_vars
-                .iter()
-                .map(|&lv| (lv, Dense::full(1, 1, 1.0 / task.t as f32)))
-                .collect();
-            if let Some(cg) = &carry_grads {
-                seeds.extend(run.seg.carry_out_seeds(cg));
-            }
-            run.tape.backward(&seeds);
-            run.tape.accumulate_param_grads(store);
-            carry_grads = Some(run.seg.carry_in_grads(&run.tape));
-        }
-
-        opt.step(store);
-
-        // Test accuracy from the last timestep's embeddings.
-        let z = last_z.expect("last block must end at T");
-        let test_logits = head.predict(store, &z, &task.test);
-        let test_acc = accuracy(&test_logits, &task.test.labels);
-
-        out.push(EpochStats {
-            loss: loss_sum / task.t as f64,
-            train_acc: correct as f64 / total.max(1) as f64,
-            test_acc,
-            transfer_naive_bytes: naive_bytes,
-            transfer_gd_bytes: gd_bytes,
-            comm_bytes: 0,
-        });
-    }
-    out
+    let blocks = checkpoint_blocks(opts, task.t);
+    let mut strategy = SingleRank::new(model, head, task, &blocks);
+    run_engine(&mut strategy, store, &blocks, opts.epochs, opts.lr)
 }
 
 #[cfg(test)]
@@ -298,5 +145,20 @@ mod tests {
         let stats = train_single(&model, &head, &mut store, &task, &opts);
         let best = stats.iter().map(|s| s.test_acc).fold(0.0, f64::max);
         assert!(best > 0.55, "best test accuracy {best}");
+    }
+
+    #[test]
+    fn nb_zero_panics() {
+        let (model, head, mut store, task) = setup(ModelKind::TmGcn);
+        let opts = TrainOptions {
+            epochs: 1,
+            lr: 0.01,
+            nb: 0,
+            seed: 7,
+            threads: None,
+        };
+        let result =
+            std::panic::catch_unwind(move || train_single(&model, &head, &mut store, &task, &opts));
+        assert!(result.is_err(), "nb = 0 must be rejected");
     }
 }

@@ -28,8 +28,9 @@ use dgnn_tensor::{Csr, Dense};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::engine::single_rank::run_block;
 use crate::metrics::{auc, EpochStats, TrainOptions};
-use crate::single::{run_block, train_single};
+use crate::single::train_single;
 use crate::task::{prepare_task, Task, TaskOptions};
 
 /// Options for online streaming training.
@@ -109,6 +110,10 @@ pub fn train_streaming(
     );
     let n = log.n();
     let _threads = dgnn_tensor::pool::scoped_threads(opts.train.threads);
+    // Engage the buffer workspace for the whole stream so the per-window
+    // engine runs (which nest inside this scope) keep their tape scratch
+    // warm across windows instead of re-allocating per window.
+    let _ws = dgnn_tensor::workspace::engage();
 
     // One parameter store for the whole stream: this is the warm start.
     let mut rng = StdRng::seed_from_u64(opts.train.seed);
@@ -176,6 +181,7 @@ fn evaluate_holdout(
             last_z = Some(run.tape.value(*run.z_vars.last().unwrap()).clone());
         }
         carry = run.seg.carry_out(&run.tape);
+        run.retire();
     }
     let z = last_z.expect("stream history is non-empty");
     let logits = head.predict(store, &z, &task.test);

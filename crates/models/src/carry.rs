@@ -111,4 +111,51 @@ mod tests {
         assert!(g.layers[0].dh.is_none());
         assert!(g.layers[0].dframes.is_empty());
     }
+
+    #[test]
+    fn egcn_carry_size_accounting() {
+        // EvolveGCN carries the weight-LSTM state: h is the weight matrix
+        // itself (gcn_in x hidden), c the cell memory of the same shape.
+        let carry = CarryState {
+            layers: vec![LayerCarry::Egcn {
+                h: Dense::zeros(2, 6),
+                c: Dense::zeros(2, 6),
+            }],
+        };
+        assert_eq!(carry.elems(), 24);
+    }
+
+    #[test]
+    fn empty_window_carry_is_zero_sized() {
+        // The t = 0 TM-GCN carry holds no frames yet (nothing to reach
+        // back to) and must account as zero checkpoint bytes.
+        let carry = CarryState {
+            layers: vec![LayerCarry::Window {
+                frames: VecDeque::new(),
+            }],
+        };
+        assert_eq!(carry.elems(), 0);
+    }
+
+    #[test]
+    fn zero_layer_grads_are_empty() {
+        let g = CarryGrads::zeros(0);
+        assert!(g.layers.is_empty());
+    }
+
+    #[test]
+    fn mixed_model_carry_sums_all_layers() {
+        let carry = CarryState {
+            layers: vec![
+                LayerCarry::Egcn {
+                    h: Dense::zeros(3, 4),
+                    c: Dense::zeros(3, 4),
+                },
+                LayerCarry::Window {
+                    frames: VecDeque::from(vec![Dense::zeros(5, 4)]),
+                },
+            ],
+        };
+        assert_eq!(carry.elems(), 24 + 20);
+    }
 }

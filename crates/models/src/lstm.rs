@@ -169,6 +169,51 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn step_rejects_input_width_mismatch() {
+        // The cell was built for in_f = 2; feeding 3-wide inputs must fail
+        // loudly at the gate matmul, not corrupt state.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let vars = cell.bind(&mut tape, &store);
+        let state = cell.zero_state(&mut tape, 4);
+        let x = tape.constant(Dense::ones(4, 3));
+        let _ = cell.step(&mut tape, vars, x, state);
+    }
+
+    #[test]
+    #[should_panic(expected = "add: shape mismatch")]
+    fn step_rejects_state_row_mismatch() {
+        // A carry whose row count disagrees with the batch (a wrong vertex
+        // chunk) must be rejected when the input and hidden gates combine.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let vars = cell.bind(&mut tape, &store);
+        let state = cell.zero_state(&mut tape, 5);
+        let x = tape.constant(Dense::ones(4, 2));
+        let _ = cell.step(&mut tape, vars, x, state);
+    }
+
+    #[test]
+    fn zero_row_batch_steps_to_zero_rows() {
+        // Degenerate vertex chunks (a rank owning no rows) still step.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let vars = cell.bind(&mut tape, &store);
+        let state = cell.zero_state(&mut tape, 0);
+        let x = tape.constant(Dense::zeros(0, 2));
+        let next = cell.step(&mut tape, vars, x, state);
+        assert_eq!(tape.value(next.h).shape(), (0, 3));
+        assert_eq!(tape.value(next.c).shape(), (0, 3));
+    }
+
+    #[test]
     fn two_step_sequence_gradients() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut store = ParamStore::new();

@@ -613,6 +613,65 @@ mod tests {
     }
 
     #[test]
+    fn single_snapshot_segment_works_for_all_models() {
+        // The smallest useful timeline: one snapshot, one segment. The
+        // carry out of it must hold exactly one step of temporal state.
+        let laps = laplacians(5, 1, 9);
+        for kind in ModelKind::all() {
+            let mut rng = StdRng::seed_from_u64(60);
+            let mut store = ParamStore::new();
+            let model = Model::new(tiny_cfg(kind), &mut store, &mut rng);
+            let x0 = glorot_uniform(5, 2, &mut rng);
+            let mut tape = Tape::new();
+            let carry = model.initial_carry(5);
+            let mut seg = model.bind_segment(&mut tape, &store, 0..1, &carry);
+            let mut feats = vec![tape.constant(x0.clone())];
+            for layer in 0..model.config().layers() {
+                let sp = vec![seg.spatial(&mut tape, layer, 0, Rc::clone(&laps[0]), feats[0])];
+                feats = seg.temporal(&mut tape, layer, 0, &sp);
+            }
+            assert_eq!(feats.len(), 1, "{kind:?}");
+            assert_eq!(tape.value(feats[0]).shape(), (5, 3), "{kind:?}");
+            let out = seg.carry_out(&tape);
+            assert_eq!(out.layers.len(), 2, "{kind:?}");
+            match (&out.layers[0], kind) {
+                (LayerCarry::Window { frames }, ModelKind::TmGcn) => {
+                    // w−1 = 1 carried frame after one step.
+                    assert_eq!(frames.len(), 1);
+                }
+                (LayerCarry::Lstm { h, .. }, ModelKind::CdGcn) => {
+                    assert_eq!(h.shape(), (5, 3));
+                }
+                (LayerCarry::Egcn { h, .. }, ModelKind::EvolveGcn) => {
+                    assert_eq!(h.shape(), (2, 3));
+                }
+                other => panic!("{kind:?}: unexpected carry {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_timestep_temporal_is_empty_and_preserves_carry() {
+        // A degenerate segment over no timesteps: the temporal phase
+        // returns nothing and the recurrent carries pass through unchanged.
+        for kind in [ModelKind::CdGcn, ModelKind::TmGcn] {
+            let mut rng = StdRng::seed_from_u64(61);
+            let mut store = ParamStore::new();
+            let model = Model::new(tiny_cfg(kind), &mut store, &mut rng);
+            let mut tape = Tape::new();
+            let carry = model.initial_carry(4);
+            let before = carry.elems();
+            let mut seg = model.bind_segment(&mut tape, &store, 0..0, &carry);
+            for layer in 0..model.config().layers() {
+                let out = seg.temporal(&mut tape, layer, 0, &[]);
+                assert!(out.is_empty(), "{kind:?}");
+            }
+            let out = seg.carry_out(&tape);
+            assert_eq!(out.elems(), before, "{kind:?}: carry must round-trip");
+        }
+    }
+
+    #[test]
     fn segment_stitching_matches_single_segment() {
         // Forward equivalence: running [0..4) in one segment equals
         // [0..2) then [2..4) with carried state, for every model.

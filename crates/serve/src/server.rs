@@ -37,21 +37,15 @@ pub struct ServingSnapshot {
 
 /// FNV-1a over the version, clock, and every embedding bit pattern.
 pub fn snapshot_digest(version: u64, clock: u64, embeddings: &Dense) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(version);
-    eat(clock);
-    eat(embeddings.rows() as u64);
-    eat(embeddings.cols() as u64);
+    let mut h = dgnn_tensor::digest::Fnv1a::new();
+    h.eat_u64(version);
+    h.eat_u64(clock);
+    h.eat_u64(embeddings.rows() as u64);
+    h.eat_u64(embeddings.cols() as u64);
     for &v in embeddings.data() {
-        eat(u64::from(v.to_bits()));
+        h.eat_u64(u64::from(v.to_bits()));
     }
-    h
+    h.finish()
 }
 
 impl ServingSnapshot {

@@ -42,6 +42,11 @@ struct Msg {
 // Collective ops and point-to-point ops use disjoint tag spaces.
 const COLLECTIVE_BIT: u64 = 1 << 63;
 
+/// A byte-volume mark taken by [`Comm::mark`]; scoped volume accounting
+/// for the strategy/epoch that holds it.
+#[derive(Clone, Copy, Debug)]
+pub struct CommMark(u64);
+
 /// One rank's endpoint of the communicator.
 pub struct Comm {
     rank: usize,
@@ -67,6 +72,19 @@ impl Comm {
     /// Total payload bytes sent by this rank so far (volume accounting).
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Opens a volume scope: a mark whose [`Comm::bytes_since`] reports the
+    /// bytes this rank sent after the mark. The engine hands each
+    /// `ParallelStrategy` a per-epoch mark so communication volume is
+    /// attributed to the strategy (and epoch) that produced it.
+    pub fn mark(&self) -> CommMark {
+        CommMark(self.bytes_sent)
+    }
+
+    /// Bytes sent since `mark` was taken on this communicator.
+    pub fn bytes_since(&self, mark: CommMark) -> u64 {
+        self.bytes_sent - mark.0
     }
 
     fn send(&mut self, to: usize, tag: u64, payload: Payload) {

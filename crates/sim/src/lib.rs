@@ -19,7 +19,7 @@ pub mod machine;
 pub mod memory;
 pub mod perf;
 
-pub use comm::{run_ranks, Comm, Payload};
+pub use comm::{run_ranks, Comm, CommMark, Payload};
 pub use machine::MachineSpec;
 pub use memory::{coo_bytes, dense_bytes, MemoryTracker, OutOfMemory};
 pub use perf::{estimate_epoch, tune_nb, ModelKind, PerfConfig, PerfReport, Scheme};

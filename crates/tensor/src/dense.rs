@@ -13,14 +13,37 @@
 
 use std::fmt;
 
-use crate::pool;
+use crate::{pool, workspace};
 
 /// A dense row-major matrix of `f32` values.
-#[derive(Clone, PartialEq)]
+///
+/// Backing buffers come from the per-thread [`workspace`] arena when one is
+/// engaged, so constructors in hot loops reuse retired buffers instead of
+/// hitting the allocator; semantics are identical either way.
+#[derive(PartialEq)]
 pub struct Dense {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Dense {
+    fn clone(&self) -> Self {
+        // Without an engaged arena a plain slice copy beats scratch-take +
+        // copy (the fallback take zero-fills first); with one, reuse wins.
+        if workspace::is_engaged() {
+            let mut out = Dense::scratch(self.rows, self.cols);
+            out.data.copy_from_slice(&self.data);
+            out
+        } else {
+            workspace::note_fresh();
+            Dense {
+                rows: self.rows,
+                cols: self.cols,
+                data: self.data.clone(),
+            }
+        }
+    }
 }
 
 impl fmt::Debug for Dense {
@@ -39,26 +62,31 @@ impl Dense {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: workspace::take_zeroed(rows * cols),
+        }
+    }
+
+    /// A matrix of the given shape with *unspecified* contents (recycled
+    /// bits when a [`workspace`] is engaged). Strictly for kernels that
+    /// write every element before any read — never hand one out unfilled.
+    pub fn scratch(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: workspace::take_scratch(rows * cols),
         }
     }
 
     /// An all-ones matrix of the given shape.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![1.0; rows * cols],
-        }
+        Self::full(rows, cols, 1.0)
     }
 
     /// A matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        let mut out = Self::scratch(rows, cols);
+        out.data.fill(value);
+        out
     }
 
     /// Builds a matrix from a row-major data vector.
@@ -167,10 +195,13 @@ impl Dense {
     pub fn matmul(&self, other: &Dense) -> Dense {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let n = other.cols;
-        let mut out = Dense::zeros(self.rows, n);
+        // Scratch output: each row is zeroed just before its accumulation
+        // (cache-warm, and skips the arena's up-front fill pass).
+        let mut out = Dense::scratch(self.rows, n);
         let work = self.rows.saturating_mul(self.cols).saturating_mul(n);
         pool::par_rows(&mut out.data, n, work, |r0, block| {
             for (di, out_row) in block.chunks_mut(n).enumerate() {
+                out_row.fill(0.0);
                 let a_row = self.row(r0 + di);
                 for (k, &a) in a_row.iter().enumerate() {
                     if a == 0.0 {
@@ -198,9 +229,11 @@ impl Dense {
         assert_eq!(self.rows, other.rows, "matmul_transa shape mismatch");
         let n = other.cols;
         let cols = self.cols;
-        let mut out = Dense::zeros(cols, n);
+        // Scratch output, zeroed per disjoint block inside the kernel.
+        let mut out = Dense::scratch(cols, n);
         let work = self.rows.saturating_mul(cols).saturating_mul(n);
         pool::par_rows(&mut out.data, n, work, |i0, block| {
+            block.fill(0.0);
             let i1 = i0 + block.len() / n;
             for k in 0..self.rows {
                 let a_slice = &self.data[k * cols + i0..k * cols + i1];
@@ -228,7 +261,9 @@ impl Dense {
     pub fn matmul_transb(&self, other: &Dense) -> Dense {
         assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
         let n = other.rows;
-        let mut out = Dense::zeros(self.rows, n);
+        // Every output element is written exactly once (`*o = acc`), so a
+        // scratch buffer is safe.
+        let mut out = Dense::scratch(self.rows, n);
         let work = self.rows.saturating_mul(n).saturating_mul(self.cols);
         pool::par_rows(&mut out.data, n, work, |r0, block| {
             for (di, out_row) in block.chunks_mut(n).enumerate() {
@@ -248,7 +283,7 @@ impl Dense {
 
     /// The transposed matrix.
     pub fn transpose(&self) -> Dense {
-        let mut out = Dense::zeros(self.cols, self.rows);
+        let mut out = Dense::scratch(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
@@ -318,26 +353,22 @@ impl Dense {
     /// Applies `f` element-wise, returning a new matrix (element-parallel,
     /// which is why `f` must be `Sync`).
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Dense {
-        let mut data = vec![0.0f32; self.data.len()];
-        pool::par_elems(&mut data, |start, chunk| {
+        let mut out = Dense::scratch(self.rows, self.cols);
+        pool::par_elems(&mut out.data, |start, chunk| {
             let n = chunk.len();
             for (o, &v) in chunk.iter_mut().zip(&self.data[start..start + n]) {
                 *o = f(v);
             }
         });
-        Dense {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        out
     }
 
     /// Element-wise combination of two equally-shaped matrices
     /// (element-parallel, which is why `f` must be `Sync`).
     pub fn zip_map(&self, other: &Dense, f: impl Fn(f32, f32) -> f32 + Sync) -> Dense {
         self.assert_same_shape(other, "zip_map");
-        let mut data = vec![0.0f32; self.data.len()];
-        pool::par_elems(&mut data, |start, chunk| {
+        let mut out = Dense::scratch(self.rows, self.cols);
+        pool::par_elems(&mut out.data, |start, chunk| {
             let n = chunk.len();
             let a = &self.data[start..start + n];
             let b = &other.data[start..start + n];
@@ -345,11 +376,7 @@ impl Dense {
                 *o = f(x, y);
             }
         });
-        Dense {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        out
     }
 
     /// Adds a `1 x cols` row vector to every row (bias broadcast),
@@ -393,7 +420,7 @@ impl Dense {
     pub fn concat_cols(&self, other: &Dense) -> Dense {
         assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
         let cols = self.cols + other.cols;
-        let mut out = Dense::zeros(self.rows, cols);
+        let mut out = Dense::scratch(self.rows, cols);
         for r in 0..self.rows {
             out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
             out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
@@ -404,12 +431,39 @@ impl Dense {
     /// Copies columns `[start, start+len)` into a new matrix.
     pub fn narrow_cols(&self, start: usize, len: usize) -> Dense {
         assert!(start + len <= self.cols, "narrow_cols out of range");
-        let mut out = Dense::zeros(self.rows, len);
+        let mut out = Dense::scratch(self.rows, len);
         for r in 0..self.rows {
             out.row_mut(r)
                 .copy_from_slice(&self.row(r)[start..start + len]);
         }
         out
+    }
+
+    /// Embeds this matrix into a `rows x total_cols` zero matrix at column
+    /// `start` — the backward of [`Dense::narrow_cols`], fused into one
+    /// pass. Bitwise identical to `zeros` + [`Dense::add_into_cols`]: the
+    /// strip stores `0.0 + v` (so a `-0.0` gradient lands as `+0.0`,
+    /// exactly as the add would produce).
+    pub fn pad_cols(&self, total_cols: usize, start: usize) -> Dense {
+        assert!(start + self.cols <= total_cols, "pad_cols out of range");
+        if workspace::is_engaged() {
+            let mut out = Dense::scratch(self.rows, total_cols);
+            for r in 0..self.rows {
+                let dst = &mut out.data[r * total_cols..(r + 1) * total_cols];
+                dst[..start].fill(0.0);
+                for (o, &v) in dst[start..start + self.cols].iter_mut().zip(self.row(r)) {
+                    *o = 0.0 + v;
+                }
+                dst[start + self.cols..].fill(0.0);
+            }
+            out
+        } else {
+            // Without an arena, `zeros` is a cheap calloc; keep the
+            // two-step form.
+            let mut out = Dense::zeros(self.rows, total_cols);
+            out.add_into_cols(start, self);
+            out
+        }
     }
 
     /// Adds `src` into columns `[start, start+src.cols)` (backward of `narrow_cols`).
@@ -427,10 +481,18 @@ impl Dense {
     /// Copies rows `[start, start+len)` into a new matrix.
     pub fn row_block(&self, start: usize, len: usize) -> Dense {
         assert!(start + len <= self.rows, "row_block out of range");
-        Dense {
-            rows: len,
-            cols: self.cols,
-            data: self.data[start * self.cols..(start + len) * self.cols].to_vec(),
+        let src = &self.data[start * self.cols..(start + len) * self.cols];
+        if workspace::is_engaged() {
+            let mut out = Dense::scratch(len, self.cols);
+            out.data.copy_from_slice(src);
+            out
+        } else {
+            workspace::note_fresh();
+            Dense {
+                rows: len,
+                cols: self.cols,
+                data: src.to_vec(),
+            }
         }
     }
 
@@ -439,19 +501,31 @@ impl Dense {
         assert!(!parts.is_empty(), "vstack of nothing");
         let cols = parts[0].cols;
         let rows: usize = parts.iter().map(|p| p.rows).sum();
-        let mut data = Vec::with_capacity(rows * cols);
-        for p in parts {
-            assert_eq!(p.cols, cols, "vstack column mismatch");
-            data.extend_from_slice(&p.data);
+        if workspace::is_engaged() {
+            let mut out = Dense::scratch(rows, cols);
+            let mut start = 0usize;
+            for p in parts {
+                assert_eq!(p.cols, cols, "vstack column mismatch");
+                out.data[start..start + p.data.len()].copy_from_slice(&p.data);
+                start += p.data.len();
+            }
+            out
+        } else {
+            workspace::note_fresh();
+            let mut data = Vec::with_capacity(rows * cols);
+            for p in parts {
+                assert_eq!(p.cols, cols, "vstack column mismatch");
+                data.extend_from_slice(&p.data);
+            }
+            Dense { rows, cols, data }
         }
-        Dense { rows, cols, data }
     }
 
     /// Gathers the given rows into a new matrix (`out[i] = self[idx[i]]`),
     /// row-parallel.
     pub fn gather_rows(&self, idx: &[u32]) -> Dense {
         let cols = self.cols;
-        let mut out = Dense::zeros(idx.len(), cols);
+        let mut out = Dense::scratch(idx.len(), cols);
         pool::par_rows(
             &mut out.data,
             cols,

@@ -1,0 +1,80 @@
+//! Bitwise content digests: the FNV-1a hash the workspace benchmarks,
+//! golden-equivalence tests, and serving snapshots use to fingerprint
+//! exact `f32` bit patterns. One shared definition so the convention
+//! cannot drift between its consumers.
+
+/// FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a hasher over bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(OFFSET)
+    }
+
+    /// Absorbs bytes.
+    pub fn eat(&mut self, bytes: impl IntoIterator<Item = u8>) {
+        for b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs a little-endian `u64`.
+    pub fn eat_u64(&mut self, v: u64) {
+        self.eat(v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a over a byte stream.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = Fnv1a::new();
+    h.eat(bytes);
+    h.finish()
+}
+
+/// FNV-1a over the exact bit patterns of a float slice — the
+/// "parameters drifted?" fingerprint of the equivalence suites.
+pub fn digest_f32(values: &[f32]) -> u64 {
+    fnv1a(values.iter().flat_map(|v| v.to_bits().to_le_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(*b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(*b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn f32_digest_is_bit_sensitive() {
+        let a = digest_f32(&[1.0, 2.0]);
+        let b = digest_f32(&[1.0, 2.0000002]); // one ulp-ish away
+        assert_ne!(a, b);
+        assert_eq!(a, digest_f32(&[1.0, 2.0]));
+        // +0.0 and -0.0 are different bit patterns and must differ.
+        assert_ne!(digest_f32(&[0.0]), digest_f32(&[-0.0]));
+    }
+}

@@ -11,10 +11,12 @@
 //! property tests.
 
 pub mod dense;
+pub mod digest;
 pub mod init;
 pub mod pool;
 pub mod sparse;
 pub mod tensor3;
+pub mod workspace;
 
 pub use dense::Dense;
 pub use sparse::{normalized_laplacian, Csr};

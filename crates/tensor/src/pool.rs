@@ -78,7 +78,11 @@ pub fn effective_threads() -> usize {
     if let Some(n) = env_threads() {
         return n;
     }
-    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    // `available_parallelism` is a syscall; it sits on the dispatch path of
+    // every kernel, so resolve it once per process (≈10µs per call on
+    // sandboxed hosts — it used to dominate small-matrix training).
+    static AVAIL: OnceLock<usize> = OnceLock::new();
+    let avail = *AVAIL.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from));
     let ranks = LIVE_RANKS.load(Ordering::Relaxed).max(1);
     (avail / ranks).max(1)
 }

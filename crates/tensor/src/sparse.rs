@@ -421,10 +421,13 @@ impl Csr {
     /// transpose path has already validated the original orientation.
     fn spmm_gather(&self, x: &Dense) -> Dense {
         let f = x.cols();
-        let mut out = Dense::zeros(self.rows, f);
+        // Scratch output: each row is zeroed immediately before its
+        // accumulation (cache-warm, and skips the arena's up-front fill).
+        let mut out = Dense::scratch(self.rows, f);
         let work = self.nnz().saturating_mul(f);
         pool::par_rows(out.data_mut(), f, work, |r0, block| {
             for (dr, out_row) in block.chunks_mut(f).enumerate() {
+                out_row.fill(0.0);
                 let r = r0 + dr;
                 for k in self.indptr[r]..self.indptr[r + 1] {
                     let c = self.indices[k] as usize;
