@@ -1,0 +1,6 @@
+//! Harness binary for the out-of-core store benchmark; pass `--fast` for
+//! the reduced CI smoke workload.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::store::run(fast);
+}

@@ -11,8 +11,9 @@
 //! and incremental-vs-rebuild window advance), `kernel_scaling` (serial vs
 //! threaded kernels, recorded to `BENCH_parallel.json`), `serve`
 //! (incremental-vs-full inference recompute and query throughput,
-//! recorded to `BENCH_serve.json`), plus `calib` (machine-constant
-//! calibration) and `run_all`.
+//! recorded to `BENCH_serve.json`), `store` (out-of-core training at half
+//! the snapshot working set, recorded to `BENCH_store.json`), plus
+//! `calib` (machine-constant calibration) and `run_all`.
 
 pub mod ablations;
 pub mod fig4;
@@ -21,6 +22,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod kernel_scaling;
 pub mod serve;
+pub mod store;
 pub mod streaming;
 pub mod table1;
 pub mod table2;

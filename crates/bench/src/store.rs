@@ -1,0 +1,234 @@
+//! Out-of-core training benchmark: epoch time for the checkpointed
+//! trainer with the snapshot blocks and carries spilled to the
+//! `dgnn-store` tiered store, against the all-in-memory baseline.
+//!
+//! The synthetic graph is sized so its spilled snapshot working set
+//! exceeds the store budget (the budget is set to *half* the working
+//! set), which is the regime the paper's Fig. 4/5 OOM blanks describe:
+//! the memory tier cannot hold the timeline, so every epoch faults
+//! blocks back in from the file tier while the prefetch thread stages
+//! the next checkpoint block. The run must stay within
+//! [`REQUIRED_RATIO`]× of the in-memory epoch time and produce
+//! bit-identical parameters (also pinned, budget-free, by
+//! `tests/out_of_core_equivalence.rs`). Results land in
+//! `BENCH_store.json`.
+
+use std::time::Instant;
+
+use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
+use dgnn_core::train_single_out_of_core;
+use dgnn_store::{StoreConfig, StoreStats};
+use dgnn_tensor::digest::digest_f32;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ms;
+
+/// Maximum allowed epoch-time ratio of the out-of-core run (budget =
+/// half the working set) over the in-memory run.
+pub const REQUIRED_RATIO: f64 = 1.5;
+
+struct ModeResult {
+    epoch_ms: f64,
+    loss_bits: Vec<u64>,
+    params_digest: u64,
+    store: Option<StoreStats>,
+}
+
+fn run_mode(task: &Task, cfg: ModelConfig, epochs: usize, budget: Option<u64>) -> ModeResult {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    let warm = TrainOptions {
+        epochs: 1,
+        lr: 0.05,
+        nb: 4,
+        seed: 7,
+        threads: None,
+    };
+    let opts = TrainOptions { epochs, ..warm };
+    match budget {
+        None => {
+            // Untimed warm-up epoch (page faults, pool spin-up, arena fill).
+            let _ = train_single(&model, &head, &mut store, task, &warm);
+            let start = Instant::now();
+            let stats = train_single(&model, &head, &mut store, task, &opts);
+            let elapsed = start.elapsed().as_secs_f64();
+            ModeResult {
+                epoch_ms: elapsed * 1e3 / epochs as f64,
+                loss_bits: stats.iter().map(|s| s.loss.to_bits()).collect(),
+                params_digest: digest_f32(&store.values_flat()),
+                store: None,
+            }
+        }
+        Some(budget) => {
+            let scfg = StoreConfig::with_budget(budget);
+            let (_, _) = train_single_out_of_core(&model, &head, &mut store, task, &warm, &scfg)
+                .expect("warm-up must succeed");
+            let start = Instant::now();
+            let (stats, report) =
+                train_single_out_of_core(&model, &head, &mut store, task, &opts, &scfg)
+                    .expect("out-of-core run must succeed");
+            let elapsed = start.elapsed().as_secs_f64();
+            ModeResult {
+                epoch_ms: elapsed * 1e3 / epochs as f64,
+                loss_bits: stats.iter().map(|s| s.loss.to_bits()).collect(),
+                params_digest: digest_f32(&store.values_flat()),
+                store: Some(report),
+            }
+        }
+    }
+}
+
+/// Bytes of the spilled snapshot working set (Laplacians + layer-0
+/// inputs) — what the memory tier would need to hold the whole timeline.
+fn working_set_bytes(task: &Task) -> u64 {
+    let laps: u64 = task
+        .laps
+        .iter()
+        .map(|l| dgnn_store::encode_csr(l).len() as u64)
+        .sum();
+    let inputs: u64 = task
+        .preagg
+        .as_ref()
+        .unwrap_or(&task.features)
+        .iter()
+        .map(|d| dgnn_store::encode_dense(d).len() as u64)
+        .sum();
+    laps + inputs
+}
+
+/// Runs the out-of-core store benchmark. `fast` shrinks the workload for
+/// the CI smoke step.
+pub fn run(fast: bool) {
+    let (n, t, m, epochs, reps) = if fast {
+        (8192, 8, 48000, 3, 2)
+    } else {
+        (8192, 8, 48000, 4, 3)
+    };
+    let cfg = ModelConfig {
+        kind: ModelKind::CdGcn,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    println!("== Out-of-core tiered store: n={n}, T={t}, m={m}, nb=4, CD-GCN ==");
+    let g = dgnn_graph::gen::churn_skewed(n, t + 1, m, 0.3, 0.9, 11);
+    let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+    let working_set = working_set_bytes(&task);
+    let budget = working_set / 2;
+    println!(
+        "snapshot working set {:.1} MiB, store budget {:.1} MiB (half)",
+        working_set as f64 / (1 << 20) as f64,
+        budget as f64 / (1 << 20) as f64,
+    );
+
+    // Interleave the modes and keep each mode's best epoch time, so a
+    // noisy neighbour hitting one rep does not skew the ratio.
+    let mut mem: Option<ModeResult> = None;
+    let mut ooc: Option<ModeResult> = None;
+    for _ in 0..reps {
+        let a = run_mode(&task, cfg, epochs, None);
+        let b = run_mode(&task, cfg, epochs, Some(budget));
+        if mem.as_ref().is_none_or(|prev| a.epoch_ms < prev.epoch_ms) {
+            mem = Some(a);
+        }
+        if ooc.as_ref().is_none_or(|prev| b.epoch_ms < prev.epoch_ms) {
+            ooc = Some(b);
+        }
+    }
+    let mem = mem.expect("at least one rep");
+    let ooc = ooc.expect("at least one rep");
+    let report = ooc.store.expect("out-of-core mode reports store stats");
+
+    assert_eq!(
+        mem.loss_bits, ooc.loss_bits,
+        "out-of-core training changed the loss stream"
+    );
+    assert_eq!(
+        mem.params_digest, ooc.params_digest,
+        "out-of-core training changed the parameters"
+    );
+    assert!(
+        report.miss_bytes > 0,
+        "half the working set must fault the file tier"
+    );
+    assert!(
+        report.peak_resident_bytes <= budget,
+        "memory tier exceeded its budget"
+    );
+
+    let ratio = ooc.epoch_ms / mem.epoch_ms;
+    println!("in-memory   : {} /epoch", ms(mem.epoch_ms));
+    println!(
+        "out-of-core : {} /epoch, {:.1} MiB faulted/epoch, {} evictions, {} prefetch hits, {} demand misses",
+        ms(ooc.epoch_ms),
+        report.miss_bytes as f64 / (1 << 20) as f64 / epochs as f64,
+        report.evictions,
+        report.prefetch_hits,
+        report.demand_misses,
+    );
+    println!("epoch-time ratio: {ratio:.2}x (required <= {REQUIRED_RATIO}x)");
+
+    write_json(
+        n,
+        t,
+        m,
+        fast,
+        working_set,
+        budget,
+        &mem,
+        &ooc,
+        &report,
+        ratio,
+    );
+
+    assert!(
+        ratio <= REQUIRED_RATIO,
+        "out-of-core training at half budget should stay within {REQUIRED_RATIO}x of \
+         in-memory, got {ratio:.2}x"
+    );
+    println!("PASS: out-of-core epochs <= {REQUIRED_RATIO}x in-memory, bit-identical parameters");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    n: usize,
+    t: usize,
+    m: usize,
+    fast: bool,
+    working_set: u64,
+    budget: u64,
+    mem: &ModeResult,
+    ooc: &ModeResult,
+    report: &StoreStats,
+    ratio: f64,
+) {
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let s = format!(
+        "{{\n  \"bench\": \"store\",\n  \"fast\": {fast},\n  \
+         \"host_threads\": {host_threads},\n  \"n\": {n},\n  \"t\": {t},\n  \
+         \"edges_per_snapshot\": {m},\n  \"model\": \"cdgcn\",\n  \"nb\": 4,\n  \
+         \"working_set_bytes\": {working_set},\n  \"budget_bytes\": {budget},\n  \
+         \"in_memory_epoch_ms\": {:.3},\n  \"out_of_core_epoch_ms\": {:.3},\n  \
+         \"epoch_ratio\": {:.3},\n  \"miss_bytes\": {},\n  \
+         \"prefetch_hits\": {},\n  \"demand_misses\": {},\n  \
+         \"evictions\": {},\n  \"peak_resident_bytes\": {},\n  \
+         \"bit_identical\": true,\n  \"required_ratio\": {REQUIRED_RATIO}\n}}\n",
+        mem.epoch_ms,
+        ooc.epoch_ms,
+        ratio,
+        report.miss_bytes,
+        report.prefetch_hits,
+        report.demand_misses,
+        report.evictions,
+        report.peak_resident_bytes,
+    );
+    match std::fs::write("BENCH_store.json", &s) {
+        Ok(()) => println!("wrote BENCH_store.json"),
+        Err(e) => println!("could not write BENCH_store.json: {e}"),
+    }
+}

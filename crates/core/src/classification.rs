@@ -5,7 +5,7 @@
 //!
 //! A front-end of the shared execution engine: the single-rank layout with
 //! the class-weighted classification objective
-//! ([`crate::engine::classify::SingleRankClassification`]). The motivating
+//! (`engine::classify::SingleRankClassification`). The motivating
 //! workload is laundering-account detection on the AML-Sim stand-in
 //! ([`dgnn_graph::gen::amlsim_with_labels`]).
 

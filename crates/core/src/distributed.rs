@@ -1,6 +1,6 @@
 //! The snapshot-partitioned distributed trainer (paper §4.2, Fig. 3) — a
 //! thin wrapper binding the
-//! [`TimePartitioned`](crate::engine::time_part::TimePartitioned) strategy
+//! `TimePartitioned` (`engine::time_part`) strategy
 //! to the shared execution engine; the layout and staged backward live in
 //! `crate::engine::time_part`.
 

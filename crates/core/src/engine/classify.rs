@@ -7,9 +7,10 @@ use std::rc::Rc;
 
 use dgnn_autograd::{ParamStore, Tape, Var};
 use dgnn_models::{CarryGrads, CarryState, ClassificationHead, Model};
-use dgnn_tensor::{Csr, Dense};
+use dgnn_tensor::Dense;
 
 use crate::classification::ClassEpochStats;
+use crate::engine::source::TaskSource;
 use crate::engine::{dense_layer_walk, single_sweep_backward, BlockRun, ParallelStrategy};
 use crate::task::Task;
 
@@ -79,7 +80,7 @@ pub(crate) struct SingleRankClassification<'m> {
     head: &'m ClassificationHead,
     task: &'m Task,
     labels: Vec<Rc<Vec<u32>>>,
-    laps: Vec<Rc<Csr>>,
+    source: TaskSource<'m>,
     class_weights: [f32; 2],
 }
 
@@ -95,7 +96,7 @@ impl<'m> SingleRankClassification<'m> {
             head,
             task,
             labels: labels.iter().map(|l| Rc::new(l.clone())).collect(),
-            laps: task.laps.iter().cloned().map(Rc::new).collect(),
+            source: TaskSource::new(task),
             class_weights: [1.0, 1.0],
         }
     }
@@ -125,9 +126,7 @@ impl<'m> ParallelStrategy<'m> for SingleRankClassification<'m> {
             .model
             .bind_segment(&mut tape, store, block.clone(), carry_in);
         let head_vars = self.head.bind(&mut tape, store);
-        let feats = dense_layer_walk(
-            &mut tape, &mut seg, self.model, self.task, &self.laps, &block,
-        );
+        let feats = dense_layer_walk(&mut tape, &mut seg, self.model, &self.source, &block);
 
         let mut loss_vars = Vec::with_capacity(block.len());
         let mut logit_vars = Vec::with_capacity(block.len());

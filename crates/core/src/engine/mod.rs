@@ -4,9 +4,9 @@
 //! into `nb` checkpoint blocks, walked forward storing only the carries
 //! `π_b`, then walked backward re-running each block on a fresh tape —
 //! specialised only by how timesteps and vertices are laid out across
-//! ranks. [`run_engine`] owns that loop once: the snapshot schedule, the
+//! ranks. `run_engine` owns that loop once: the snapshot schedule, the
 //! forward/recompute/backward block order, optimizer stepping, carry
-//! bookkeeping, and workspace recycling. A [`ParallelStrategy`] supplies
+//! bookkeeping, and workspace recycling. A `ParallelStrategy` supplies
 //! the parts that differ:
 //!
 //! * how one block runs forward on a tape (which timesteps this rank owns,
@@ -16,12 +16,12 @@
 //! * how gradients are reduced across replicas and how per-epoch metrics
 //!   are assembled.
 //!
-//! The concrete strategies are [`SingleRank`](single_rank::SingleRank)
-//! (paper §3), [`TimePartitioned`](time_part::TimePartitioned) (§4.2),
-//! [`HybridRows`](hybrid_rows::HybridRows) (§6.5) and
-//! [`VertexPartitioned`](vertex_part::VertexPartitioned) (§4.1/§6.4);
+//! The concrete strategies are `SingleRank` (`single_rank`)
+//! (paper §3), `TimePartitioned` (`time_part`, §4.2),
+//! `HybridRows` (`hybrid_rows`, §6.5) and
+//! `VertexPartitioned` (`vertex_part`, §4.1/§6.4);
 //! vertex classification rides the single-rank layout with its own
-//! objective ([`classify::SingleRankClassification`]), and the streaming
+//! objective (`classify::SingleRankClassification`), and the streaming
 //! trainer is a front-end that feeds windows to the single-rank engine.
 //! Adding a new layout (e.g. DGC-style chunked partitioning) means
 //! implementing the trait — roughly a hundred lines — not forking a
@@ -37,11 +37,11 @@
 pub(crate) mod classify;
 pub(crate) mod hybrid_rows;
 pub(crate) mod single_rank;
+pub mod source;
 pub(crate) mod time_part;
 pub(crate) mod vertex_part;
 
 use std::ops::Range;
-use std::rc::Rc;
 
 use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
 use dgnn_graph::diff::chunk_transfer;
@@ -49,7 +49,7 @@ use dgnn_models::{CarryGrads, CarryState, LayerCarry, Model, Segment};
 use dgnn_tensor::{workspace, Csr, Dense};
 
 use crate::metrics::TrainOptions;
-use crate::task::{Task, TaskOptions};
+use crate::task::TaskOptions;
 
 /// Engine-level configuration: the one place that owns the training and
 /// task-preparation knobs the entry points used to default independently.
@@ -191,13 +191,31 @@ pub(crate) trait ParallelStrategy<'m> {
 /// forward over blocks storing carries, backward re-running blocks in
 /// reverse with carry-gradient seeds, gradient reduction, optimizer step,
 /// metrics. Engages a per-rank buffer workspace for the duration so
-/// steady-state epochs reuse tape scratch instead of allocating.
+/// steady-state epochs reuse tape scratch instead of allocating. Carries
+/// live in the in-memory [`source::MemoryCarryBank`]; the out-of-core
+/// entry points call [`run_engine_banked`] with a spilling bank instead.
 pub(crate) fn run_engine<'m, S: ParallelStrategy<'m>>(
     strategy: &mut S,
     store: &mut ParamStore,
     blocks: &[Range<usize>],
     epochs: usize,
     lr: f32,
+) -> Vec<S::EpochOut> {
+    let mut bank = source::MemoryCarryBank::default();
+    run_engine_banked(strategy, store, blocks, epochs, lr, &mut bank)
+}
+
+/// [`run_engine`] with an explicit carry bank deciding where the `π_b`
+/// live between the forward and backward passes (memory or the tiered
+/// store). Carry placement is bit-neutral: spilled carries round-trip as
+/// raw bit patterns.
+pub(crate) fn run_engine_banked<'m, S: ParallelStrategy<'m>>(
+    strategy: &mut S,
+    store: &mut ParamStore,
+    blocks: &[Range<usize>],
+    epochs: usize,
+    lr: f32,
+    bank: &mut dyn source::CarryBank,
 ) -> Vec<S::EpochOut> {
     let _ws = workspace::engage();
     let model = strategy.model();
@@ -207,14 +225,14 @@ pub(crate) fn run_engine<'m, S: ParallelStrategy<'m>>(
         strategy.begin_epoch();
         store.zero_grad();
 
-        // ---- Forward pass: store π_b for every block. ----
-        let mut carries: Vec<CarryState> = vec![model.initial_carry(strategy.carry_rows())];
+        // ---- Forward pass: bank π_b for every block. ----
+        bank.begin_epoch(model.initial_carry(strategy.carry_rows()));
         let mut stats = S::Stats::default();
         let mut last_z: Option<Dense> = None;
         for block in blocks {
-            let run = strategy.forward_block(store, block.clone(), carries.last().unwrap());
+            let run = strategy.forward_block(store, block.clone(), bank.last());
             strategy.observe_block(&run, block, &mut stats, &mut last_z);
-            carries.push(run.seg.carry_out(&run.tape));
+            bank.push(run.seg.carry_out(&run.tape));
             // Tape retires here: only π_b survives, as in the paper.
             run.retire();
         }
@@ -222,7 +240,8 @@ pub(crate) fn run_engine<'m, S: ParallelStrategy<'m>>(
         // ---- Backward pass: rerun blocks in reverse. ----
         let mut carry_grads: Option<CarryGrads> = None;
         for (b, block) in blocks.iter().enumerate().rev() {
-            let mut run = strategy.forward_block(store, block.clone(), &carries[b]);
+            let carry_in = bank.take(b);
+            let mut run = strategy.forward_block(store, block.clone(), &carry_in);
             strategy.backward_block(&mut run, block, carry_grads.as_ref());
             run.tape.accumulate_param_grads(store);
             let next = run.seg.carry_in_grads(&run.tape);
@@ -230,11 +249,12 @@ pub(crate) fn run_engine<'m, S: ParallelStrategy<'m>>(
                 recycle_carry_grads(old);
             }
             run.retire();
+            recycle_carry(carry_in);
         }
         if let Some(last) = carry_grads.take() {
             recycle_carry_grads(last);
         }
-        recycle_carries(carries);
+        bank.finish_epoch();
 
         strategy.reduce_grads(store);
         opt.step(store);
@@ -243,20 +263,18 @@ pub(crate) fn run_engine<'m, S: ParallelStrategy<'m>>(
     out
 }
 
-/// Returns the carries' matrices to the workspace arena at epoch end.
-fn recycle_carries(carries: Vec<CarryState>) {
+/// Returns one retired carry's matrices to the workspace arena.
+pub(crate) fn recycle_carry(carry: CarryState) {
     if !workspace::is_engaged() {
         return;
     }
-    for carry in carries {
-        for layer in carry.layers {
-            match layer {
-                LayerCarry::Lstm { h, c } | LayerCarry::Egcn { h, c } => {
-                    workspace::recycle(h);
-                    workspace::recycle(c);
-                }
-                LayerCarry::Window { frames } => frames.into_iter().for_each(workspace::recycle),
+    for layer in carry.layers {
+        match layer {
+            LayerCarry::Lstm { h, c } | LayerCarry::Egcn { h, c } => {
+                workspace::recycle(h);
+                workspace::recycle(c);
             }
+            LayerCarry::Window { frames } => frames.into_iter().for_each(workspace::recycle),
         }
     }
 }
@@ -302,30 +320,31 @@ pub(crate) fn transfer_bytes<'a>(chunks: impl Iterator<Item = Vec<&'a Csr>>) -> 
 /// layer-0 inputs from the features or the §5.5 pre-aggregation, then per
 /// layer the spatial GCN phase followed by the temporal phase over the
 /// whole block. Returns the final-layer embeddings per block timestep.
+///
+/// Operators and inputs come from a [`source::SnapshotSource`] — the
+/// in-memory task view or the out-of-core tiered store — which is told
+/// about the block entry first so it can stage the next block.
 pub(crate) fn dense_layer_walk<'m>(
     tape: &mut Tape,
     seg: &mut Segment<'m>,
     model: &Model,
-    task: &Task,
-    laps: &[Rc<Csr>],
+    src: &dyn source::SnapshotSource,
     block: &Range<usize>,
 ) -> Vec<Var> {
+    src.enter_block(block);
     let mut feats: Vec<Var> = Vec::with_capacity(block.len());
     for t in block.clone() {
-        match &task.preagg {
-            Some(pre) => feats.push(tape.constant(pre[t].clone())),
-            None => feats.push(tape.constant(task.features[t].clone())),
-        }
+        feats.push(tape.constant(src.input(t)));
     }
     for layer in 0..model.config().layers() {
         let spatial: Vec<Var> = block
             .clone()
             .map(|t| {
                 let x = feats[t - block.start];
-                if layer == 0 && task.preagg.is_some() {
+                if layer == 0 && src.preagg() {
                     seg.spatial_preagg(tape, t, x)
                 } else {
-                    seg.spatial(tape, layer, t, Rc::clone(&laps[t]), x)
+                    seg.spatial(tape, layer, t, src.lap(t), x)
                 }
             })
             .collect();

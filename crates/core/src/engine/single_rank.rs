@@ -1,15 +1,18 @@
 //! The single-rank strategy (paper §3, Fig. 2): one simulated GPU owns
 //! every timestep of every block. The GCN and temporal phases are
 //! communication-free; snapshot transfers are accounted per block run
-//! under both the naive and graph-difference encodings (paper §3.2).
+//! under both the naive and graph-difference encodings (paper §3.2), and
+//! — when the blocks come from a tiered store — tier misses are folded
+//! into the same per-epoch accounting.
 
 use std::ops::Range;
 use std::rc::Rc;
 
 use dgnn_autograd::{ParamStore, Tape};
 use dgnn_models::{accuracy, CarryGrads, CarryState, LinkPredHead, Model};
-use dgnn_tensor::{Csr, Dense};
+use dgnn_tensor::Dense;
 
+use crate::engine::source::SnapshotSource;
 use crate::engine::{
     dense_layer_walk, single_sweep_backward, transfer_bytes, BlockRun, ParallelStrategy,
 };
@@ -23,14 +26,14 @@ pub(crate) fn run_block<'m>(
     head: &LinkPredHead,
     store: &ParamStore,
     task: &Task,
-    laps: &[Rc<Csr>],
+    src: &dyn SnapshotSource,
     block: Range<usize>,
     carry_in: &CarryState,
 ) -> BlockRun<'m, ()> {
     let mut tape = Tape::new();
     let mut seg = model.bind_segment(&mut tape, store, block.clone(), carry_in);
     let head_vars = head.bind(&mut tape, store);
-    let feats = dense_layer_walk(&mut tape, &mut seg, model, task, laps, &block);
+    let feats = dense_layer_walk(&mut tape, &mut seg, model, src, &block);
 
     let mut loss_vars = Vec::with_capacity(block.len());
     let mut logit_vars = Vec::with_capacity(block.len());
@@ -59,26 +62,29 @@ pub(crate) struct SingleStats {
     total: usize,
 }
 
-/// The single-rank layout: the whole timeline on one rank.
-pub(crate) struct SingleRank<'m> {
+/// The single-rank layout: the whole timeline on one rank, blocks drawn
+/// from a [`SnapshotSource`] (in-memory task view or tiered store).
+pub(crate) struct SingleRank<'m, 's> {
     model: &'m Model,
     head: &'m LinkPredHead,
     task: &'m Task,
-    laps: Vec<Rc<Csr>>,
+    source: &'s dyn SnapshotSource,
     naive_bytes: u64,
     gd_bytes: u64,
+    /// Tier-miss bytes already accounted before this epoch began.
+    miss_mark: u64,
 }
 
-impl<'m> SingleRank<'m> {
+impl<'m, 's> SingleRank<'m, 's> {
     /// Builds the strategy and its transfer accounting over `blocks`
     /// (topology-only, identical across epochs).
     pub fn new(
         model: &'m Model,
         head: &'m LinkPredHead,
         task: &'m Task,
+        source: &'s dyn SnapshotSource,
         blocks: &[Range<usize>],
     ) -> Self {
-        let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();
         let (naive_bytes, gd_bytes) = transfer_bytes(
             blocks
                 .iter()
@@ -88,14 +94,15 @@ impl<'m> SingleRank<'m> {
             model,
             head,
             task,
-            laps,
+            source,
             naive_bytes,
             gd_bytes,
+            miss_mark: 0,
         }
     }
 }
 
-impl<'m> ParallelStrategy<'m> for SingleRank<'m> {
+impl<'m> ParallelStrategy<'m> for SingleRank<'m, '_> {
     type Io = ();
     type Stats = SingleStats;
     type EpochOut = EpochStats;
@@ -108,6 +115,10 @@ impl<'m> ParallelStrategy<'m> for SingleRank<'m> {
         self.task.n
     }
 
+    fn begin_epoch(&mut self) {
+        self.miss_mark = self.source.miss_bytes();
+    }
+
     fn forward_block(
         &mut self,
         store: &ParamStore,
@@ -115,7 +126,13 @@ impl<'m> ParallelStrategy<'m> for SingleRank<'m> {
         carry_in: &CarryState,
     ) -> BlockRun<'m, ()> {
         run_block(
-            self.model, self.head, store, self.task, &self.laps, block, carry_in,
+            self.model,
+            self.head,
+            store,
+            self.task,
+            self.source,
+            block,
+            carry_in,
         )
     }
 
@@ -164,6 +181,7 @@ impl<'m> ParallelStrategy<'m> for SingleRank<'m> {
             transfer_naive_bytes: self.naive_bytes,
             transfer_gd_bytes: self.gd_bytes,
             comm_bytes: 0,
+            store_miss_bytes: self.source.miss_bytes() - self.miss_mark,
         }
     }
 }

@@ -434,6 +434,7 @@ impl<'m> ParallelStrategy<'m> for TimePartitioned<'m, '_> {
             transfer_naive_bytes: self.naive_bytes,
             transfer_gd_bytes: self.gd_bytes,
             comm_bytes: self.comm.bytes_since(mark),
+            store_miss_bytes: 0,
         }
     }
 }

@@ -528,6 +528,7 @@ impl<'m> ParallelStrategy<'m> for VertexPartitioned<'m, '_> {
             transfer_naive_bytes: 0,
             transfer_gd_bytes: 0,
             comm_bytes: self.comm.bytes_since(mark),
+            store_miss_bytes: 0,
         }
     }
 }

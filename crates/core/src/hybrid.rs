@@ -1,5 +1,5 @@
 //! The hybrid trainer (paper §6.5) — a thin wrapper binding the
-//! [`HybridRows`](crate::engine::hybrid_rows::HybridRows) strategy to the
+//! `HybridRows` (`engine::hybrid_rows`) strategy to the
 //! shared execution engine. Each member of one processor group holds a
 //! row block of every Laplacian and feature matrix; the layout and staged
 //! backward live in `crate::engine::hybrid_rows`.

@@ -8,6 +8,11 @@
 //!
 //! * [`single::train_single`] — the single-rank strategy (paper §3) with
 //!   graph-difference transfer accounting.
+//! * [`single::train_single_out_of_core`] — the same strategy with the
+//!   snapshot blocks and checkpoint carries spilled to a `dgnn-store`
+//!   tiered store ([`engine::source::StoreSource`]): training works when
+//!   the snapshot working set exceeds the memory budget, bit-identically
+//!   to the in-memory run.
 //! * [`distributed::train_distributed`] — snapshot (time) partitioning
 //!   with all-to-all redistribution over real rank threads (paper §4.2).
 //! * [`vertex_dist::train_vertex_partitioned`] — the hypergraph-based
@@ -25,6 +30,8 @@
 //! `tests/engine_equivalence.rs` pins every entry point's loss stream and
 //! final parameters to pre-engine golden bit patterns.
 
+#![warn(missing_docs)]
+
 pub mod classification;
 pub mod distributed;
 pub mod engine;
@@ -37,10 +44,11 @@ pub mod vertex_dist;
 
 pub use classification::{train_single_classification, ClassEpochStats};
 pub use distributed::train_distributed;
+pub use engine::source::{SnapshotSource, StoreSource, TaskSource};
 pub use engine::EngineConfig;
 pub use hybrid::train_hybrid;
 pub use metrics::{auc, EpochStats, TrainOptions};
-pub use single::train_single;
+pub use single::{train_single, train_single_out_of_core};
 pub use streaming::{train_streaming, StreamTrainOptions, WindowStats};
 pub use task::{prepare_task, prepare_task_holdout, Task, TaskOptions};
 pub use vertex_dist::train_vertex_partitioned;

@@ -47,6 +47,10 @@ pub struct EpochStats {
     /// Inter-rank payload bytes this rank sent during the epoch (0 for the
     /// single-rank trainer).
     pub comm_bytes: u64,
+    /// Bytes faulted from the out-of-core storage tier this epoch — the
+    /// tier-miss extension of the transfer accounting. 0 when the blocks
+    /// (and carries) all live in memory.
+    pub store_miss_bytes: u64,
 }
 
 impl EpochStats {

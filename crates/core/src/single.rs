@@ -1,5 +1,5 @@
 //! The single-GPU checkpointed trainer (paper §3, Fig. 2) — a thin wrapper
-//! binding the [`SingleRank`](crate::engine::single_rank::SingleRank)
+//! binding the `SingleRank` (`engine::single_rank`)
 //! strategy to the shared execution engine ([`crate::engine`]).
 //!
 //! The timeline is cut into `nb` blocks. The forward pass walks blocks in
@@ -13,11 +13,16 @@
 //! the graph-difference encodings — twice per epoch per block, once for the
 //! forward pass and once for the backward rerun (paper §3.2).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use dgnn_autograd::ParamStore;
 use dgnn_models::{LinkPredHead, Model};
+use dgnn_store::{StoreConfig, StoreError, StoreStats, TieredStore};
 
 use crate::engine::single_rank::SingleRank;
-use crate::engine::{checkpoint_blocks, run_engine};
+use crate::engine::source::{SpillCarryBank, StoreSource, TaskSource};
+use crate::engine::{checkpoint_blocks, run_engine, run_engine_banked};
 use crate::metrics::{EpochStats, TrainOptions};
 use crate::task::Task;
 
@@ -32,8 +37,52 @@ pub fn train_single(
 ) -> Vec<EpochStats> {
     let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
     let blocks = checkpoint_blocks(opts, task.t);
-    let mut strategy = SingleRank::new(model, head, task, &blocks);
+    let source = TaskSource::new(task);
+    let mut strategy = SingleRank::new(model, head, task, &source, &blocks);
     run_engine(&mut strategy, store, &blocks, opts.epochs, opts.lr)
+}
+
+/// [`train_single`] with the snapshot blocks *and* checkpoint carries
+/// spilled to a tiered [`TieredStore`]: the task's Laplacians and layer-0
+/// inputs are sealed into spill files up front, an LRU memory tier keeps
+/// the hot blocks resident within the store budget, and a background
+/// thread prefetches one checkpoint block ahead along the §3.1 schedule.
+/// This is how the repo trains a snapshot working set larger than memory.
+///
+/// The parameter trajectory is **bit-identical** to [`train_single`] at
+/// every budget and thread count (spill frames round-trip raw bit
+/// patterns; pinned by `tests/out_of_core_equivalence.rs`), and each
+/// epoch's [`EpochStats::store_miss_bytes`] reports the bytes the tier
+/// faulted. Returns the per-epoch statistics plus the store's final
+/// counters.
+///
+/// Up-front I/O failures surface as typed [`StoreError`]s; a spill file
+/// turning unreadable *mid-epoch* (environment failure — the store wrote
+/// it moments earlier) panics with the typed error in the message.
+pub fn train_single_out_of_core(
+    model: &Model,
+    head: &LinkPredHead,
+    store: &mut ParamStore,
+    task: &Task,
+    opts: &TrainOptions,
+    cfg: &StoreConfig,
+) -> Result<(Vec<EpochStats>, StoreStats), StoreError> {
+    let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
+    let blocks = checkpoint_blocks(opts, task.t);
+    let tier = Rc::new(RefCell::new(TieredStore::open(cfg)?));
+    let source = StoreSource::spill(task, Rc::clone(&tier), &blocks)?;
+    let mut bank = SpillCarryBank::new(Rc::clone(&tier));
+    let mut strategy = SingleRank::new(model, head, task, &source, &blocks);
+    let stats = run_engine_banked(
+        &mut strategy,
+        store,
+        &blocks,
+        opts.epochs,
+        opts.lr,
+        &mut bank,
+    );
+    let report = source.stats();
+    Ok((stats, report))
 }
 
 #[cfg(test)]

@@ -17,18 +17,18 @@
 //! parameter trajectory bit for bit, which the integration tests assert.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 use dgnn_autograd::ParamStore;
 use dgnn_graph::{DynamicGraph, Snapshot};
 use dgnn_models::{accuracy, CarryState, LinkPredHead, Model, ModelConfig};
 use dgnn_partition::balanced_ranges;
 use dgnn_stream::{windows, EventLog, WindowPolicy};
-use dgnn_tensor::{Csr, Dense};
+use dgnn_tensor::Dense;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::engine::single_rank::run_block;
+use crate::engine::source::TaskSource;
 use crate::metrics::{auc, EpochStats, TrainOptions};
 use crate::single::train_single;
 use crate::task::{prepare_task, Task, TaskOptions};
@@ -171,12 +171,12 @@ fn evaluate_holdout(
     store: &ParamStore,
     task: &Task,
 ) -> (f64, f64) {
-    let laps: Vec<Rc<Csr>> = task.laps.iter().cloned().map(Rc::new).collect();
+    let source = TaskSource::new(task);
     let blocks = balanced_ranges(task.t, 1);
     let mut carry: CarryState = model.initial_carry(task.n);
     let mut last_z: Option<Dense> = None;
     for block in &blocks {
-        let run = run_block(model, head, store, task, &laps, block.clone(), &carry);
+        let run = run_block(model, head, store, task, &source, block.clone(), &carry);
         if block.end == task.t {
             last_z = Some(run.tape.value(*run.z_vars.last().unwrap()).clone());
         }

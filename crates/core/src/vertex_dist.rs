@@ -1,6 +1,6 @@
 //! The vertex-partitioned (hypergraph) baseline trainer (paper §4.1, §6.4)
 //! — a thin wrapper binding the
-//! [`VertexPartitioned`](crate::engine::vertex_part::VertexPartitioned)
+//! `VertexPartitioned` (`engine::vertex_part`)
 //! strategy to the shared execution engine. The wrapper owns the setup
 //! that is genuinely entry-point work — hypergraph partitioning, the
 //! contiguous renaming, and relabelling the samples so both schemes train

@@ -4,7 +4,10 @@
 //! snapshot sequences, temporal generators (including churn-model stand-ins
 //! for the paper's datasets), the edge-life and M-transform smoothing of
 //! §5.4, the graph-difference transfer encoding of §3.2, degree features,
-//! link-prediction sampling, and exact/closed-form temporal statistics.
+//! link-prediction sampling, exact/closed-form temporal statistics, and
+//! the snapshot byte codec ([`snapshot_io`]) the out-of-core store frames.
+
+#![warn(missing_docs)]
 
 pub mod datasets;
 pub mod diff;
@@ -13,6 +16,7 @@ pub mod gen;
 pub mod linkpred;
 pub mod smoothing;
 pub mod snapshot;
+pub mod snapshot_io;
 pub mod stats;
 
 pub use datasets::DatasetSpec;
@@ -21,4 +25,5 @@ pub use features::degree_features;
 pub use linkpred::{build_linkpred, EdgeSamples, LinkPredData};
 pub use smoothing::{edge_life, m_transform_adj, m_transform_features};
 pub use snapshot::{DynamicGraph, Snapshot};
+pub use snapshot_io::{snapshot_from_bytes, snapshot_to_bytes, CodecError};
 pub use stats::{Smoothing, TemporalStats};

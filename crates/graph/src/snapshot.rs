@@ -7,7 +7,7 @@ use dgnn_tensor::{normalized_laplacian, Csr, SparseTensor3};
 
 /// One snapshot `G_t = (V, E_t)` stored as a (possibly weighted) adjacency
 /// matrix in CSR form.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Snapshot {
     adj: Csr,
 }

@@ -1,0 +1,266 @@
+//! Snapshot serialization: the byte-level codec for CSR adjacency /
+//! operator matrices and the [`Snapshot`]s wrapping them.
+//!
+//! This is the *payload* layer of the out-of-core spill format: the
+//! `dgnn-store` crate frames these bytes (magic, format revision, kind
+//! tag, CRC-32) and owns the files; the graph crate owns what a
+//! serialized snapshot *is*, so the encoding cannot drift from the CSR
+//! invariants it must uphold (monotone row pointers, in-bounds column
+//! indices). Layout, all integers little-endian:
+//!
+//! ```text
+//! rows u64, cols u64, nnz u64
+//! indptr   (rows+1) × u64
+//! indices  nnz × u32
+//! values   nnz × f32 raw bit patterns
+//! ```
+//!
+//! Values round-trip bit-exactly, and decoding draws its backing buffers
+//! (row pointers, indices, values) from the per-thread
+//! [`dgnn_tensor::workspace`] arena when one is engaged, so a
+//! steady-state out-of-core block read allocates nothing.
+
+use dgnn_tensor::{workspace, Csr};
+
+use crate::snapshot::Snapshot;
+
+/// Why CSR payload bytes could not be decoded. The storage layer wraps
+/// these in its own typed error (alongside framing failures like bad
+/// magic or checksum mismatch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ends before the structure it declares.
+    Truncated,
+    /// Structurally inconsistent content (implausible dimensions,
+    /// non-monotone row pointers, out-of-bounds column indices …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "csr payload is truncated"),
+            CodecError::Malformed(what) => write!(f, "malformed csr payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Dimension cap per axis — a corrupt header must not drive a
+/// multi-gigabyte allocation before validation can reject it.
+const MAX_DIM: u64 = 1 << 32;
+
+/// Appends the CSR payload of `m` to `out`.
+pub fn encode_csr_payload(m: &Csr, out: &mut Vec<u8>) {
+    out.reserve(24 + m.indptr().len() * 8 + m.nnz() * 8);
+    for dim in [m.rows() as u64, m.cols() as u64, m.nnz() as u64] {
+        out.extend_from_slice(&dim.to_le_bytes());
+    }
+    for &p in m.indptr() {
+        out.extend_from_slice(&(p as u64).to_le_bytes());
+    }
+    for &c in m.indices() {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    for &v in m.values() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Encoded payload size of `m` in bytes (what [`encode_csr_payload`]
+/// appends) — lets storage budgets be computed without encoding.
+pub fn csr_payload_bytes(m: &Csr) -> usize {
+    24 + m.indptr().len() * 8 + m.nnz() * 8
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
+    let slice = bytes.get(*pos..end).ok_or(CodecError::Truncated)?;
+    *pos = end;
+    Ok(u64::from_le_bytes(slice.try_into().unwrap()))
+}
+
+fn read_dim(bytes: &[u8], pos: &mut usize) -> Result<usize, CodecError> {
+    let v = read_u64(bytes, pos)?;
+    if v > MAX_DIM {
+        return Err(CodecError::Malformed("dimension implausible"));
+    }
+    Ok(v as usize)
+}
+
+/// Decodes a CSR payload starting at `bytes[*pos]`, advancing `pos` past
+/// it. Validates every structural invariant [`Csr::from_parts`] assumes,
+/// so corrupt bytes surface as a typed error, never a panic.
+pub fn decode_csr_payload(bytes: &[u8], pos: &mut usize) -> Result<Csr, CodecError> {
+    let rows = read_dim(bytes, pos)?;
+    let cols = read_dim(bytes, pos)?;
+    let nnz = read_dim(bytes, pos)?;
+
+    // The declared structure must fit the buffer BEFORE any allocation is
+    // sized from it: a corrupt rows/nnz header must surface as a typed
+    // error, not a multi-gigabyte allocation attempt.
+    let declared = (rows as u64 + 1)
+        .checked_mul(8)
+        .and_then(|p| p.checked_add(nnz as u64 * 8))
+        .ok_or(CodecError::Truncated)?;
+    if (bytes.len() as u64).saturating_sub(*pos as u64) < declared {
+        return Err(CodecError::Truncated);
+    }
+
+    let mut indptr = workspace::take_scratch_usize(rows + 1);
+    for slot in indptr.iter_mut() {
+        let v = read_u64(bytes, pos)?;
+        if v as usize > nnz {
+            return Err(CodecError::Malformed("row pointer exceeds nnz"));
+        }
+        *slot = v as usize;
+    }
+    if indptr.first() != Some(&0)
+        || indptr.last() != Some(&nnz)
+        || indptr.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(CodecError::Malformed("row pointers not monotone"));
+    }
+
+    let idx_end = pos
+        .checked_add(nnz.checked_mul(4).ok_or(CodecError::Truncated)?)
+        .ok_or(CodecError::Truncated)?;
+    let raw = bytes.get(*pos..idx_end).ok_or(CodecError::Truncated)?;
+    *pos = idx_end;
+    let mut indices = workspace::take_scratch_u32(nnz);
+    for (dst, src) in indices.iter_mut().zip(raw.chunks_exact(4)) {
+        *dst = u32::from_le_bytes(src.try_into().unwrap());
+    }
+    if nnz > 0 && indices.iter().any(|&c| c as usize >= cols) {
+        return Err(CodecError::Malformed("column index out of bounds"));
+    }
+
+    let val_end = pos.checked_add(nnz * 4).ok_or(CodecError::Truncated)?;
+    let raw = bytes.get(*pos..val_end).ok_or(CodecError::Truncated)?;
+    *pos = val_end;
+    let mut values = workspace::take_scratch(nnz);
+    for (dst, src) in values.iter_mut().zip(raw.chunks_exact(4)) {
+        *dst = f32::from_bits(u32::from_le_bytes(src.try_into().unwrap()));
+    }
+
+    Ok(Csr::from_parts(rows, cols, indptr, indices, values))
+}
+
+/// Serializes a snapshot's adjacency matrix (payload only — see the
+/// module docs for who owns the framing).
+pub fn snapshot_to_bytes(s: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_csr_payload(s.adj(), &mut out);
+    out
+}
+
+/// Deserializes a snapshot serialized by [`snapshot_to_bytes`]. Rejects
+/// trailing bytes and non-square adjacencies.
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<Snapshot, CodecError> {
+    let mut pos = 0;
+    let adj = decode_csr_payload(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(CodecError::Malformed("trailing bytes after payload"));
+    }
+    if adj.rows() != adj.cols() {
+        return Err(CodecError::Malformed("snapshot adjacency must be square"));
+    }
+    Ok(Snapshot::new(adj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_coo(
+            4,
+            4,
+            &[
+                (0, 1, 1.5),
+                (0, 3, -0.25),
+                (2, 0, f32::MIN_POSITIVE),
+                (3, 3, 3e7),
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_payload_roundtrips_every_bit() {
+        let m = sample();
+        let mut bytes = Vec::new();
+        encode_csr_payload(&m, &mut bytes);
+        assert_eq!(bytes.len(), csr_payload_bytes(&m));
+        let mut pos = 0;
+        let back = decode_csr_payload(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back, m);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(back.values()), bits(m.values()));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_rejects_trailing() {
+        let s = Snapshot::new(sample());
+        let bytes = snapshot_to_bytes(&s);
+        let back = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(back.adj(), s.adj());
+
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            snapshot_from_bytes(&padded),
+            Err(CodecError::Malformed("trailing bytes after payload"))
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed() {
+        let bytes = snapshot_to_bytes(&Snapshot::new(sample()));
+        for len in 0..bytes.len() {
+            match snapshot_from_bytes(&bytes[..len]) {
+                Err(CodecError::Truncated) => {}
+                // A prefix that happens to parse as a shorter structure is
+                // rejected as trailing/malformed instead — still typed.
+                Err(CodecError::Malformed(_)) => {}
+                other => panic!("prefix of {len} bytes: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_payload_is_not_a_snapshot() {
+        let m = Csr::from_coo(2, 3, &[(0, 2, 1.0)]);
+        let mut bytes = Vec::new();
+        encode_csr_payload(&m, &mut bytes);
+        // The payload itself decodes …
+        let mut pos = 0;
+        assert_eq!(decode_csr_payload(&bytes, &mut pos).unwrap(), m);
+        // … but a snapshot requires a square adjacency.
+        assert_eq!(
+            snapshot_from_bytes(&bytes),
+            Err(CodecError::Malformed("snapshot adjacency must be square"))
+        );
+    }
+
+    #[test]
+    fn implausible_header_is_rejected_before_allocating() {
+        let mut bytes = snapshot_to_bytes(&Snapshot::new(sample()));
+        // Claim 2^31 rows in a ~100-byte payload: must be a typed error,
+        // not a giant indptr allocation attempt.
+        bytes[0..8].copy_from_slice(&(1u64 << 31).to_le_bytes());
+        assert_eq!(snapshot_from_bytes(&bytes), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_structure_is_typed() {
+        let mut bytes = snapshot_to_bytes(&Snapshot::new(sample()));
+        // Make the first row pointer nonzero: not monotone from 0.
+        bytes[24..32].copy_from_slice(&9u64.to_le_bytes());
+        assert!(matches!(
+            snapshot_from_bytes(&bytes),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+}

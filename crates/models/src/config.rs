@@ -5,11 +5,11 @@ use dgnn_graph::Smoothing;
 /// Which dynamic-GNN architecture to build (paper §5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ModelKind {
-    /// Concatenate-Dynamic GCN: GCN with skip concat + feature LSTM [17].
+    /// Concatenate-Dynamic GCN: GCN with skip concat + feature LSTM \[17\].
     CdGcn,
-    /// EvolveGCN, the EGCN-O variant: weights evolved by an LSTM [19].
+    /// EvolveGCN, the EGCN-O variant: weights evolved by an LSTM \[19\].
     EvolveGcn,
-    /// TM-GCN: M-product temporal aggregation [16].
+    /// TM-GCN: M-product temporal aggregation \[16\].
     TmGcn,
 }
 

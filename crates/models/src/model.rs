@@ -263,8 +263,8 @@ impl<'m> Segment<'m> {
     /// First-layer GCN forward from a pre-computed aggregation `Ã·X`
     /// (paper §5.5). Not available for EvolveGCN, whose first-layer weights
     /// differ per timestep but aggregation does not — the caller still
-    /// benefits by skipping the SpMM, so EvolveGCN routes through
-    /// [`Segment::spatial_preagg_weighted`] internally.
+    /// benefits by skipping the SpMM, so EvolveGCN applies its per-timestep
+    /// evolved weight to the shared aggregation here instead.
     pub fn spatial_preagg(&self, tape: &mut Tape, t: usize, agg: Var) -> Var {
         assert!(self.t_range.contains(&t), "timestep outside segment");
         match self.model.cfg.kind {

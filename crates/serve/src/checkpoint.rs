@@ -106,19 +106,9 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected), bit-serial — the payload is
-/// hashed once per save/load, so table-free simplicity wins.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xffff_ffffu32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-        }
-    }
-    !crc
-}
+// The CRC implementation moved to `dgnn_tensor::digest` when `dgnn-store`
+// adopted the same framing; this re-export keeps the original path alive.
+pub use dgnn_tensor::digest::crc32;
 
 /// A decoded (or to-be-encoded) checkpoint: the model/head metadata plus
 /// every named parameter matrix, in `ParamStore` registration order.
@@ -433,11 +423,5 @@ mod tests {
             Checkpoint::from_bytes(&bytes),
             Err(CheckpointError::ChecksumMismatch { .. })
         ));
-    }
-
-    #[test]
-    fn crc32_matches_known_vector() {
-        // The classic IEEE test vector.
-        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
     }
 }

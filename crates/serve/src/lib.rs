@@ -24,6 +24,8 @@
 //!   published [`ServingSnapshot`]s (no torn reads), with the batched
 //!   kernels running on the PR-2 thread pool.
 
+#![warn(missing_docs)]
+
 pub mod checkpoint;
 pub mod engine;
 pub mod server;

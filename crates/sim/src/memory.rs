@@ -72,9 +72,19 @@ impl MemoryTracker {
         self.peak
     }
 
+    /// Whether an allocation of `bytes` would fit alongside what is already
+    /// in use — the admission probe shared by [`MemoryTracker::alloc`] and
+    /// external capacity checks (e.g. the `dgnn-store` memory-tier
+    /// admission), so callers never duplicate the capacity arithmetic.
+    pub fn would_fit(&self, bytes: u64) -> bool {
+        // Saturating: a u64::MAX request must read as "does not fit", not
+        // wrap around into an accept.
+        self.in_use.saturating_add(bytes) <= self.capacity
+    }
+
     /// Attempts to allocate `bytes`; fails when capacity would be exceeded.
     pub fn alloc(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
-        if self.in_use + bytes > self.capacity {
+        if !self.would_fit(bytes) {
             return Err(OutOfMemory {
                 requested: bytes,
                 in_use: self.in_use,
@@ -139,6 +149,21 @@ mod tests {
         m.free_all();
         m.alloc(100).unwrap();
         assert_eq!(m.peak(), 700);
+    }
+
+    #[test]
+    fn would_fit_probe_matches_alloc() {
+        let mut m = MemoryTracker::new(100);
+        m.alloc(60).unwrap();
+        assert!(m.would_fit(40));
+        assert!(!m.would_fit(41));
+        // The probe never mutates the accounting.
+        assert_eq!(m.in_use(), 60);
+        // Probe and alloc agree at the exact boundary.
+        assert!(m.alloc(40).is_ok());
+        assert!(!m.would_fit(1));
+        // A request near u64::MAX must not wrap into an accept.
+        assert!(!m.would_fit(u64::MAX));
     }
 
     #[test]

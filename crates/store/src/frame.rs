@@ -1,0 +1,471 @@
+//! The framed binary spill format shared by every record kind.
+//!
+//! A spill file holds exactly one record (all integers little-endian):
+//!
+//! ```text
+//! magic    b"DGNS"                        4 bytes
+//! version  u32                            format revision (currently 1)
+//! kind     u8                             record kind tag
+//! payload  kind-specific bytes            (see below)
+//! crc32    u32                            over every preceding byte
+//! ```
+//!
+//! The framing deliberately mirrors the `dgnn-serve` checkpoint format
+//! (`DGNC` magic + CRC-32 trailer): same integrity guarantees, same typed
+//! failure modes, same shared [`dgnn_tensor::digest::crc32`]
+//! implementation. Payloads:
+//!
+//! * **CSR** (`kind = 1`): `rows u64, cols u64, nnz u64`, then `rows+1`
+//!   row pointers as `u64`, `nnz` column indices as `u32`, `nnz` values
+//!   as raw `f32` bit patterns.
+//! * **Dense** (`kind = 2`): `rows u64, cols u64`, then `rows·cols`
+//!   values as raw `f32` bit patterns.
+//! * **Record** (`kind = 3`): `n_meta u32` caller-defined `u32` words,
+//!   then `n_mats u32` dense matrices, each `rows u64, cols u64, data`.
+//!   The execution engine encodes block carries (`π_b`) this way: the
+//!   meta words describe the per-layer carry structure, the matrices are
+//!   the carried state.
+//!
+//! Values round-trip as raw bit patterns, so training on reloaded blocks
+//! is bit-identical to training on the originals. Decoding draws every
+//! backing buffer — values, column indices, row pointers — from the
+//! per-thread [`workspace`] arena when one is engaged, so steady-state
+//! block reads allocate nothing.
+
+use std::fmt;
+use std::io;
+
+use dgnn_graph::snapshot_io::{self, CodecError};
+use dgnn_tensor::digest::crc32;
+use dgnn_tensor::{workspace, Csr, Dense};
+
+/// Spill-frame magic: "DGNN Store".
+pub const MAGIC: [u8; 4] = *b"DGNS";
+/// Current spill-format revision.
+pub const FORMAT_VERSION: u32 = 1;
+/// Record kind tag: a CSR sparse matrix.
+pub const KIND_CSR: u8 = 1;
+/// Record kind tag: a dense matrix.
+pub const KIND_DENSE: u8 = 2;
+/// Record kind tag: a composite record (meta words + dense matrices).
+pub const KIND_RECORD: u8 = 3;
+
+/// Dimension cap per record axis — a corrupt header must not drive a
+/// multi-gigabyte allocation before the checksum gets a chance to reject.
+const MAX_DIM: u64 = 1 << 32;
+/// Cap on meta words / matrix count in composite records, same rationale.
+const MAX_RECORD_ITEMS: u32 = 1 << 20;
+
+/// Why a spill record could not be stored or decoded.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (create/open/read/write the spill file).
+    Io(io::Error),
+    /// The leading bytes are not the spill-frame magic.
+    BadMagic([u8; 4]),
+    /// The file's format revision is newer than this build understands.
+    UnsupportedVersion {
+        /// Revision found in the header.
+        found: u32,
+    },
+    /// The file ends before the structure it declares.
+    Truncated,
+    /// The trailing CRC does not match the content (flipped bits).
+    ChecksumMismatch {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the content.
+        computed: u32,
+    },
+    /// Structurally inconsistent content (implausible dimensions, trailing
+    /// garbage, inconsistent row pointers …).
+    Malformed(&'static str),
+    /// The record exists but holds a different kind than the caller asked
+    /// for (e.g. `get_csr` on a spilled dense block).
+    WrongKind {
+        /// Kind tag found in the frame.
+        found: u8,
+        /// Kind tag the caller expected.
+        expected: u8,
+    },
+    /// No record was ever stored under the requested key.
+    UnknownKey(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "spill i/o error: {e}"),
+            StoreError::BadMagic(m) => write!(f, "not a dgnn spill frame (magic {m:?})"),
+            StoreError::UnsupportedVersion { found } => write!(
+                f,
+                "spill format revision {found} is newer than supported {FORMAT_VERSION}"
+            ),
+            StoreError::Truncated => write!(f, "spill file is truncated"),
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "spill checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            StoreError::Malformed(what) => write!(f, "malformed spill record: {what}"),
+            StoreError::WrongKind { found, expected } => {
+                write!(f, "spill record kind {found} where {expected} was expected")
+            }
+            StoreError::UnknownKey(key) => write!(f, "no spill record under key {key:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+fn header(kind: u8, payload_hint: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + payload_hint);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(kind);
+    out
+}
+
+fn seal(mut frame: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+fn push_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    for &v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Encodes a CSR matrix as a sealed spill frame. The payload layout is
+/// owned by [`dgnn_graph::snapshot_io`]; this crate only frames it.
+pub fn encode_csr(m: &Csr) -> Vec<u8> {
+    let mut out = header(KIND_CSR, snapshot_io::csr_payload_bytes(m));
+    snapshot_io::encode_csr_payload(m, &mut out);
+    seal(out)
+}
+
+/// Encodes a dense matrix as a sealed spill frame.
+pub fn encode_dense(m: &Dense) -> Vec<u8> {
+    let mut out = header(KIND_DENSE, 16 + m.len() * 4);
+    out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+    push_f32s(&mut out, m.data());
+    seal(out)
+}
+
+/// Encodes a composite record — caller-defined meta words plus a dense
+/// matrix sequence — as a sealed spill frame.
+pub fn encode_record<'a>(meta: &[u32], mats: impl IntoIterator<Item = &'a Dense>) -> Vec<u8> {
+    let mats: Vec<&Dense> = mats.into_iter().collect();
+    let data: usize = mats.iter().map(|m| 16 + m.len() * 4).sum();
+    let mut out = header(KIND_RECORD, 8 + meta.len() * 4 + data);
+    out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+    for &w in meta {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.extend_from_slice(&(mats.len() as u32).to_le_bytes());
+    for m in mats {
+        out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+        out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+        push_f32s(&mut out, m.data());
+    }
+    seal(out)
+}
+
+/// A decoded spill record.
+#[derive(Clone, Debug)]
+pub enum Record {
+    /// A CSR sparse matrix (a spilled snapshot Laplacian).
+    Csr(Csr),
+    /// A dense matrix (a spilled feature or pre-aggregation block).
+    Dense(Dense),
+    /// A composite record: meta words plus dense matrices (a spilled
+    /// engine carry).
+    Record {
+        /// Caller-defined structure words.
+        meta: Vec<u32>,
+        /// The record's matrices, in encoding order.
+        mats: Vec<Dense>,
+    },
+}
+
+impl Record {
+    /// The frame kind tag this record decodes from.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Record::Csr(_) => KIND_CSR,
+            Record::Dense(_) => KIND_DENSE,
+            Record::Record { .. } => KIND_RECORD,
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over frame bytes; every overrun
+/// maps to [`StoreError::Truncated`]. The trailing 4 CRC bytes are not
+/// readable content.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn slice(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Truncated)?;
+        if end.checked_add(4).is_none_or(|e| e > self.bytes.len()) {
+            return Err(StoreError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        Ok(self.slice(N)?.try_into().unwrap())
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn dim(&mut self) -> Result<usize, StoreError> {
+        let v = self.u64()?;
+        if v > MAX_DIM {
+            return Err(StoreError::Malformed("dimension implausible"));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads `n` f32 bit patterns into an arena-drawn buffer.
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, StoreError> {
+        let raw = self.slice(n.checked_mul(4).ok_or(StoreError::Truncated)?)?;
+        let mut out = workspace::take_scratch(n);
+        for (dst, src) in out.iter_mut().zip(raw.chunks_exact(4)) {
+            *dst = f32::from_bits(u32::from_le_bytes(src.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
+    fn dense(&mut self) -> Result<Dense, StoreError> {
+        let rows = self.dim()?;
+        let cols = self.dim()?;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or(StoreError::Malformed("dense shape overflows"))?;
+        Ok(Dense::from_vec(rows, cols, self.f32s(len)?))
+    }
+}
+
+/// Validates the frame envelope (magic, version, CRC, no trailing bytes)
+/// and returns `(kind, payload cursor)`.
+fn open_frame(bytes: &[u8]) -> Result<(u8, Cursor<'_>), StoreError> {
+    let mut r = Cursor { bytes, pos: 0 };
+    let magic = r.take::<4>()?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic(magic));
+    }
+    let version = r.u32()?;
+    if version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let kind = r.u8()?;
+    Ok((kind, r))
+}
+
+/// Structure parsed in full — now reject trailing garbage and any flipped
+/// bit. Checking the CRC last keeps truncation and corruption
+/// distinguishable, exactly as in the `dgnn-serve` checkpoint decoder.
+fn finish_frame(r: &Cursor<'_>) -> Result<(), StoreError> {
+    let bytes = r.bytes;
+    if r.pos != bytes.len() - 4 {
+        return Err(StoreError::Malformed("trailing bytes after payload"));
+    }
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let computed = crc32(&bytes[..bytes.len() - 4]);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    Ok(())
+}
+
+/// Decodes any sealed spill frame.
+pub fn decode(bytes: &[u8]) -> Result<Record, StoreError> {
+    let (kind, mut r) = open_frame(bytes)?;
+    let record = match kind {
+        KIND_CSR => {
+            // The payload codec is dgnn-graph's; hand it the frame minus
+            // the CRC trailer so its truncation checks line up with ours.
+            // (open_frame guarantees bytes.len() >= r.pos + 4.)
+            let content = &bytes[..bytes.len() - 4];
+            let mut pos = r.pos;
+            let m = snapshot_io::decode_csr_payload(content, &mut pos).map_err(|e| match e {
+                CodecError::Truncated => StoreError::Truncated,
+                CodecError::Malformed(what) => StoreError::Malformed(what),
+            })?;
+            r.pos = pos;
+            Record::Csr(m)
+        }
+        KIND_DENSE => Record::Dense(r.dense()?),
+        KIND_RECORD => {
+            let n_meta = r.u32()?;
+            if n_meta > MAX_RECORD_ITEMS {
+                return Err(StoreError::Malformed("meta count implausible"));
+            }
+            let mut meta = Vec::with_capacity(n_meta as usize);
+            for _ in 0..n_meta {
+                meta.push(r.u32()?);
+            }
+            let n_mats = r.u32()?;
+            if n_mats > MAX_RECORD_ITEMS {
+                return Err(StoreError::Malformed("matrix count implausible"));
+            }
+            let mut mats = Vec::with_capacity(n_mats as usize);
+            for _ in 0..n_mats {
+                mats.push(r.dense()?);
+            }
+            Record::Record { meta, mats }
+        }
+        _ => return Err(StoreError::Malformed("unknown record kind")),
+    };
+    finish_frame(&r)?;
+    Ok(record)
+}
+
+/// Hands a decoded record's backing buffers to the workspace arena (a
+/// no-op without an engaged workspace). Used on memory-tier eviction so
+/// the next decode draws recycled buffers instead of allocating.
+pub fn recycle_record(record: Record) {
+    match record {
+        Record::Csr(m) => {
+            let (_, _, indptr, indices, values) = m.into_parts();
+            workspace::recycle_usize(indptr);
+            workspace::recycle_u32(indices);
+            workspace::recycle_buffer(values);
+        }
+        Record::Dense(m) => workspace::recycle(m),
+        Record::Record { mats, .. } => mats.into_iter().for_each(workspace::recycle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> Csr {
+        Csr::from_coo(
+            4,
+            5,
+            &[
+                (0, 1, 1.5),
+                (0, 4, -0.25),
+                (2, 0, f32::MIN_POSITIVE),
+                (3, 3, 3e7),
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_roundtrips_every_bit() {
+        let m = sample_csr();
+        let back = match decode(&encode_csr(&m)).unwrap() {
+            Record::Csr(m) => m,
+            other => panic!("wrong kind {:?}", other.kind()),
+        };
+        assert_eq!(back, m);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(back.values()), bits(m.values()));
+    }
+
+    #[test]
+    fn dense_roundtrips_every_bit() {
+        let m = Dense::from_vec(2, 3, vec![1.0, -0.0, f32::NAN, 1e-40, 3e7, -2.5]);
+        let back = match decode(&encode_dense(&m)).unwrap() {
+            Record::Dense(m) => m,
+            other => panic!("wrong kind {:?}", other.kind()),
+        };
+        assert_eq!(back.shape(), m.shape());
+        let bits = |d: &Dense| d.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&m));
+    }
+
+    #[test]
+    fn record_roundtrips_meta_and_matrices() {
+        let mats = [Dense::from_vec(1, 2, vec![7.0, 8.0]), Dense::zeros(0, 3)];
+        let frame = encode_record(&[2, 0, 9], mats.iter());
+        match decode(&frame).unwrap() {
+            Record::Record { meta, mats: back } => {
+                assert_eq!(meta, vec![2, 0, 9]);
+                assert_eq!(back.len(), 2);
+                assert_eq!(back[0].data(), &[7.0, 8.0]);
+                assert_eq!(back[1].shape(), (0, 3));
+            }
+            other => panic!("wrong kind {:?}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed() {
+        let bytes = encode_csr(&sample_csr());
+        for len in 0..bytes.len() - 1 {
+            match decode(&bytes[..len]) {
+                Err(StoreError::Truncated) => {}
+                other => panic!("prefix of {len} bytes: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_a_checksum_mismatch() {
+        let mut bytes = encode_dense(&Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let idx = bytes.len() - 10; // inside the f32 payload
+        bytes[idx] ^= 0x20;
+        assert!(matches!(
+            decode(&bytes),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_future_version_are_typed() {
+        let mut bytes = encode_dense(&Dense::zeros(1, 1));
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(StoreError::BadMagic(_))));
+
+        let mut bytes = encode_dense(&Dense::zeros(1, 1));
+        bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+        // Reseal so only the version is wrong.
+        let end = bytes.len() - 4;
+        let crc = crc32(&bytes[..end]).to_le_bytes();
+        bytes[end..].copy_from_slice(&crc);
+        assert!(matches!(
+            decode(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 9 })
+        ));
+    }
+
+    #[test]
+    fn empty_matrices_roundtrip() {
+        let m = Csr::empty(3, 3);
+        assert!(matches!(decode(&encode_csr(&m)), Ok(Record::Csr(back)) if back == m));
+        let d = Dense::zeros(0, 0);
+        assert!(matches!(decode(&encode_dense(&d)), Ok(Record::Dense(b)) if b.is_empty()));
+        assert!(matches!(
+            decode(&encode_record(&[], [])),
+            Ok(Record::Record { meta, mats }) if meta.is_empty() && mats.is_empty()
+        ));
+    }
+}

@@ -1,0 +1,935 @@
+//! The tiered store: a budget-bounded in-memory tier over framed spill
+//! files, with background prefetch.
+//!
+//! Every `put_*` is write-through: the record is sealed into a spill file
+//! immediately, then *admitted* into the memory tier if it fits the byte
+//! budget (records larger than the whole budget are never admitted).
+//! Admission evicts least-recently-used residents until
+//! [`MemoryTracker::would_fit`] accepts the newcomer — the store reuses
+//! `dgnn-sim`'s capacity accounting rather than duplicating the
+//! arithmetic. A `get_*` that finds the record resident is a memory hit;
+//! anything else faults the file tier (a *miss*, counted in
+//! [`StoreStats::miss_bytes`] for the engine's transfer accounting).
+//!
+//! Resident records are handed out as shared `Rc`s: while a Laplacian
+//! stays resident, every block re-entry sees the *same* [`Csr`] value, so
+//! its lazily-built transpose cache amortizes exactly as in the
+//! all-in-memory path.
+//!
+//! # Prefetch
+//!
+//! [`TieredStore::prefetch`] hands keys to a background thread that reads
+//! the raw frame bytes ahead of time; the decode (which draws its buffers
+//! from the calling thread's workspace arena) still happens on the
+//! consumer thread at `get_*` time. A prefetched read counts as a miss —
+//! the bytes did move from the file tier — but not as a *demand* miss,
+//! because the consumer never blocked on the disk. The execution engine
+//! walks the §3.1 snapshot schedule one block ahead, so steady-state
+//! block reads find their bytes already staged.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use dgnn_sim::memory::MemoryTracker;
+use dgnn_tensor::{Csr, Dense};
+
+use crate::frame::{self, Record, StoreError, KIND_CSR, KIND_DENSE, KIND_RECORD};
+
+/// Environment variable bounding the memory tier, in bytes. An explicit
+/// [`StoreConfig::budget`] wins; absent both, the tier is unbounded.
+pub const ENV_STORE_BUDGET: &str = "DGNN_STORE_BUDGET";
+
+/// Configuration of a [`TieredStore`].
+#[derive(Clone, Debug, Default)]
+pub struct StoreConfig {
+    /// Memory-tier budget in bytes. `None` defers to `DGNN_STORE_BUDGET`,
+    /// then to unbounded.
+    pub budget: Option<u64>,
+    /// Spill directory. `None` creates (and on drop removes) a fresh
+    /// process-unique directory under the system temp dir.
+    pub dir: Option<PathBuf>,
+    /// Disable the background prefetch thread (demand reads only).
+    pub no_prefetch: bool,
+}
+
+impl StoreConfig {
+    /// A config with an explicit byte budget.
+    pub fn with_budget(budget: u64) -> Self {
+        Self {
+            budget: Some(budget),
+            ..Self::default()
+        }
+    }
+
+    fn resolved_budget(&self) -> u64 {
+        self.budget.unwrap_or_else(|| {
+            std::env::var(ENV_STORE_BUDGET)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(u64::MAX)
+        })
+    }
+}
+
+/// Counters describing how a [`TieredStore`] behaved.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Records currently resident in the memory tier.
+    pub resident: usize,
+    /// Bytes currently resident in the memory tier.
+    pub resident_bytes: u64,
+    /// High-water mark of resident bytes.
+    pub peak_resident_bytes: u64,
+    /// Total bytes sealed into spill files.
+    pub spilled_bytes: u64,
+    /// `get_*` calls answered from the memory tier.
+    pub mem_hits: u64,
+    /// `get_*` calls that blocked on a file-tier read.
+    pub demand_misses: u64,
+    /// `get_*` calls answered from bytes the prefetcher had staged.
+    pub prefetch_hits: u64,
+    /// Bytes faulted from the file tier (demand + prefetched), the
+    /// engine's tier-miss transfer accounting.
+    pub miss_bytes: u64,
+    /// Residents evicted to make room for newcomers.
+    pub evictions: u64,
+}
+
+/// A composite record's payload: meta words plus matrices.
+pub type RecordPayload = (Vec<u32>, Vec<Dense>);
+
+/// A resident (or just-fetched) record behind shared pointers.
+#[derive(Clone)]
+enum Cached {
+    Csr(Rc<Csr>),
+    Dense(Rc<Dense>),
+    Record(Rc<RecordPayload>),
+}
+
+impl Cached {
+    fn kind(&self) -> u8 {
+        match self {
+            Cached::Csr(_) => KIND_CSR,
+            Cached::Dense(_) => KIND_DENSE,
+            Cached::Record(_) => KIND_RECORD,
+        }
+    }
+
+    fn from_record(record: Record) -> Self {
+        match record {
+            Record::Csr(m) => Cached::Csr(Rc::new(m)),
+            Record::Dense(m) => Cached::Dense(Rc::new(m)),
+            Record::Record { meta, mats } => Cached::Record(Rc::new((meta, mats))),
+        }
+    }
+
+    /// Hands the buffers to the workspace arena when this was the last
+    /// reference, so the next decode allocates nothing. The per-kind
+    /// buffer rules live in [`frame::recycle_record`], the one place that
+    /// knows a record's buffer structure.
+    fn recycle(self) {
+        match self {
+            Cached::Csr(rc) => {
+                if let Ok(m) = Rc::try_unwrap(rc) {
+                    frame::recycle_record(Record::Csr(m));
+                }
+            }
+            Cached::Dense(rc) => {
+                if let Ok(m) = Rc::try_unwrap(rc) {
+                    frame::recycle_record(Record::Dense(m));
+                }
+            }
+            Cached::Record(rc) => {
+                if let Ok((meta, mats)) = Rc::try_unwrap(rc) {
+                    frame::recycle_record(Record::Record { meta, mats });
+                }
+            }
+        }
+    }
+}
+
+/// One resident record plus its LRU bookkeeping.
+struct Resident {
+    cached: Cached,
+    bytes: u64,
+    tick: u64,
+}
+
+/// One read's worth of staged bytes (or the error the read produced).
+type ReadResult = std::io::Result<Vec<u8>>;
+
+/// The background reader: receives `(key, generation, path)` requests,
+/// sends back `(key, generation, read result)`. Only raw bytes cross the
+/// channel — decoding stays on the consumer thread so buffers come from
+/// its arena. Each request carries a generation number so that bytes
+/// staged before a key was rewritten or removed can never satisfy a
+/// later fetch: [`Prefetcher::invalidate`] drops the pending entry, and
+/// results whose generation no longer matches are discarded.
+struct Prefetcher {
+    tx: Option<Sender<(String, u64, PathBuf)>>,
+    rx: Receiver<(String, u64, ReadResult)>,
+    handle: Option<JoinHandle<()>>,
+    /// Keys requested and not yet consumed, by request generation
+    /// (`None` bytes = still in flight).
+    pending: HashMap<String, (u64, Option<ReadResult>)>,
+    next_gen: u64,
+}
+
+impl Prefetcher {
+    fn spawn() -> Self {
+        let (req_tx, req_rx) = channel::<(String, u64, PathBuf)>();
+        let (res_tx, res_rx) = channel();
+        let handle = std::thread::Builder::new()
+            .name("dgnn-store-prefetch".into())
+            .spawn(move || {
+                while let Ok((key, gen, path)) = req_rx.recv() {
+                    let bytes = std::fs::read(&path);
+                    if res_tx.send((key, gen, bytes)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn prefetch thread");
+        Self {
+            tx: Some(req_tx),
+            rx: res_rx,
+            handle: Some(handle),
+            pending: HashMap::new(),
+            next_gen: 0,
+        }
+    }
+
+    fn request(&mut self, key: &str, path: PathBuf) {
+        if self.pending.contains_key(key) {
+            return; // already staged or in flight
+        }
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.pending.insert(key.to_string(), (gen, None));
+        let tx = self.tx.as_ref().expect("prefetcher live");
+        let _ = tx.send((key.to_string(), gen, path));
+    }
+
+    /// Forgets anything requested or staged for `key`: the spill file is
+    /// being rewritten or removed, so those bytes must never be served.
+    fn invalidate(&mut self, key: &str) {
+        self.pending.remove(key);
+    }
+
+    fn accept(&mut self, key: String, gen: u64, bytes: ReadResult) {
+        if let Some((want, slot)) = self.pending.get_mut(&key) {
+            if *want == gen {
+                *slot = Some(bytes);
+            }
+        }
+        // Mismatched generation: the request was invalidated; drop it.
+    }
+
+    /// Drains completed reads into the staged map.
+    fn drain(&mut self) {
+        while let Ok((key, gen, bytes)) = self.rx.try_recv() {
+            self.accept(key, gen, bytes);
+        }
+    }
+
+    /// Takes staged bytes for `key`, blocking on the reader if the request
+    /// is still in flight. `None` when the key was never requested.
+    fn take(&mut self, key: &str) -> Option<ReadResult> {
+        self.drain();
+        let want = match self.pending.get(key) {
+            None => return None,
+            Some((_, Some(_))) => return self.pending.remove(key).map(|(_, b)| b.unwrap()),
+            Some((gen, None)) => *gen,
+        };
+        // In flight: block until the reader delivers it (still cheaper
+        // than issuing a second read of the same file). A matching
+        // response is guaranteed: the request with this generation was
+        // sent and the reader answers every request in order.
+        while let Ok((done, gen, bytes)) = self.rx.recv() {
+            if done == key && gen == want {
+                self.pending.remove(key);
+                return Some(bytes);
+            }
+            self.accept(done, gen, bytes);
+        }
+        self.pending.remove(key);
+        None
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.tx.take(); // closes the request channel; the thread exits
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The tiered snapshot/activation store. See the module docs for the
+/// write-through / admission / prefetch semantics.
+///
+/// The store is single-consumer (the training thread); only the raw file
+/// reads run on the background prefetch thread.
+pub struct TieredStore {
+    dir: PathBuf,
+    owns_dir: bool,
+    tracker: MemoryTracker,
+    resident: HashMap<String, Resident>,
+    lru_tick: u64,
+    stats: StoreStats,
+    prefetcher: Option<Prefetcher>,
+}
+
+impl TieredStore {
+    /// Opens a store under `cfg`, creating the spill directory.
+    pub fn open(cfg: &StoreConfig) -> Result<Self, StoreError> {
+        let (dir, owns_dir) = match &cfg.dir {
+            Some(d) => (d.clone(), false),
+            None => {
+                let d = std::env::temp_dir().join(format!(
+                    "dgnn-store-{}-{}",
+                    std::process::id(),
+                    DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                (d, true)
+            }
+        };
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            owns_dir,
+            tracker: MemoryTracker::new(cfg.resolved_budget()),
+            resident: HashMap::new(),
+            lru_tick: 0,
+            stats: StoreStats::default(),
+            prefetcher: (!cfg.no_prefetch).then(Prefetcher::spawn),
+        })
+    }
+
+    /// The memory-tier budget in bytes.
+    pub fn budget(&self) -> u64 {
+        self.tracker.capacity()
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            resident: self.resident.len(),
+            resident_bytes: self.tracker.in_use(),
+            peak_resident_bytes: self.tracker.peak(),
+            ..self.stats
+        }
+    }
+
+    /// Whether `key` is resident in the memory tier right now.
+    pub fn is_resident(&self, key: &str) -> bool {
+        self.resident.contains_key(key)
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        assert!(
+            !key.is_empty()
+                && key
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.'),
+            "store keys must be filesystem-safe ([A-Za-z0-9_.-]), got {key:?}"
+        );
+        self.dir.join(format!("{key}.dgns"))
+    }
+
+    /// Seals `frame` to the file tier under `key`; when `resident` is
+    /// given, admits it into the memory tier if the budget allows.
+    fn put_frame(
+        &mut self,
+        key: &str,
+        frame: Vec<u8>,
+        resident: Option<Cached>,
+    ) -> Result<(), StoreError> {
+        let path = self.path_of(key);
+        let bytes = frame.len() as u64;
+        // The file is changing: anything the reader staged (or is still
+        // reading) for this key describes the old content.
+        if let Some(pf) = self.prefetcher.as_mut() {
+            pf.invalidate(key);
+        }
+        std::fs::write(path, &frame)?;
+        self.stats.spilled_bytes += bytes;
+        // Replacing an existing resident: release its accounting first.
+        self.evict_key(key);
+        if let Some(cached) = resident {
+            self.admit(key, cached, bytes);
+        }
+        Ok(())
+    }
+
+    /// Whether a frame of `bytes` could ever be admitted: a record larger
+    /// than the entire budget is file-tier only, so callers skip building
+    /// its resident copy in the first place.
+    fn could_ever_admit(&self, bytes: u64) -> bool {
+        bytes <= self.tracker.capacity()
+    }
+
+    /// Admission: evict LRU residents until the newcomer fits, then
+    /// insert — unless it can never fit, in which case it stays file-only.
+    fn admit(&mut self, key: &str, cached: Cached, bytes: u64) {
+        while !self.tracker.would_fit(bytes) {
+            if !self.evict_lru() {
+                return; // larger than the whole budget: file-tier only
+            }
+        }
+        self.tracker
+            .alloc(bytes)
+            .expect("would_fit admission probe must match alloc");
+        self.lru_tick += 1;
+        self.resident.insert(
+            key.to_string(),
+            Resident {
+                cached,
+                bytes,
+                tick: self.lru_tick,
+            },
+        );
+    }
+
+    /// Evicts the least-recently-used resident; returns false when the
+    /// tier is already empty.
+    fn evict_lru(&mut self) -> bool {
+        let Some(key) = self
+            .resident
+            .iter()
+            .min_by_key(|(_, r)| r.tick)
+            .map(|(k, _)| k.clone())
+        else {
+            return false;
+        };
+        self.evict_key(&key);
+        self.stats.evictions += 1;
+        true
+    }
+
+    fn evict_key(&mut self, key: &str) {
+        if let Some(r) = self.resident.remove(key) {
+            self.tracker.free(r.bytes);
+            r.cached.recycle();
+        }
+    }
+
+    /// Stores a CSR matrix (a snapshot Laplacian) under `key`.
+    pub fn put_csr(&mut self, key: &str, m: &Csr) -> Result<(), StoreError> {
+        let frame = frame::encode_csr(m);
+        let resident = self
+            .could_ever_admit(frame.len() as u64)
+            .then(|| Cached::Csr(Rc::new(m.clone())));
+        self.put_frame(key, frame, resident)
+    }
+
+    /// Stores a dense matrix (a feature / pre-aggregation block) under
+    /// `key`.
+    pub fn put_dense(&mut self, key: &str, m: &Dense) -> Result<(), StoreError> {
+        let frame = frame::encode_dense(m);
+        let resident = self
+            .could_ever_admit(frame.len() as u64)
+            .then(|| Cached::Dense(Rc::new(m.clone())));
+        self.put_frame(key, frame, resident)
+    }
+
+    /// Stores a composite record (meta words + dense matrices — the
+    /// engine's carry encoding) under `key`, keeping it resident if the
+    /// budget allows.
+    pub fn put_record(
+        &mut self,
+        key: &str,
+        meta: &[u32],
+        mats: &[Dense],
+    ) -> Result<(), StoreError> {
+        let frame = frame::encode_record(meta, mats.iter());
+        let resident = self
+            .could_ever_admit(frame.len() as u64)
+            .then(|| Cached::Record(Rc::new((meta.to_vec(), mats.to_vec()))));
+        self.put_frame(key, frame, resident)
+    }
+
+    /// Stores a composite record the caller is handing off (an engine
+    /// carry it will not reread until the backward pass). The frame always
+    /// goes to the file tier; a resident copy is kept only when it fits
+    /// the tier's *spare* capacity — a passing carry must never displace
+    /// snapshot blocks, so unlike `put_*` this admission does not evict.
+    pub fn spill_record<'a>(
+        &mut self,
+        key: &str,
+        meta: &[u32],
+        mats: impl IntoIterator<Item = &'a Dense>,
+    ) -> Result<(), StoreError> {
+        let mats: Vec<&Dense> = mats.into_iter().collect();
+        let frame = frame::encode_record(meta, mats.iter().copied());
+        let bytes = frame.len() as u64;
+        if let Some(pf) = self.prefetcher.as_mut() {
+            pf.invalidate(key);
+        }
+        self.evict_key(key);
+        let resident = self.tracker.would_fit(bytes).then(|| {
+            let owned: Vec<Dense> = mats.iter().map(|&m| m.clone()).collect();
+            Cached::Record(Rc::new((meta.to_vec(), owned)))
+        });
+        let path = self.path_of(key);
+        std::fs::write(path, &frame)?;
+        self.stats.spilled_bytes += bytes;
+        if let Some(cached) = resident {
+            self.tracker
+                .alloc(bytes)
+                .expect("would_fit admission probe must match alloc");
+            self.lru_tick += 1;
+            self.resident.insert(
+                key.to_string(),
+                Resident {
+                    cached,
+                    bytes,
+                    tick: self.lru_tick,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Fetches a composite record under `key` *by value* and drops the key
+    /// from both tiers — the consume-once path for engine carries, which
+    /// must not displace snapshot blocks from the memory tier on their way
+    /// through. Prefetch-staged bytes are honored like in `get_record`.
+    pub fn take_record(&mut self, key: &str) -> Result<RecordPayload, StoreError> {
+        // A resident copy (from `put_record`/`spill_record`) satisfies the
+        // take directly — by ownership transfer, not by copy: the map held
+        // the only strong reference unless a `get_record` caller still has
+        // one, in which case `try_unwrap` falls back to a clone.
+        if matches!(
+            self.resident.get(key),
+            Some(Resident {
+                cached: Cached::Record(_),
+                ..
+            })
+        ) {
+            let r = self.resident.remove(key).expect("checked above");
+            self.tracker.free(r.bytes);
+            self.stats.mem_hits += 1;
+            let Cached::Record(rc) = r.cached else {
+                unreachable!()
+            };
+            let out = Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone());
+            self.remove(key)?;
+            return Ok(out);
+        }
+        let staged = self.prefetcher.as_mut().and_then(|pf| pf.take(key));
+        let bytes = match staged {
+            Some(Ok(bytes)) => {
+                self.stats.prefetch_hits += 1;
+                bytes
+            }
+            Some(Err(_)) | None => {
+                let path = self.path_of(key);
+                if !path.exists() {
+                    return Err(StoreError::UnknownKey(key.to_string()));
+                }
+                self.stats.demand_misses += 1;
+                std::fs::read(path)?
+            }
+        };
+        self.stats.miss_bytes += bytes.len() as u64;
+        let out = match frame::decode(&bytes)? {
+            Record::Record { meta, mats } => (meta, mats),
+            other => {
+                return Err(StoreError::WrongKind {
+                    found: other.kind(),
+                    expected: KIND_RECORD,
+                })
+            }
+        };
+        self.remove(key)?;
+        Ok(out)
+    }
+
+    /// Asks the background reader to stage the frame bytes of `keys`
+    /// (skipping residents). No-op when prefetch is disabled.
+    pub fn prefetch<'k>(&mut self, keys: impl IntoIterator<Item = &'k str>) {
+        if self.prefetcher.is_none() {
+            return;
+        }
+        // path_of validates every key like the other entry points do.
+        let wanted: Vec<(String, PathBuf)> = keys
+            .into_iter()
+            .filter(|k| !self.resident.contains_key(*k))
+            .map(|k| (k.to_string(), self.path_of(k)))
+            .collect();
+        let pf = self.prefetcher.as_mut().expect("checked above");
+        pf.drain();
+        for (key, path) in wanted {
+            pf.request(&key, path);
+        }
+    }
+
+    /// Fetches the record under `key`: memory tier, then staged prefetch
+    /// bytes, then a demand read of the spill file.
+    fn fetch(&mut self, key: &str) -> Result<Cached, StoreError> {
+        if let Some(r) = self.resident.get_mut(key) {
+            self.lru_tick += 1;
+            r.tick = self.lru_tick;
+            self.stats.mem_hits += 1;
+            return Ok(r.cached.clone());
+        }
+        let staged = self.prefetcher.as_mut().and_then(|pf| pf.take(key));
+        let bytes = match staged {
+            Some(Ok(bytes)) => {
+                self.stats.prefetch_hits += 1;
+                bytes
+            }
+            // A failed prefetch read falls through to a demand read so a
+            // transient error cannot poison the key.
+            Some(Err(_)) | None => {
+                let path = self.path_of(key);
+                if !path.exists() {
+                    return Err(StoreError::UnknownKey(key.to_string()));
+                }
+                self.stats.demand_misses += 1;
+                std::fs::read(path)?
+            }
+        };
+        self.stats.miss_bytes += bytes.len() as u64;
+        let cached = Cached::from_record(frame::decode(&bytes)?);
+        self.admit(key, cached.clone(), bytes.len() as u64);
+        Ok(cached)
+    }
+
+    /// Fetches a CSR record under `key`. While the record stays resident,
+    /// repeated gets return the same shared matrix.
+    pub fn get_csr(&mut self, key: &str) -> Result<Rc<Csr>, StoreError> {
+        match self.fetch(key)? {
+            Cached::Csr(rc) => Ok(rc),
+            other => Err(StoreError::WrongKind {
+                found: other.kind(),
+                expected: KIND_CSR,
+            }),
+        }
+    }
+
+    /// Fetches a dense record under `key`.
+    pub fn get_dense(&mut self, key: &str) -> Result<Rc<Dense>, StoreError> {
+        match self.fetch(key)? {
+            Cached::Dense(rc) => Ok(rc),
+            other => Err(StoreError::WrongKind {
+                found: other.kind(),
+                expected: KIND_DENSE,
+            }),
+        }
+    }
+
+    /// Fetches a composite record under `key`.
+    pub fn get_record(&mut self, key: &str) -> Result<Rc<RecordPayload>, StoreError> {
+        match self.fetch(key)? {
+            Cached::Record(rc) => Ok(rc),
+            other => Err(StoreError::WrongKind {
+                found: other.kind(),
+                expected: KIND_RECORD,
+            }),
+        }
+    }
+
+    /// Drops a key from both tiers (backward consumed a carry; its spill
+    /// file will never be read again).
+    pub fn remove(&mut self, key: &str) -> Result<(), StoreError> {
+        if let Some(pf) = self.prefetcher.as_mut() {
+            pf.invalidate(key);
+        }
+        self.evict_key(key);
+        let path = self.path_of(key);
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TieredStore {
+    fn drop(&mut self) {
+        // Stop the reader before deleting its files.
+        self.prefetcher.take();
+        if self.owns_dir {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr(seed: u32) -> Csr {
+        Csr::from_coo(
+            8,
+            8,
+            &[(0, 1, seed as f32), (2, 3, 1.5), (5, 0, -2.0), (7, 7, 0.25)],
+        )
+    }
+
+    fn open_mem(budget: u64) -> TieredStore {
+        TieredStore::open(&StoreConfig::with_budget(budget)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_and_hit_miss_accounting() {
+        let mut s = open_mem(1 << 20);
+        let m = csr(3);
+        s.put_csr("lap3", &m).unwrap();
+        // Resident from the write-through put: a memory hit.
+        let got = s.get_csr("lap3").unwrap();
+        assert_eq!(*got, m);
+        let st = s.stats();
+        assert_eq!(st.mem_hits, 1);
+        assert_eq!(st.demand_misses, 0);
+        assert!(st.spilled_bytes > 0);
+
+        // Same key, same shared matrix while resident.
+        let again = s.get_csr("lap3").unwrap();
+        assert!(Rc::ptr_eq(&got, &again));
+    }
+
+    #[test]
+    fn zero_budget_spills_everything_and_rereads_faithfully() {
+        let mut s = open_mem(0);
+        for i in 0..4 {
+            s.put_csr(&format!("lap{i}"), &csr(i)).unwrap();
+            assert!(
+                !s.is_resident(&format!("lap{i}")),
+                "budget 0 admits nothing"
+            );
+        }
+        for i in 0..4 {
+            let got = s.get_csr(&format!("lap{i}")).unwrap();
+            assert_eq!(*got, csr(i));
+        }
+        let st = s.stats();
+        assert_eq!(st.resident_bytes, 0);
+        assert_eq!(st.demand_misses, 4);
+        assert!(st.miss_bytes > 0);
+    }
+
+    #[test]
+    fn huge_budget_never_faults() {
+        let mut s = open_mem(u64::MAX);
+        for i in 0..4 {
+            s.put_dense(&format!("f{i}"), &Dense::full(16, 16, i as f32))
+                .unwrap();
+        }
+        for i in 0..4 {
+            let got = s.get_dense(&format!("f{i}")).unwrap();
+            assert_eq!(got.get(0, 0), i as f32);
+        }
+        let st = s.stats();
+        assert_eq!(st.demand_misses, 0);
+        assert_eq!(st.miss_bytes, 0);
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.resident, 4);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let d = Dense::full(32, 32, 1.0); // ~4 KiB payload
+        let frame_bytes = frame::encode_dense(&d).len() as u64;
+        let mut s = open_mem(frame_bytes * 2); // room for two residents
+        s.put_dense("a", &d).unwrap();
+        s.put_dense("b", &d).unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        s.get_dense("a").unwrap();
+        s.put_dense("c", &d).unwrap();
+        assert!(s.is_resident("a"));
+        assert!(!s.is_resident("b"), "LRU resident must be evicted");
+        assert!(s.is_resident("c"));
+        let st = s.stats();
+        assert_eq!(st.evictions, 1);
+        assert!(st.resident_bytes <= s.budget());
+        // The evicted record still reads back from the file tier.
+        assert_eq!(*s.get_dense("b").unwrap(), d);
+    }
+
+    #[test]
+    fn corrupt_spill_file_surfaces_typed_error() {
+        let mut s = open_mem(0); // nothing resident: gets hit the file
+        s.put_dense("x", &Dense::full(4, 4, 2.0)).unwrap();
+        let path = s.dir().join("x.dgns");
+
+        // Flip a payload bit on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = bytes.len() - 10;
+        bytes[idx] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            s.get_dense("x"),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+
+        // Truncate it.
+        let good = {
+            bytes[idx] ^= 0x40;
+            bytes
+        };
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(s.get_dense("x"), Err(StoreError::Truncated)));
+
+        // Restore: reads recover.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(*s.get_dense("x").unwrap(), Dense::full(4, 4, 2.0));
+    }
+
+    #[test]
+    fn unknown_key_and_wrong_kind_are_typed() {
+        let mut s = open_mem(1 << 20);
+        assert!(matches!(
+            s.get_csr("nope"),
+            Err(StoreError::UnknownKey(k)) if k == "nope"
+        ));
+        s.put_dense("d", &Dense::zeros(2, 2)).unwrap();
+        assert!(matches!(
+            s.get_csr("d"),
+            Err(StoreError::WrongKind {
+                found: KIND_DENSE,
+                expected: KIND_CSR
+            })
+        ));
+    }
+
+    #[test]
+    fn prefetch_stages_bytes_without_demand_miss() {
+        let mut s = open_mem(0); // force every get to the file tier
+        for i in 0..3 {
+            s.put_csr(&format!("lap{i}"), &csr(i)).unwrap();
+        }
+        s.prefetch(["lap0", "lap1", "lap2"]);
+        for i in 0..3 {
+            let got = s.get_csr(&format!("lap{i}")).unwrap();
+            assert_eq!(*got, csr(i));
+        }
+        let st = s.stats();
+        assert_eq!(st.prefetch_hits + st.demand_misses, 3);
+        assert_eq!(
+            st.prefetch_hits, 3,
+            "take() blocks on in-flight reads, so all three must be prefetch hits"
+        );
+    }
+
+    #[test]
+    fn spill_record_roundtrips_and_admits_only_spare_capacity() {
+        // With spare capacity the handed-off record stays resident …
+        let mut s = open_mem(1 << 20);
+        let mats = vec![Dense::full(3, 3, 9.0)];
+        s.spill_record("carry0", &[1, 2], &mats).unwrap();
+        assert!(s.is_resident("carry0"));
+        let (meta, back) = s.take_record("carry0").unwrap();
+        assert_eq!(meta, vec![1, 2]);
+        assert_eq!(back[0], Dense::full(3, 3, 9.0));
+        // … and take_record consumed it from both tiers.
+        assert!(!s.is_resident("carry0"));
+        assert!(matches!(
+            s.take_record("carry0"),
+            Err(StoreError::UnknownKey(_))
+        ));
+
+        // Without spare capacity nothing is evicted to make room: the
+        // record goes file-only and reads back as a miss.
+        let mut s = open_mem(0);
+        s.spill_record("carry1", &[7], &mats).unwrap();
+        assert!(!s.is_resident("carry1"));
+        let (meta, back) = s.take_record("carry1").unwrap();
+        assert_eq!(meta, vec![7]);
+        assert_eq!(back[0], Dense::full(3, 3, 9.0));
+        assert!(s.stats().miss_bytes > 0);
+    }
+
+    #[test]
+    fn record_larger_than_budget_stays_file_only() {
+        let d = Dense::full(64, 64, 1.0);
+        let frame_bytes = frame::encode_dense(&d).len() as u64;
+        let mut s = open_mem(frame_bytes / 2);
+        s.put_dense("big", &d).unwrap();
+        assert!(!s.is_resident("big"));
+        // Reading it back works but never admits it.
+        assert_eq!(*s.get_dense("big").unwrap(), d);
+        assert!(!s.is_resident("big"));
+        assert_eq!(s.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn rewriting_a_key_invalidates_staged_prefetch_bytes() {
+        // Budget 0: nothing resident, every get goes through the reader.
+        let mut s = open_mem(0);
+        s.put_dense("k", &Dense::full(8, 8, 1.0)).unwrap();
+        // Stage the old bytes (take() will block until they arrive, so
+        // no sleep is needed to make the race deterministic).
+        s.prefetch(["k"]);
+        // Rewrite the key: the staged bytes now describe stale content.
+        s.put_dense("k", &Dense::full(8, 8, 2.0)).unwrap();
+        let got = s.get_dense("k").unwrap();
+        assert_eq!(
+            got.get(0, 0),
+            2.0,
+            "a get after a rewrite must never see pre-rewrite bytes"
+        );
+        // Same for removal: staged bytes must not resurrect the key.
+        s.prefetch(["k"]);
+        s.remove("k").unwrap();
+        assert!(matches!(s.get_dense("k"), Err(StoreError::UnknownKey(_))));
+    }
+
+    #[test]
+    fn put_get_record_roundtrips_resident_and_file_tier() {
+        let meta = vec![3u32, 1, 4];
+        let mats = vec![Dense::full(2, 2, 5.0), Dense::zeros(1, 3)];
+        // Resident path.
+        let mut s = open_mem(1 << 20);
+        s.put_record("r", &meta, &mats).unwrap();
+        assert!(s.is_resident("r"));
+        let rc = s.get_record("r").unwrap();
+        assert_eq!(rc.0, meta);
+        assert_eq!(rc.1, mats);
+        // File-tier path (budget 0 admits nothing).
+        let mut s = open_mem(0);
+        s.put_record("r", &meta, &mats).unwrap();
+        assert!(!s.is_resident("r"));
+        let rc = s.get_record("r").unwrap();
+        assert_eq!(rc.0, meta);
+        assert_eq!(rc.1, mats);
+    }
+
+    #[test]
+    fn zero_budget_put_skips_the_resident_copy() {
+        // At budget 0 the resident clone can never be admitted; the put
+        // path must not build it at all (measurable as: nothing resident,
+        // and no eviction churn from doomed admissions).
+        let mut s = open_mem(0);
+        for i in 0..8 {
+            s.put_csr(&format!("lap{i}"), &csr(i)).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.resident, 0);
+        assert_eq!(st.evictions, 0);
+    }
+
+    #[test]
+    fn env_budget_is_honored_when_config_is_silent() {
+        // Serialise env mutation: this test owns the variable name.
+        std::env::set_var(ENV_STORE_BUDGET, "0");
+        let mut s = TieredStore::open(&StoreConfig::default()).unwrap();
+        std::env::remove_var(ENV_STORE_BUDGET);
+        assert_eq!(s.budget(), 0);
+        s.put_dense("y", &Dense::zeros(2, 2)).unwrap();
+        assert!(!s.is_resident("y"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Eviction-under-concurrent-prefetch stress: a tiny memory tier, a
+//! storm of prefetch requests racing the background reader, and gets
+//! interleaved so admissions constantly evict records whose bytes are
+//! still in flight. Every fetched record must be bit-identical to what
+//! was stored, and the budget must hold at every step.
+
+use dgnn_store::{StoreConfig, TieredStore};
+use dgnn_tensor::{Csr, Dense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn lap(i: usize) -> Csr {
+    let n = 24;
+    let edges: Vec<(u32, u32, f32)> = (0..n)
+        .map(|v| {
+            (
+                v as u32,
+                ((v + i + 1) % n) as u32,
+                (i as f32 + 1.0) / (v as f32 + 1.0),
+            )
+        })
+        .collect();
+    Csr::from_coo(n, n, &edges)
+}
+
+fn feat(i: usize) -> Dense {
+    Dense::from_fn(24, 4, |r, c| (i * 100 + r * 4 + c) as f32 * 0.5 - 3.0)
+}
+
+#[test]
+fn eviction_under_concurrent_prefetch_stays_bit_exact() {
+    const RECORDS: usize = 16;
+    // Budget ≈ 3 records: admissions evict on almost every fetch.
+    let probe = dgnn_store::encode_csr(&lap(0)).len() as u64;
+    let mut store = TieredStore::open(&StoreConfig::with_budget(probe * 3)).unwrap();
+
+    for i in 0..RECORDS {
+        store.put_csr(&format!("lap{i}"), &lap(i)).unwrap();
+        store.put_dense(&format!("feat{i}"), &feat(i)).unwrap();
+    }
+
+    let mut rng = StdRng::seed_from_u64(99);
+    for round in 0..200 {
+        // Random prefetch burst: some keys resident, some evicted, some
+        // already in flight from the previous round.
+        for _ in 0..4 {
+            let i = rng.gen_range(0..RECORDS as u32) as usize;
+            store.prefetch(
+                [format!("lap{i}"), format!("feat{i}")]
+                    .iter()
+                    .map(String::as_str),
+            );
+        }
+        // Random gets force admissions (and therefore evictions) while
+        // the reader is still streaming other keys in.
+        for _ in 0..3 {
+            let i = rng.gen_range(0..RECORDS as u32) as usize;
+            if rng.gen_range(0..2u32) == 0 {
+                let got = store.get_csr(&format!("lap{i}")).unwrap();
+                assert_eq!(*got, lap(i), "round {round}: lap{i} corrupted");
+            } else {
+                let got = store.get_dense(&format!("feat{i}")).unwrap();
+                let want = feat(i);
+                assert_eq!(got.shape(), want.shape());
+                let same = got
+                    .data()
+                    .iter()
+                    .zip(want.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "round {round}: feat{i} corrupted");
+            }
+        }
+        let st = store.stats();
+        assert!(
+            st.resident_bytes <= store.budget(),
+            "round {round}: resident {} exceeds budget {}",
+            st.resident_bytes,
+            store.budget()
+        );
+    }
+
+    let st = store.stats();
+    assert!(st.evictions > 0, "stress must actually evict");
+    assert!(
+        st.prefetch_hits > 0,
+        "stress must consume at least one staged prefetch"
+    );
+    assert!(st.mem_hits > 0, "stress must also hit the memory tier");
+}

@@ -43,6 +43,58 @@ impl Fnv1a {
     }
 }
 
+/// CRC-32 slicing tables, built once per process. `TABLES[0]` is the
+/// classic byte table; `TABLES[j]` advances a byte through `j` more
+/// zero bytes, letting the hot loop fold eight input bytes per step.
+static CRC_TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+
+fn crc_tables() -> &'static [[u32; 256]; 8] {
+    CRC_TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for i in 0..256u32 {
+            let mut crc = i;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            }
+            t[0][i as usize] = crc;
+        }
+        for i in 0..256 {
+            for j in 1..8 {
+                t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xff) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — the integrity check shared
+/// by the `dgnn-serve` checkpoint format and the `dgnn-store` spill
+/// frames. Slice-by-8: the out-of-core store verifies every block it
+/// faults back in, so this runs per block read, not once per save/load,
+/// and the bit-serial form was the dominant cost of a tier miss.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = crc_tables();
+    let mut crc = 0xffff_ffffu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
 /// FNV-1a over a byte stream.
 pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut h = Fnv1a::new();
@@ -66,6 +118,34 @@ mod tests {
         assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(*b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(*b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn crc32_slicing_matches_bit_serial_at_every_alignment() {
+        fn bit_serial(bytes: &[u8]) -> u32 {
+            let mut crc = 0xffff_ffffu32;
+            for &b in bytes {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+                }
+            }
+            !crc
+        }
+        // Lengths straddling the 8-byte fold boundary, including empty.
+        let data: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(37) ^ 0xa5) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), bit_serial(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

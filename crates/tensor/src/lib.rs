@@ -10,6 +10,8 @@
 //! on these types, so their semantics are pinned by extensive unit and
 //! property tests.
 
+#![warn(missing_docs)]
+
 pub mod dense;
 pub mod digest;
 pub mod init;

@@ -141,6 +141,14 @@ impl Csr {
         }
     }
 
+    /// Decomposes into `(rows, cols, indptr, indices, values)`, the inverse
+    /// of [`Csr::from_parts`]. The out-of-core store uses this to hand an
+    /// evicted matrix's backing buffers to the workspace arena instead of
+    /// the allocator.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<u32>, Vec<f32>) {
+        (self.rows, self.cols, self.indptr, self.indices, self.values)
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {

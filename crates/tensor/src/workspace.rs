@@ -44,7 +44,13 @@ const MAX_ARENA_ELEMS: usize = 1 << 26;
 struct Arena {
     /// Free buffers keyed by exact length.
     free: HashMap<usize, Vec<Vec<f32>>>,
-    /// Total elements currently held.
+    /// Free index buffers keyed by exact length (CSR column indices and
+    /// similar u32 payloads decoded by the out-of-core store).
+    free_u32: HashMap<usize, Vec<Vec<u32>>>,
+    /// Free row-pointer buffers keyed by exact length (CSR `indptr`).
+    free_usize: HashMap<usize, Vec<Vec<usize>>>,
+    /// Total elements currently held, in 4-byte units (`usize` counts
+    /// double so the cap stays a byte bound across buffer kinds).
     held: usize,
 }
 
@@ -153,8 +159,11 @@ fn take_impl(len: usize) -> (Vec<f32>, bool) {
 
 /// Takes a buffer of exactly `len` elements with unspecified contents
 /// (recycled bits). Counts a fresh allocation when the arena has no buffer
-/// of this length or no arena is engaged.
-pub(crate) fn take_scratch(len: usize) -> Vec<f32> {
+/// of this length or no arena is engaged. Public for the out-of-core
+/// store's decode path; in-crate callers go through
+/// [`Dense::scratch`](crate::Dense::scratch), which documents the
+/// overwrite-only contract.
+pub fn take_scratch(len: usize) -> Vec<f32> {
     take_impl(len).0
 }
 
@@ -167,6 +176,88 @@ pub(crate) fn take_zeroed(len: usize) -> Vec<f32> {
         buf.fill(0.0);
     }
     buf
+}
+
+/// Takes a `u32` buffer of exactly `len` elements with unspecified
+/// contents — the out-of-core store decodes CSR column indices into these
+/// so steady-state block reads allocate nothing. Counted in the same
+/// fresh/reused statistics as the `f32` buffers.
+pub fn take_scratch_u32(len: usize) -> Vec<u32> {
+    let reused = ARENA.with(|a| {
+        a.borrow_mut().as_mut().and_then(|arena| {
+            let buf = arena.free_u32.get_mut(&len).and_then(Vec::pop);
+            if buf.is_some() {
+                arena.held -= len;
+            }
+            buf
+        })
+    });
+    match reused {
+        Some(buf) => {
+            REUSED_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            buf
+        }
+        None => {
+            FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            vec![0; len]
+        }
+    }
+}
+
+/// Takes a `usize` buffer of exactly `len` elements with unspecified
+/// contents (CSR row pointers). See [`take_scratch_u32`].
+pub fn take_scratch_usize(len: usize) -> Vec<usize> {
+    let reused = ARENA.with(|a| {
+        a.borrow_mut().as_mut().and_then(|arena| {
+            let buf = arena.free_usize.get_mut(&len).and_then(Vec::pop);
+            if buf.is_some() {
+                arena.held -= 2 * len;
+            }
+            buf
+        })
+    });
+    match reused {
+        Some(buf) => {
+            REUSED_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            buf
+        }
+        None => {
+            FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            vec![0; len]
+        }
+    }
+}
+
+/// Returns a `u32` buffer to this thread's arena (no-op when no workspace
+/// is engaged or the arena is at capacity).
+pub fn recycle_u32(buf: Vec<u32>) {
+    if buf.is_empty() {
+        return;
+    }
+    ARENA.with(|a| {
+        if let Some(arena) = a.borrow_mut().as_mut() {
+            if arena.held + buf.len() <= MAX_ARENA_ELEMS {
+                arena.held += buf.len();
+                arena.free_u32.entry(buf.len()).or_default().push(buf);
+            }
+        }
+    });
+}
+
+/// Returns a `usize` buffer to this thread's arena (no-op when no
+/// workspace is engaged or the arena is at capacity).
+pub fn recycle_usize(buf: Vec<usize>) {
+    if buf.is_empty() {
+        return;
+    }
+    ARENA.with(|a| {
+        if let Some(arena) = a.borrow_mut().as_mut() {
+            if arena.held + 2 * buf.len() <= MAX_ARENA_ELEMS {
+                arena.held += 2 * buf.len();
+                arena.free_usize.entry(buf.len()).or_default().push(buf);
+            }
+        }
+    });
 }
 
 /// Counts a fresh backing-buffer allocation made outside the arena paths
@@ -284,6 +375,27 @@ mod tests {
             let _off = disable();
             let _ws = engage();
             assert!(!is_engaged());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn index_buffers_recycle_like_f32_buffers() {
+        std::thread::spawn(|| {
+            let _ws = engage();
+            recycle_u32(vec![7u32; 6]);
+            recycle_usize(vec![9usize; 5]);
+            let (_, reused0) = alloc_stats();
+            let b32 = take_scratch_u32(6);
+            let bus = take_scratch_usize(5);
+            let (_, reused1) = alloc_stats();
+            assert_eq!(reused1, reused0 + 2, "both index buffers must be reused");
+            assert_eq!(b32.len(), 6);
+            assert_eq!(bus.len(), 5);
+            // Length mismatch falls back to a fresh (zeroed) allocation.
+            let fresh = take_scratch_u32(4);
+            assert_eq!(fresh, vec![0; 4]);
         })
         .join()
         .unwrap();
