@@ -1,0 +1,6 @@
+//! Harness binary for the observability smoke + §7 perf-model validation;
+//! pass `--fast` for the reduced CI smoke workload.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::telemetry::run(fast);
+}

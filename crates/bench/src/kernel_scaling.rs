@@ -16,6 +16,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use crate::report::BenchReport;
 use dgnn_graph::gen::churn;
 use dgnn_tensor::{pool, Dense};
 use rand::rngs::StdRng;
@@ -176,37 +177,33 @@ pub fn run(fast: bool) -> Vec<KernelResult> {
 }
 
 fn write_json(results: &[KernelResult], host_threads: usize) {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"kernel_scaling\",\n");
-    s.push_str(&format!("  \"host_threads\": {host_threads},\n"));
-    s.push_str(&format!("  \"speedup_asserted\": {},\n", host_threads >= 4));
+    let mut r = BenchReport::new("kernel_scaling");
+    r.config_bool("speedup_asserted", host_threads >= 4);
     if host_threads < 4 {
-        s.push_str(
-            "  \"note\": \"oversubscribed timings from a sub-4-core host — thread-count \
-             overhead only, not hardware speedup; regenerate on a >=4-core host before \
-             using as a perf baseline\",\n",
+        r.config_str(
+            "note",
+            "oversubscribed timings from a sub-4-core host — thread-count overhead only, \
+             not hardware speedup; regenerate on a >=4-core host before using as a perf \
+             baseline",
         );
     }
-    s.push_str(&format!(
-        "  \"required_speedup_at_4_threads\": {REQUIRED_SPEEDUP_AT_4},\n"
-    ));
-    s.push_str("  \"thread_sweep\": [1, 2, 4, 8],\n  \"kernels\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        s.push_str(&format!(
+    r.config_f64("required_speedup_at_4_threads", REQUIRED_SPEEDUP_AT_4, 2);
+    r.metric_raw("thread_sweep", "[1, 2, 4, 8]");
+    let mut kernels = String::from("[\n");
+    for (i, k) in results.iter().enumerate() {
+        kernels.push_str(&format!(
             "    {{\"name\": \"{}\", \"size\": \"{}\", \"us\": [{}], \"speedup_at_4\": {:.3}}}{}\n",
-            r.name,
-            r.size,
-            r.us.iter()
+            k.name,
+            k.size,
+            k.us.iter()
                 .map(|u| format!("{u:.1}"))
                 .collect::<Vec<_>>()
                 .join(", "),
-            r.speedup(4),
+            k.speedup(4),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_parallel.json", &s) {
-        Ok(()) => println!("wrote BENCH_parallel.json"),
-        Err(e) => println!("could not write BENCH_parallel.json: {e}"),
-    }
+    kernels.push_str("  ]");
+    r.metric_raw("kernels", &kernels);
+    r.write_to("BENCH_parallel.json");
 }

@@ -12,8 +12,14 @@
 //! threaded kernels, recorded to `BENCH_parallel.json`), `serve`
 //! (incremental-vs-full inference recompute and query throughput,
 //! recorded to `BENCH_serve.json`), `store` (out-of-core training at half
-//! the snapshot working set, recorded to `BENCH_store.json`), plus
+//! the snapshot working set, recorded to `BENCH_store.json`), `telemetry`
+//! (traced epoch span coverage, metrics scrape, and §7 model-vs-measured,
+//! recorded to `BENCH_telemetry.json` + `TRACE_telemetry.json`), plus
 //! `calib` (machine-constant calibration) and `run_all`.
+//!
+//! Every `BENCH_*.json` artifact is written through [`report::BenchReport`]
+//! so they share one schema: bench name, schema version, host thread
+//! count, a `config` map, and a `metrics` map.
 
 pub mod ablations;
 pub mod fig4;
@@ -21,12 +27,14 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod kernel_scaling;
+pub mod report;
 pub mod serve;
 pub mod store;
 pub mod streaming;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod telemetry;
 pub mod train_engine;
 
 /// The GPU counts swept by the paper's strong-scaling plots.

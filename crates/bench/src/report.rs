@@ -1,0 +1,198 @@
+//! The one `BENCH_*.json` writer: every bench binary records its machine
+//! check through this builder so the artifacts share a schema — bench
+//! name, schema version, host thread count, a `config` map (what was
+//! run), and a `metrics` map (what was measured). Keys keep insertion
+//! order, values are rendered to JSON as they are added, and the final
+//! document is checked with `dgnn_telemetry::jsonlint` before writing.
+
+use dgnn_telemetry::jsonlint;
+
+/// Schema version stamped into every report.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Builder for one bench artifact. See the module docs for the layout.
+pub struct BenchReport {
+    name: String,
+    config: Vec<(String, String)>,
+    metrics: Vec<(String, String)>,
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        // JSON has no Inf/NaN; null keeps the document valid and the
+        // absence visible.
+        "null".to_string()
+    }
+}
+
+impl BenchReport {
+    /// Starts a report for bench `name` (the artifact defaults to
+    /// `BENCH_{name}.json`).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            config: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    fn push_config(&mut self, key: &str, value: String) -> &mut Self {
+        self.config.push((key.to_string(), value));
+        self
+    }
+
+    fn push_metric(&mut self, key: &str, value: String) -> &mut Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds a string config entry.
+    pub fn config_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.push_config(key, json_string(v))
+    }
+
+    /// Adds a boolean config entry.
+    pub fn config_bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.push_config(key, v.to_string())
+    }
+
+    /// Adds an integer config entry.
+    pub fn config_u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.push_config(key, v.to_string())
+    }
+
+    /// Adds a float config entry with `decimals` places.
+    pub fn config_f64(&mut self, key: &str, v: f64, decimals: usize) -> &mut Self {
+        self.push_config(key, json_f64(v, decimals))
+    }
+
+    /// Adds a string metric.
+    pub fn metric_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.push_metric(key, json_string(v))
+    }
+
+    /// Adds a boolean metric.
+    pub fn metric_bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.push_metric(key, v.to_string())
+    }
+
+    /// Adds an integer metric.
+    pub fn metric_u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.push_metric(key, v.to_string())
+    }
+
+    /// Adds a float metric with `decimals` places.
+    pub fn metric_f64(&mut self, key: &str, v: f64, decimals: usize) -> &mut Self {
+        self.push_metric(key, json_f64(v, decimals))
+    }
+
+    /// Adds a metric whose value is pre-rendered JSON (an array or nested
+    /// object the scalar helpers cannot express). The fragment is
+    /// validated before it is accepted.
+    pub fn metric_raw(&mut self, key: &str, raw_json: &str) -> &mut Self {
+        jsonlint::validate(raw_json)
+            .unwrap_or_else(|e| panic!("metric {key:?} raw value is not valid JSON: {e}"));
+        self.push_metric(key, raw_json.to_string())
+    }
+
+    /// Renders the full document.
+    pub fn render(&self) -> String {
+        let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(&self.name)));
+        out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+        for (section, entries) in [("config", &self.config), ("metrics", &self.metrics)] {
+            out.push_str(&format!("  \"{section}\": {{\n"));
+            for (i, (k, v)) in entries.iter().enumerate() {
+                let comma = if i + 1 == entries.len() { "" } else { "," };
+                out.push_str(&format!("    {}: {v}{comma}\n", json_string(k)));
+            }
+            let tail = if section == "config" { ",\n" } else { "\n" };
+            out.push_str(&format!("  }}{tail}"));
+        }
+        out.push_str("}\n");
+        jsonlint::validate(&out)
+            .unwrap_or_else(|e| panic!("BENCH_{} report rendered invalid JSON: {e}", self.name));
+        out
+    }
+
+    /// Writes the report to `BENCH_{name}.json` in the working directory.
+    pub fn write(&self) {
+        self.write_to(&format!("BENCH_{}.json", self.name));
+    }
+
+    /// Writes the report to an explicit path (for benches whose artifact
+    /// name predates the shared scheme, e.g. `BENCH_parallel.json`).
+    pub fn write_to(&self, path: &str) {
+        match std::fs::write(path, self.render()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_json_with_shared_schema() {
+        let mut r = BenchReport::new("demo");
+        r.config_u64("n", 128)
+            .config_str("model", "cdgcn")
+            .config_bool("fast", true)
+            .config_f64("theta", 0.1, 3);
+        r.metric_f64("epoch_ms", 12.345, 3)
+            .metric_u64("bytes", 1 << 20)
+            .metric_bool("bit_identical", true)
+            .metric_raw("series", "[1, 2, 3]");
+        let doc = r.render();
+        dgnn_telemetry::jsonlint::validate(&doc).unwrap();
+        assert!(doc.contains("\"bench\": \"demo\""));
+        assert!(doc.contains("\"schema\": 1"));
+        assert!(doc.contains("\"host_threads\":"));
+        assert!(doc.contains("\"theta\": 0.100"));
+        assert!(doc.contains("\"series\": [1, 2, 3]"));
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let mut r = BenchReport::new("edge");
+        r.metric_f64("speedup", f64::INFINITY, 2);
+        let doc = r.render();
+        dgnn_telemetry::jsonlint::validate(&doc).unwrap();
+        assert!(doc.contains("\"speedup\": null"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not valid JSON")]
+    fn raw_metric_rejects_garbage() {
+        BenchReport::new("bad").metric_raw("x", "[1,");
+    }
+
+    #[test]
+    fn empty_sections_render_as_empty_objects() {
+        let doc = BenchReport::new("empty").render();
+        dgnn_telemetry::jsonlint::validate(&doc).unwrap();
+        assert!(doc.contains("\"config\": {\n  },"));
+    }
+}

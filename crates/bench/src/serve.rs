@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::ms;
+use crate::report::BenchReport;
 
 /// Minimum incremental-over-full speedup on the gradual-churn workload.
 pub const REQUIRED_SPEEDUP: f64 = 3.0;
@@ -215,18 +216,17 @@ fn write_json(
     churn_edges: usize,
     fast: bool,
 ) {
-    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
-    let s = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"fast\": {fast},\n  \"host_threads\": {host_threads},\n  \
-         \"n\": {n},\n  \"edges\": {edges},\n  \"windows\": {windows},\n  \
-         \"churn_edges_per_window\": {churn_edges},\n  \
-         \"incremental_ms_per_window\": {:.3},\n  \"full_ms_per_window\": {:.3},\n  \
-         \"speedup\": {:.2},\n  \"required_speedup\": {REQUIRED_SPEEDUP},\n  \
-         \"predict_nodes_per_sec\": {:.0},\n  \"score_links_per_sec\": {:.0}\n}}\n",
-        r.incremental_ms, r.full_ms, r.speedup, r.predict_qps, r.score_qps
-    );
-    match std::fs::write("BENCH_serve.json", &s) {
-        Ok(()) => println!("wrote BENCH_serve.json"),
-        Err(e) => println!("could not write BENCH_serve.json: {e}"),
-    }
+    let mut rep = BenchReport::new("serve");
+    rep.config_bool("fast", fast)
+        .config_u64("n", n as u64)
+        .config_u64("edges", edges as u64)
+        .config_u64("windows", windows as u64)
+        .config_u64("churn_edges_per_window", churn_edges as u64);
+    rep.metric_f64("incremental_ms_per_window", r.incremental_ms, 3)
+        .metric_f64("full_ms_per_window", r.full_ms, 3)
+        .metric_f64("speedup", r.speedup, 2)
+        .metric_f64("required_speedup", REQUIRED_SPEEDUP, 2)
+        .metric_f64("predict_nodes_per_sec", r.predict_qps, 0)
+        .metric_f64("score_links_per_sec", r.score_qps, 0);
+    rep.write();
 }

@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::ms;
+use crate::report::BenchReport;
 
 /// Maximum allowed epoch-time ratio of the out-of-core run (budget =
 /// half the working set) over the in-memory run.
@@ -84,7 +85,10 @@ fn run_mode(task: &Task, cfg: ModelConfig, epochs: usize, budget: Option<u64>) -
 
 /// Bytes of the spilled snapshot working set (Laplacians + layer-0
 /// inputs) — what the memory tier would need to hold the whole timeline.
-fn working_set_bytes(task: &Task) -> u64 {
+/// Serialized size of the task's Laplacians plus layer-0 inputs — what
+/// the tiered store must hold (also used by the telemetry smoke to pick
+/// a half-working-set budget).
+pub(crate) fn working_set_bytes(task: &Task) -> u64 {
     let laps: u64 = task
         .laps
         .iter()
@@ -207,28 +211,24 @@ fn write_json(
     report: &StoreStats,
     ratio: f64,
 ) {
-    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
-    let s = format!(
-        "{{\n  \"bench\": \"store\",\n  \"fast\": {fast},\n  \
-         \"host_threads\": {host_threads},\n  \"n\": {n},\n  \"t\": {t},\n  \
-         \"edges_per_snapshot\": {m},\n  \"model\": \"cdgcn\",\n  \"nb\": 4,\n  \
-         \"working_set_bytes\": {working_set},\n  \"budget_bytes\": {budget},\n  \
-         \"in_memory_epoch_ms\": {:.3},\n  \"out_of_core_epoch_ms\": {:.3},\n  \
-         \"epoch_ratio\": {:.3},\n  \"miss_bytes\": {},\n  \
-         \"prefetch_hits\": {},\n  \"demand_misses\": {},\n  \
-         \"evictions\": {},\n  \"peak_resident_bytes\": {},\n  \
-         \"bit_identical\": true,\n  \"required_ratio\": {REQUIRED_RATIO}\n}}\n",
-        mem.epoch_ms,
-        ooc.epoch_ms,
-        ratio,
-        report.miss_bytes,
-        report.prefetch_hits,
-        report.demand_misses,
-        report.evictions,
-        report.peak_resident_bytes,
-    );
-    match std::fs::write("BENCH_store.json", &s) {
-        Ok(()) => println!("wrote BENCH_store.json"),
-        Err(e) => println!("could not write BENCH_store.json: {e}"),
-    }
+    let mut r = BenchReport::new("store");
+    r.config_bool("fast", fast)
+        .config_u64("n", n as u64)
+        .config_u64("t", t as u64)
+        .config_u64("edges_per_snapshot", m as u64)
+        .config_str("model", "cdgcn")
+        .config_u64("nb", 4)
+        .config_u64("working_set_bytes", working_set)
+        .config_u64("budget_bytes", budget);
+    r.metric_f64("in_memory_epoch_ms", mem.epoch_ms, 3)
+        .metric_f64("out_of_core_epoch_ms", ooc.epoch_ms, 3)
+        .metric_f64("epoch_ratio", ratio, 3)
+        .metric_u64("miss_bytes", report.miss_bytes)
+        .metric_u64("prefetch_hits", report.prefetch_hits)
+        .metric_u64("demand_misses", report.demand_misses)
+        .metric_u64("evictions", report.evictions)
+        .metric_u64("peak_resident_bytes", report.peak_resident_bytes)
+        .metric_bool("bit_identical", true)
+        .metric_f64("required_ratio", REQUIRED_RATIO, 2);
+    r.write();
 }

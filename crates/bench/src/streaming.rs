@@ -20,6 +20,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::ms;
+use crate::report::BenchReport;
 
 /// Runs the streaming benchmarks. `fast` shrinks the workload.
 pub fn run(fast: bool) {
@@ -111,6 +112,28 @@ pub fn run(fast: bool) {
         ms(incremental_s * 1e3 / advances as f64),
         ms(rebuild_s * 1e3 / advances as f64),
     );
+    let mut rep = BenchReport::new("streaming");
+    rep.config_bool("fast", fast)
+        .config_u64("n", n as u64)
+        .config_u64("edges_per_snapshot", m as u64)
+        .config_u64("t", t as u64)
+        .config_f64("churn", rho, 2);
+    rep.metric_u64("events", log.len() as u64)
+        .metric_f64("events_per_sec", eps, 0)
+        .metric_f64(
+            "incremental_ms_per_window",
+            incremental_s * 1e3 / advances as f64,
+            3,
+        )
+        .metric_f64(
+            "rebuild_ms_per_window",
+            rebuild_s * 1e3 / advances as f64,
+            3,
+        )
+        .metric_f64("speedup", speedup, 2)
+        .metric_f64("required_speedup", 2.0, 2);
+    rep.write();
+
     assert!(
         speedup >= 2.0,
         "incremental window advance should be >= 2x a full rebuild, got {speedup:.2}x"

@@ -1,0 +1,355 @@
+//! Observability smoke + §7 perf-model validation, recorded to
+//! `BENCH_telemetry.json` and `TRACE_telemetry.json`.
+//!
+//! Four traced sections, all in one process with tracing force-enabled:
+//!
+//! 1. **Single-rank training** — asserts the engine's phase spans
+//!    (`forward`/`recompute`/`backward`/`optimizer`) cover at least
+//!    [`REQUIRED_COVERAGE`] of every `epoch` span's wall time, so the
+//!    trace actually accounts for where epochs go.
+//! 2. **Distributed training** (snapshot partitioning, 2 ranks) — asserts
+//!    `comm` spans appear on both rank lanes and the attributed
+//!    `comm_us` is nonzero.
+//! 3. **Out-of-core training** at half the snapshot working set — asserts
+//!    the storage tier emits `store_fault`/`prefetch_wait` spans.
+//! 4. **Serving** — advances an [`InferenceServer`], answers queries, and
+//!    scrapes the Prometheus exposition once (request-latency histogram
+//!    with p50/p99/p999 quantile lines).
+//!
+//! Everything recorded is drained, exported as Chrome trace-event JSON
+//! (Perfetto-loadable), validated with the crate's own `jsonlint`, and
+//! written to `TRACE_telemetry.json`.
+//!
+//! The §7 validation runs the paper's analytical cost model
+//! ([`estimate_epoch`]) on the *same* graphs the timed runs used
+//! ([`TemporalStats::from_graph`]) and records measured-over-model ratios
+//! for the single-rank and 2-rank configurations. The machine constants
+//! are calibrated for the paper's GPUs, not this host's CPUs, so the
+//! ratio is recorded for trend tracking rather than asserted tightly —
+//! what is asserted is that both sides are finite and positive.
+
+use std::time::Instant;
+
+use dgnn_autograd::ParamStore;
+use dgnn_core::prelude::*;
+use dgnn_core::train_single_out_of_core;
+use dgnn_graph::stats::TemporalStats;
+use dgnn_serve::{Checkpoint, InferenceServer, InferenceSession, ServeModel};
+use dgnn_store::StoreConfig;
+use dgnn_stream::EdgeEvent;
+use dgnn_telemetry::{jsonlint, trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::BenchReport;
+use crate::store::working_set_bytes;
+
+/// Minimum fraction of each `epoch` span's wall time that the four engine
+/// phase spans must account for.
+pub const REQUIRED_COVERAGE: f64 = 0.95;
+
+/// Phase-span coverage of the `epoch` spans in `events`: total phase
+/// duration over total epoch duration, plus the worst single epoch.
+fn span_coverage(events: &[trace::Event]) -> (f64, f64) {
+    const PHASES: [&str; 4] = ["forward", "recompute", "backward", "optimizer"];
+    let mut total_epoch = 0u64;
+    let mut total_phase = 0u64;
+    let mut worst = 1.0f64;
+    for epoch in events.iter().filter(|e| e.name == "epoch") {
+        let (lo, hi) = (epoch.ts_ns, epoch.ts_ns + epoch.dur_ns);
+        let phase: u64 = events
+            .iter()
+            .filter(|e| {
+                PHASES.contains(&e.name)
+                    && e.rank == epoch.rank
+                    && e.tid == epoch.tid
+                    && e.ts_ns >= lo
+                    && e.ts_ns < hi
+            })
+            .map(|e| e.dur_ns)
+            .sum();
+        total_epoch += epoch.dur_ns;
+        total_phase += phase;
+        if epoch.dur_ns > 0 {
+            worst = worst.min(phase as f64 / epoch.dur_ns as f64);
+        }
+    }
+    let overall = if total_epoch == 0 {
+        0.0
+    } else {
+        total_phase as f64 / total_epoch as f64
+    };
+    (overall, worst)
+}
+
+fn fresh_params(cfg: ModelConfig) -> (Model, LinkPredHead, ParamStore) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    (model, head, store)
+}
+
+/// Runs the observability smoke + perf-model validation. `fast` shrinks
+/// the workload for the CI smoke step.
+pub fn run(fast: bool) {
+    let (n, t, m, epochs) = if fast {
+        (2048, 8, 12_000, 2)
+    } else {
+        (4096, 8, 24_000, 3)
+    };
+    let nb = 4usize;
+    trace::set_enabled(true);
+    trace::clear();
+
+    let cfg = ModelConfig {
+        kind: ModelKind::CdGcn,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    println!("== Telemetry smoke: n={n}, T={t}, m={m}, nb={nb}, CD-GCN ==");
+    let g = dgnn_graph::gen::churn_skewed(n, t + 1, m, 0.3, 0.9, 17);
+    let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+    let raw = g.time_slice(0, t);
+    let next = g.snapshot(t).clone();
+    let stats = TemporalStats::from_graph(&raw);
+
+    // -- 1. Single-rank: traced epoch + span coverage ------------------
+    let opts = TrainOptions {
+        epochs,
+        lr: 0.05,
+        nb,
+        seed: 7,
+        threads: None,
+    };
+    let (model, head, mut store) = fresh_params(cfg);
+    let start = Instant::now();
+    let single_stats = train_single(&model, &head, &mut store, &task, &opts);
+    let single_ms = start.elapsed().as_secs_f64() * 1e3 / epochs as f64;
+    let single_events = trace::take_events();
+    let (coverage, worst_coverage) = span_coverage(&single_events);
+    println!(
+        "single-rank: {single_ms:.1} ms/epoch, span coverage {:.1}% (worst epoch {:.1}%)",
+        coverage * 100.0,
+        worst_coverage * 100.0
+    );
+    let last = single_stats.last().expect("at least one epoch");
+    assert!(
+        last.phase.busy_us() > 0,
+        "traced run must populate the per-epoch phase breakdown"
+    );
+    assert!(
+        worst_coverage >= REQUIRED_COVERAGE,
+        "phase spans must cover >= {:.0}% of every epoch span, worst epoch covered {:.1}%",
+        REQUIRED_COVERAGE * 100.0,
+        worst_coverage * 100.0
+    );
+
+    // -- 2. Distributed (2 ranks): comm spans on every lane ------------
+    let dist_opts = TrainOptions {
+        epochs: epochs.min(2),
+        ..opts
+    };
+    let task_opts = TaskOptions::default();
+    let start = Instant::now();
+    let dist_stats = train_distributed(&raw, &next, cfg, &task_opts, &dist_opts, 2);
+    let dist_ms = start.elapsed().as_secs_f64() * 1e3 / dist_opts.epochs as f64;
+    let dist_events = trace::take_events();
+    let dist_comm_us = dist_stats.last().expect("epochs").phase.comm_us;
+    let comm_ranks: std::collections::BTreeSet<u32> = dist_events
+        .iter()
+        .filter(|e| e.name == "comm")
+        .map(|e| e.rank)
+        .collect();
+    println!(
+        "distributed p=2: {dist_ms:.1} ms/epoch, comm {} us/epoch on ranks {comm_ranks:?}",
+        dist_comm_us
+    );
+    assert!(
+        comm_ranks.len() >= 2,
+        "comm spans must appear on both rank lanes, got {comm_ranks:?}"
+    );
+    assert!(
+        dist_comm_us > 0,
+        "traced comm_us attribution must be nonzero"
+    );
+
+    // -- 3. Out-of-core: store tier spans ------------------------------
+    let budget = working_set_bytes(&task) / 2;
+    let scfg = StoreConfig::with_budget(budget);
+    let ooc_opts = TrainOptions { epochs: 1, ..opts };
+    let (model, head, mut store) = fresh_params(cfg);
+    let (_, store_report) =
+        train_single_out_of_core(&model, &head, &mut store, &task, &ooc_opts, &scfg)
+            .expect("out-of-core run must succeed");
+    let store_events = trace::take_events();
+    let faults = store_events
+        .iter()
+        .filter(|e| e.name == "store_fault")
+        .count();
+    let waits = store_events
+        .iter()
+        .filter(|e| e.name == "prefetch_wait")
+        .count();
+    println!(
+        "out-of-core at half working set: {faults} store_fault + {waits} prefetch_wait spans, \
+         {} bytes faulted",
+        store_report.miss_bytes
+    );
+    assert!(
+        faults + waits > 0,
+        "half the working set must produce store_fault/prefetch_wait spans"
+    );
+
+    // -- 4. Serving: advance spans + one metrics scrape ----------------
+    let serve_cfg = ModelConfig {
+        kind: ModelKind::EvolveGcn,
+        input_f: 4,
+        hidden: 8,
+        mprod_window: 3,
+        smoothing_window: 3,
+    };
+    let (model, head, store) = fresh_params(serve_cfg);
+    let cp = Checkpoint::from_store(&model, &head, &store);
+    let serve_model = ServeModel::from_checkpoint(&cp).expect("serve model");
+    let features = Dense::from_fn(64, 4, |r, c| ((r * 13 + c * 5) % 11) as f32 / 11.0);
+    let server = InferenceServer::new(InferenceSession::new(serve_model, features));
+    for w in 0..3u64 {
+        let evs: Vec<EdgeEvent> = (0..8)
+            .map(|i| EdgeEvent::add(w, (w as u32 * 8 + i) % 64, (i * 7 + 3) % 64, 1.0))
+            .collect();
+        server.ingest_and_advance(&evs);
+    }
+    server.predict_nodes(&[0, 1, 2, 3]);
+    server.score_links(&[(0, 1), (2, 3)]);
+    let exposition = server.metrics_exposition();
+    for needle in [
+        "# TYPE serve_request_us histogram",
+        "serve_request_us{quantile=\"0.5\"}",
+        "serve_request_us{quantile=\"0.99\"}",
+        "serve_request_us{quantile=\"0.999\"}",
+        "serve_requests_total 2",
+        "serve_advances_total 3",
+    ] {
+        assert!(
+            exposition.contains(needle),
+            "metrics exposition is missing {needle:?}:\n{exposition}"
+        );
+    }
+    println!(
+        "serve: scraped {} exposition lines with request-latency quantiles",
+        exposition.lines().count()
+    );
+    let serve_events = trace::take_events();
+
+    // -- Export: one Perfetto-loadable trace over all four sections ----
+    let dropped = trace::dropped_events();
+    let mut all = single_events;
+    all.extend(dist_events);
+    all.extend(store_events);
+    all.extend(serve_events);
+    all.sort_by_key(|e| (e.ts_ns, e.rank, e.tid));
+    let json = trace::export_chrome(&all);
+    jsonlint::validate(&json).expect("exported trace must be valid JSON");
+    for name in [
+        "\"epoch\"",
+        "\"forward\"",
+        "\"recompute\"",
+        "\"backward\"",
+        "\"optimizer\"",
+        "\"comm\"",
+        "\"serve_advance\"",
+        "\"advance_incremental\"",
+    ] {
+        assert!(json.contains(name), "trace export is missing {name} spans");
+    }
+    match std::fs::write("TRACE_telemetry.json", &json) {
+        Ok(()) => println!("wrote TRACE_telemetry.json ({} events)", all.len()),
+        Err(e) => println!("could not write TRACE_telemetry.json: {e}"),
+    }
+
+    // -- §7 cost model vs measured -------------------------------------
+    let single_model = estimate_epoch(&PerfConfig::new(
+        dgnn_sim::ModelKind::CdGcn,
+        stats.clone(),
+        1,
+        nb,
+    ));
+    let dist_model = estimate_epoch(&PerfConfig::new(dgnn_sim::ModelKind::CdGcn, stats, 2, nb));
+    let single_ratio = single_ms / single_model.total_ms();
+    let dist_ratio = dist_ms / dist_model.total_ms();
+    // Traced per-phase analogues of the model's compute split: mean over
+    // the run's epochs of the four engine-phase spans.
+    let mean_compute_ms = |stats: &[EpochStats]| {
+        stats.iter().map(|s| s.phase.busy_us()).sum::<u64>() as f64 / 1e3 / stats.len() as f64
+    };
+    let single_compute_ms = mean_compute_ms(&single_stats);
+    let dist_compute_ms = mean_compute_ms(&dist_stats);
+    println!(
+        "§7 model: single-rank {:.3} ms modelled vs {single_ms:.1} ms measured \
+         (x{single_ratio:.0}); p=2 {:.3} ms modelled vs {dist_ms:.1} ms measured \
+         (x{dist_ratio:.0})",
+        single_model.total_ms(),
+        dist_model.total_ms()
+    );
+    for (label, v) in [
+        ("single model", single_model.total_ms()),
+        ("single ratio", single_ratio),
+        ("dist model", dist_model.total_ms()),
+        ("dist ratio", dist_ratio),
+    ] {
+        assert!(
+            v.is_finite() && v > 0.0,
+            "{label} must be finite and positive, got {v}"
+        );
+    }
+
+    let mut rep = BenchReport::new("telemetry");
+    rep.config_bool("fast", fast)
+        .config_u64("n", n as u64)
+        .config_u64("t", t as u64)
+        .config_u64("edges_per_snapshot", m as u64)
+        .config_u64("nb", nb as u64)
+        .config_str("model", "cdgcn")
+        .config_u64("dist_ranks", 2);
+    rep.metric_f64("span_coverage", coverage, 4)
+        .metric_f64("worst_epoch_span_coverage", worst_coverage, 4)
+        .metric_f64("required_span_coverage", REQUIRED_COVERAGE, 2)
+        .metric_u64("trace_events", all.len() as u64)
+        .metric_u64("dropped_events", dropped)
+        .metric_f64("single_measured_epoch_ms", single_ms, 3)
+        .metric_f64("single_model_epoch_ms", single_model.total_ms(), 3)
+        .metric_f64("single_measured_over_model", single_ratio, 2)
+        // Per-phase columns: the traced breakdown against the model's
+        // compute/comm/transfer split (transfer has no measured analogue
+        // on this host — snapshots are already resident — so only the
+        // modelled figure is recorded).
+        .metric_f64("single_measured_compute_ms", single_compute_ms, 3)
+        .metric_f64("single_model_compute_ms", single_model.compute_ms, 3)
+        .metric_f64(
+            "single_model_transfer_ms",
+            single_model.all_transfer_ms(),
+            3,
+        )
+        .metric_f64("dist_measured_epoch_ms", dist_ms, 3)
+        .metric_f64("dist_model_epoch_ms", dist_model.total_ms(), 3)
+        .metric_f64("dist_measured_over_model", dist_ratio, 2)
+        .metric_f64("dist_measured_compute_ms", dist_compute_ms, 3)
+        .metric_f64("dist_model_compute_ms", dist_model.compute_ms, 3)
+        .metric_f64("dist_measured_comm_ms", dist_comm_us as f64 / 1e3, 3)
+        .metric_f64("dist_model_comm_ms", dist_model.comm_ms, 3)
+        .metric_f64("dist_model_transfer_ms", dist_model.all_transfer_ms(), 3)
+        .metric_u64("dist_comm_us_per_epoch", dist_comm_us)
+        .metric_u64("store_fault_spans", faults as u64)
+        .metric_u64("prefetch_wait_spans", waits as u64)
+        .metric_u64("store_miss_bytes", store_report.miss_bytes);
+    rep.write();
+
+    println!(
+        "PASS: phase spans cover >= {:.0}% of every traced epoch; comm, store, and serve \
+         spans exported; metrics quantiles scraped",
+        REQUIRED_COVERAGE * 100.0
+    );
+}

@@ -11,6 +11,7 @@
 //! by `tests/engine_equivalence.rs`); the workspace is purely an
 //! allocation optimisation. Results land in `BENCH_engine.json`.
 
+use std::hint::black_box;
 use std::time::Instant;
 
 use dgnn_autograd::ParamStore;
@@ -20,9 +21,28 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::ms;
+use crate::report::BenchReport;
 
 /// Required steady-state epoch speedup of the workspace path.
 pub const REQUIRED_SPEEDUP: f64 = 1.2;
+
+/// Cost of one `trace::span` probe while tracing is off, in nanoseconds
+/// — the price every instrumented engine phase pays in production. The
+/// probe is a single relaxed atomic load; anything past a few hundred
+/// nanoseconds means the off path regressed.
+fn disabled_span_overhead_ns() -> f64 {
+    use dgnn_telemetry::trace;
+    let was = trace::enabled();
+    trace::set_enabled(false);
+    const PROBES: u32 = 1_000_000;
+    let start = Instant::now();
+    for _ in 0..PROBES {
+        black_box(trace::span("bench_probe"));
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(PROBES);
+    trace::set_enabled(was);
+    ns
+}
 
 struct ModeResult {
     epoch_ms: f64,
@@ -118,7 +138,16 @@ pub fn run(fast: bool) {
     );
     println!("epoch speedup: {speedup:.2}x, alloc reduction: {alloc_ratio:.0}x");
 
-    write_json(n, t, m, fast, &base, &ws, speedup, alloc_ratio);
+    let disabled_ns = disabled_span_overhead_ns();
+    println!("disabled trace probe: {disabled_ns:.1} ns/span");
+
+    write_json(n, t, m, fast, &base, &ws, speedup, alloc_ratio, disabled_ns);
+
+    assert!(
+        disabled_ns < 250.0,
+        "a disabled trace span must stay near-free (one relaxed atomic load), \
+         got {disabled_ns:.1} ns/span"
+    );
 
     assert!(
         speedup >= REQUIRED_SPEEDUP,
@@ -138,28 +167,23 @@ fn write_json(
     ws: &ModeResult,
     speedup: f64,
     alloc_ratio: f64,
+    disabled_span_ns: f64,
 ) {
-    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
-    let s = format!(
-        "{{\n  \"bench\": \"train_engine\",\n  \"fast\": {fast},\n  \
-         \"host_threads\": {host_threads},\n  \"n\": {n},\n  \"t\": {t},\n  \
-         \"edges_per_snapshot\": {m},\n  \"model\": \"cdgcn\",\n  \"nb\": 4,\n  \
-         \"baseline_epoch_ms\": {:.3},\n  \"workspace_epoch_ms\": {:.3},\n  \
-         \"baseline_allocs_per_epoch\": {:.0},\n  \
-         \"workspace_allocs_per_epoch\": {:.0},\n  \
-         \"workspace_reused_per_epoch\": {:.0},\n  \
-         \"epoch_speedup\": {:.2},\n  \"alloc_reduction\": {:.0},\n  \
-         \"required_speedup\": {REQUIRED_SPEEDUP}\n}}\n",
-        base.epoch_ms,
-        ws.epoch_ms,
-        base.allocs_per_epoch,
-        ws.allocs_per_epoch,
-        ws.reused_per_epoch,
-        speedup,
-        alloc_ratio,
-    );
-    match std::fs::write("BENCH_engine.json", &s) {
-        Ok(()) => println!("wrote BENCH_engine.json"),
-        Err(e) => println!("could not write BENCH_engine.json: {e}"),
-    }
+    let mut r = BenchReport::new("train_engine");
+    r.config_bool("fast", fast)
+        .config_u64("n", n as u64)
+        .config_u64("t", t as u64)
+        .config_u64("edges_per_snapshot", m as u64)
+        .config_str("model", "cdgcn")
+        .config_u64("nb", 4);
+    r.metric_f64("baseline_epoch_ms", base.epoch_ms, 3)
+        .metric_f64("workspace_epoch_ms", ws.epoch_ms, 3)
+        .metric_f64("baseline_allocs_per_epoch", base.allocs_per_epoch, 0)
+        .metric_f64("workspace_allocs_per_epoch", ws.allocs_per_epoch, 0)
+        .metric_f64("workspace_reused_per_epoch", ws.reused_per_epoch, 0)
+        .metric_f64("epoch_speedup", speedup, 2)
+        .metric_f64("alloc_reduction", alloc_ratio, 0)
+        .metric_f64("required_speedup", REQUIRED_SPEEDUP, 2)
+        .metric_f64("disabled_span_ns_per_probe", disabled_span_ns, 1);
+    r.write_to("BENCH_engine.json");
 }

@@ -20,7 +20,7 @@ use dgnn_sim::{Comm, CommMark, Payload};
 use dgnn_tensor::{Csr, Dense};
 
 use crate::engine::{BlockRun, ParallelStrategy};
-use crate::metrics::EpochStats;
+use crate::metrics::{EpochStats, PhaseBreakdown};
 use crate::task::Task;
 
 pub(crate) struct HLayerIo {
@@ -340,6 +340,13 @@ impl<'m> ParallelStrategy<'m> for HybridRows<'m, '_> {
             transfer_gd_bytes: 0,
             comm_bytes: self.comm.bytes_since(mark),
             store_miss_bytes: 0,
+            phase: PhaseBreakdown::default(),
         }
+    }
+
+    fn attach_phase(&mut self, out: &mut EpochStats, phase: PhaseBreakdown) {
+        out.phase = phase;
+        let mark = self.epoch_mark.expect("begin_epoch sets the mark");
+        out.phase.comm_us = self.comm.busy_us_since(mark);
     }
 }

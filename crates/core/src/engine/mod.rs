@@ -46,9 +46,10 @@ use std::ops::Range;
 use dgnn_autograd::{Adam, Optimizer, ParamStore, Tape, Var};
 use dgnn_graph::diff::chunk_transfer;
 use dgnn_models::{CarryGrads, CarryState, LayerCarry, Model, Segment};
+use dgnn_telemetry::trace;
 use dgnn_tensor::{workspace, Csr, Dense};
 
-use crate::metrics::TrainOptions;
+use crate::metrics::{PhaseBreakdown, TrainOptions};
 use crate::task::TaskOptions;
 
 /// Engine-level configuration: the one place that owns the training and
@@ -185,6 +186,11 @@ pub(crate) trait ParallelStrategy<'m> {
         last_z: Option<Dense>,
         store: &ParamStore,
     ) -> Self::EpochOut;
+
+    /// Stores the engine's measured phase breakdown on the epoch record,
+    /// adding whatever attributions the strategy tracks itself (comm busy
+    /// time, store wait). Default: the record carries no breakdown.
+    fn attach_phase(&mut self, _out: &mut Self::EpochOut, _phase: PhaseBreakdown) {}
 }
 
 /// The checkpointed training loop (paper §3.1), shared by every strategy:
@@ -221,7 +227,9 @@ pub(crate) fn run_engine_banked<'m, S: ParallelStrategy<'m>>(
     let model = strategy.model();
     let mut opt = Adam::new(lr);
     let mut out = Vec::with_capacity(epochs);
-    for _epoch in 0..epochs {
+    for epoch in 0..epochs {
+        let epoch_span = trace::span_cat("epoch", "engine");
+        let mut phase = PhaseBreakdown::default();
         strategy.begin_epoch();
         store.zero_grad();
 
@@ -230,18 +238,23 @@ pub(crate) fn run_engine_banked<'m, S: ParallelStrategy<'m>>(
         let mut stats = S::Stats::default();
         let mut last_z: Option<Dense> = None;
         for block in blocks {
+            let span = trace::span_cat("forward", "engine");
             let run = strategy.forward_block(store, block.clone(), bank.last());
             strategy.observe_block(&run, block, &mut stats, &mut last_z);
             bank.push(run.seg.carry_out(&run.tape));
             // Tape retires here: only π_b survives, as in the paper.
             run.retire();
+            phase.forward_us += span.finish_us();
         }
 
         // ---- Backward pass: rerun blocks in reverse. ----
         let mut carry_grads: Option<CarryGrads> = None;
         for (b, block) in blocks.iter().enumerate().rev() {
+            let span = trace::span_cat("recompute", "engine");
             let carry_in = bank.take(b);
             let mut run = strategy.forward_block(store, block.clone(), &carry_in);
+            phase.recompute_us += span.finish_us();
+            let span = trace::span_cat("backward", "engine");
             strategy.backward_block(&mut run, block, carry_grads.as_ref());
             run.tape.accumulate_param_grads(store);
             let next = run.seg.carry_in_grads(&run.tape);
@@ -250,15 +263,27 @@ pub(crate) fn run_engine_banked<'m, S: ParallelStrategy<'m>>(
             }
             run.retire();
             recycle_carry(carry_in);
+            phase.backward_us += span.finish_us();
         }
         if let Some(last) = carry_grads.take() {
             recycle_carry_grads(last);
         }
         bank.finish_epoch();
 
+        let span = trace::span_cat("optimizer", "engine");
         strategy.reduce_grads(store);
         opt.step(store);
-        out.push(strategy.finish_epoch(stats, last_z.take(), store));
+        phase.optimizer_us += span.finish_us();
+        let mut rec = strategy.finish_epoch(stats, last_z.take(), store);
+        strategy.attach_phase(&mut rec, phase);
+        drop(epoch_span);
+        if trace::enabled() {
+            eprintln!(
+                "[dgnn-trace] epoch {epoch}: forward {}us recompute {}us backward {}us optimizer {}us",
+                phase.forward_us, phase.recompute_us, phase.backward_us, phase.optimizer_us
+            );
+        }
+        out.push(rec);
     }
     out
 }

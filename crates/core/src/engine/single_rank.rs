@@ -16,7 +16,7 @@ use crate::engine::source::SnapshotSource;
 use crate::engine::{
     dense_layer_walk, single_sweep_backward, transfer_bytes, BlockRun, ParallelStrategy,
 };
-use crate::metrics::EpochStats;
+use crate::metrics::{EpochStats, PhaseBreakdown};
 use crate::task::Task;
 
 /// Runs one block forward on a fresh tape (single-rank layout). Shared
@@ -73,6 +73,8 @@ pub(crate) struct SingleRank<'m, 's> {
     gd_bytes: u64,
     /// Tier-miss bytes already accounted before this epoch began.
     miss_mark: u64,
+    /// Tier-wait microseconds already accounted before this epoch began.
+    wait_mark: u64,
 }
 
 impl<'m, 's> SingleRank<'m, 's> {
@@ -98,6 +100,7 @@ impl<'m, 's> SingleRank<'m, 's> {
             naive_bytes,
             gd_bytes,
             miss_mark: 0,
+            wait_mark: 0,
         }
     }
 }
@@ -117,6 +120,7 @@ impl<'m> ParallelStrategy<'m> for SingleRank<'m, '_> {
 
     fn begin_epoch(&mut self) {
         self.miss_mark = self.source.miss_bytes();
+        self.wait_mark = self.source.wait_us();
     }
 
     fn forward_block(
@@ -182,6 +186,12 @@ impl<'m> ParallelStrategy<'m> for SingleRank<'m, '_> {
             transfer_gd_bytes: self.gd_bytes,
             comm_bytes: 0,
             store_miss_bytes: self.source.miss_bytes() - self.miss_mark,
+            phase: PhaseBreakdown::default(),
         }
+    }
+
+    fn attach_phase(&mut self, out: &mut EpochStats, phase: PhaseBreakdown) {
+        out.phase = phase;
+        out.phase.store_wait_us = self.source.wait_us() - self.wait_mark;
     }
 }

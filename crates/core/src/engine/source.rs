@@ -60,6 +60,13 @@ pub trait SnapshotSource {
     fn miss_bytes(&self) -> u64 {
         0
     }
+
+    /// Microseconds this source has spent blocked on a storage tier so
+    /// far (only advances while `DGNN_TRACE` is on). Always 0 for
+    /// in-memory sources.
+    fn wait_us(&self) -> u64 {
+        0
+    }
 }
 
 /// The all-in-memory source: a view over a prepared [`Task`], with the
@@ -209,6 +216,10 @@ impl SnapshotSource for StoreSource {
 
     fn miss_bytes(&self) -> u64 {
         self.tier.borrow().stats().miss_bytes
+    }
+
+    fn wait_us(&self) -> u64 {
+        self.tier.borrow().stats().wait_us
     }
 }
 

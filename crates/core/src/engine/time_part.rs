@@ -25,7 +25,7 @@ use dgnn_sim::{Comm, CommMark};
 use dgnn_tensor::{Csr, Dense};
 
 use crate::engine::{transfer_bytes, BlockRun, ParallelStrategy};
-use crate::metrics::EpochStats;
+use crate::metrics::{EpochStats, PhaseBreakdown};
 use crate::task::Task;
 
 /// Per-layer communication bookkeeping of one block run.
@@ -435,6 +435,13 @@ impl<'m> ParallelStrategy<'m> for TimePartitioned<'m, '_> {
             transfer_gd_bytes: self.gd_bytes,
             comm_bytes: self.comm.bytes_since(mark),
             store_miss_bytes: 0,
+            phase: PhaseBreakdown::default(),
         }
+    }
+
+    fn attach_phase(&mut self, out: &mut EpochStats, phase: PhaseBreakdown) {
+        out.phase = phase;
+        let mark = self.epoch_mark.expect("begin_epoch sets the mark");
+        out.phase.comm_us = self.comm.busy_us_since(mark);
     }
 }

@@ -26,7 +26,7 @@ use dgnn_tensor::{Csr, Dense};
 
 use crate::engine::time_part::RankStats;
 use crate::engine::{BlockRun, ParallelStrategy};
-use crate::metrics::EpochStats;
+use crate::metrics::{EpochStats, PhaseBreakdown};
 use crate::task::Task;
 
 /// Pre-computed exchange plan for one rank: who needs which of my rows,
@@ -529,6 +529,13 @@ impl<'m> ParallelStrategy<'m> for VertexPartitioned<'m, '_> {
             transfer_gd_bytes: 0,
             comm_bytes: self.comm.bytes_since(mark),
             store_miss_bytes: 0,
+            phase: PhaseBreakdown::default(),
         }
+    }
+
+    fn attach_phase(&mut self, out: &mut EpochStats, phase: PhaseBreakdown) {
+        out.phase = phase;
+        let mark = self.epoch_mark.expect("begin_epoch sets the mark");
+        out.phase.comm_us = self.comm.busy_us_since(mark);
     }
 }

@@ -51,6 +51,41 @@ pub struct EpochStats {
     /// tier-miss extension of the transfer accounting. 0 when the blocks
     /// (and carries) all live in memory.
     pub store_miss_bytes: u64,
+    /// Where the epoch's wall time went, populated from the `DGNN_TRACE`
+    /// recorder. All zeros when tracing is off — the engine never pays
+    /// for clock reads it was not asked for.
+    pub phase: PhaseBreakdown,
+}
+
+/// Per-phase wall-time breakdown of one training epoch, in microseconds.
+///
+/// Populated by the engine's tracing probes (`DGNN_TRACE=1`); every field
+/// is 0 when tracing is off. The four engine phases partition the epoch
+/// loop; `comm_us` and `store_wait_us` are *attributions* nested inside
+/// them (collective busy time inside forward/recompute/backward, file-tier
+/// blocking inside the store-backed sources), not additional time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Forward pass over the checkpoint blocks.
+    pub forward_us: u64,
+    /// Forward re-runs of blocks during the backward pass (paper Fig. 2).
+    pub recompute_us: u64,
+    /// Backward sweeps, parameter-gradient accumulation, carry seeding.
+    pub backward_us: u64,
+    /// Gradient reduction plus the optimizer step.
+    pub optimizer_us: u64,
+    /// Time inside `dgnn-sim` collectives (nested in the phases above).
+    pub comm_us: u64,
+    /// Time blocked on the storage tier (nested in the phases above).
+    pub store_wait_us: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the four top-level engine phases (excludes the nested
+    /// `comm_us`/`store_wait_us` attributions to avoid double counting).
+    pub fn busy_us(&self) -> u64 {
+        self.forward_us + self.recompute_us + self.backward_us + self.optimizer_us
+    }
 }
 
 impl EpochStats {

@@ -38,6 +38,7 @@ use dgnn_autograd::ParamStore;
 use dgnn_graph::GraphDiff;
 use dgnn_models::{LinkPredHead, Model, ModelKind};
 use dgnn_stream::{DeltaBatcher, EdgeEvent, StreamingGraph};
+use dgnn_telemetry::trace;
 use dgnn_tensor::{Csr, Dense};
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
@@ -346,6 +347,7 @@ impl InferenceSession {
     /// of activation rows they can reach. Embeddings afterwards are
     /// bit-identical to [`InferenceSession::full_forward`].
     pub fn advance(&mut self) -> AdvanceReport {
+        let _span = trace::span_cat("advance_incremental", "serve");
         let touched = self.batcher.touched_vertices();
         let diff = self.batcher.flush();
         self.version += 1;

@@ -12,11 +12,59 @@
 //! large batch parallelizes without extra plumbing.
 
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use dgnn_stream::EdgeEvent;
+use dgnn_telemetry::metrics::{Counter, Gauge, Histogram, Registry};
+use dgnn_telemetry::trace;
 use dgnn_tensor::Dense;
 
 use crate::engine::{score_links_with, AdvanceReport, InferenceSession};
+
+/// Query batch-size histogram bounds: powers of two up to 64 Ki rows.
+const BATCH_BOUNDS: [f64; 17] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+    16384.0, 32768.0, 65536.0,
+];
+
+/// The server's instrument handles, backed by a per-server [`Registry`].
+/// Recording is a handful of relaxed atomic ops per request — always on,
+/// independent of `DGNN_TRACE` (metrics never touch the numeric path).
+struct ServeMetrics {
+    registry: Registry,
+    requests: Counter,
+    request_us: Histogram,
+    batch_rows: Histogram,
+    advances: Counter,
+    advance_us: Histogram,
+    touched_rows: Counter,
+    snapshot_version: Gauge,
+    snapshot_age_us: Gauge,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Self {
+            requests: registry.counter("serve_requests_total"),
+            request_us: registry.histogram("serve_request_us"),
+            batch_rows: registry.histogram_with("serve_batch_rows", &BATCH_BOUNDS),
+            advances: registry.counter("serve_advances_total"),
+            advance_us: registry.histogram("serve_advance_us"),
+            touched_rows: registry.counter("serve_touched_rows_total"),
+            snapshot_version: registry.gauge("serve_snapshot_version"),
+            snapshot_age_us: registry.gauge("serve_snapshot_age_us"),
+            registry,
+        }
+    }
+
+    fn observe_request(&self, rows: usize, started: Instant) {
+        self.requests.inc();
+        self.batch_rows.observe(rows as f64);
+        self.request_us
+            .observe(started.elapsed().as_secs_f64() * 1e6);
+    }
+}
 
 /// One immutable published state of the serving model.
 #[derive(Clone, Debug)]
@@ -70,6 +118,9 @@ impl ServingSnapshot {
 pub struct InferenceServer {
     session: Mutex<InferenceSession>,
     published: RwLock<Arc<ServingSnapshot>>,
+    metrics: ServeMetrics,
+    /// When the current snapshot was published (for the age gauge).
+    published_at: Mutex<Instant>,
 }
 
 impl InferenceServer {
@@ -77,9 +128,13 @@ impl InferenceServer {
     /// whatever the session has advanced to).
     pub fn new(session: InferenceSession) -> Self {
         let snapshot = Arc::new(Self::snapshot_of(&session));
+        let metrics = ServeMetrics::new();
+        metrics.snapshot_version.set(snapshot.version as f64);
         Self {
             session: Mutex::new(session),
             published: RwLock::new(snapshot),
+            metrics,
+            published_at: Mutex::new(Instant::now()),
         }
     }
 
@@ -109,6 +164,8 @@ impl InferenceServer {
     /// publishes the new snapshot. Serialized across callers by the writer
     /// lock; readers are never blocked for longer than the `Arc` swap.
     pub fn ingest_and_advance(&self, events: &[EdgeEvent]) -> AdvanceReport {
+        let started = Instant::now();
+        let span = trace::span_cat("serve_advance", "serve");
         let mut session = self.session.lock().expect("session lock poisoned");
         session.ingest(events);
         let report = session.advance();
@@ -116,19 +173,47 @@ impl InferenceServer {
         // Publish while still holding the writer lock, so versions are
         // published in order.
         *self.published.write().expect("published lock poisoned") = snapshot;
+        *self.published_at.lock().expect("publish clock poisoned") = Instant::now();
+        drop(span);
+        self.metrics.advances.inc();
+        self.metrics
+            .advance_us
+            .observe(started.elapsed().as_secs_f64() * 1e6);
+        self.metrics.touched_rows.add(report.touched as u64);
+        self.metrics.snapshot_version.set(report.version as f64);
         report
     }
 
     /// Convenience: batched node lookup on the latest snapshot.
     pub fn predict_nodes(&self, nodes: &[u32]) -> (Dense, u64) {
+        let started = Instant::now();
         let snap = self.snapshot();
-        (snap.predict_nodes(nodes), snap.version)
+        let out = snap.predict_nodes(nodes);
+        self.metrics.observe_request(nodes.len(), started);
+        (out, snap.version)
     }
 
     /// Convenience: batched link scoring on the latest snapshot.
     pub fn score_links(&self, pairs: &[(u32, u32)]) -> (Vec<f32>, u64) {
+        let started = Instant::now();
         let snap = self.snapshot();
-        (snap.score_links(pairs), snap.version)
+        let out = snap.score_links(pairs);
+        self.metrics.observe_request(pairs.len(), started);
+        (out, snap.version)
+    }
+
+    /// Prometheus-style text exposition of the server's metrics: request
+    /// latency and batch-size histograms (with p50/p99/p999 quantile
+    /// lines), advance latency, touched-row and request counters, and the
+    /// published snapshot's version and age.
+    pub fn metrics_exposition(&self) -> String {
+        let age = self
+            .published_at
+            .lock()
+            .expect("publish clock poisoned")
+            .elapsed();
+        self.metrics.snapshot_age_us.set(age.as_secs_f64() * 1e6);
+        self.metrics.registry.expose()
     }
 }
 
@@ -180,6 +265,30 @@ mod tests {
                 .map(|s| s.to_bits())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn metrics_exposition_reports_requests_and_snapshot_state() {
+        let server =
+            InferenceServer::new(InferenceSession::new(tiny_model(2, 3, false), feats(8, 2)));
+        server.ingest_and_advance(&[EdgeEvent::add(0, 0, 1, 1.0)]);
+        server.predict_nodes(&[0, 1, 2]);
+        server.score_links(&[(0, 1)]);
+        let text = server.metrics_exposition();
+        assert!(text.contains("# TYPE serve_request_us histogram"), "{text}");
+        assert!(text.contains("serve_request_us_count 2"), "{text}");
+        for q in ["0.5", "0.99", "0.999"] {
+            assert!(
+                text.contains(&format!("serve_request_us{{quantile=\"{q}\"}}")),
+                "missing p{q} line in:\n{text}"
+            );
+        }
+        assert!(text.contains("serve_requests_total 2"), "{text}");
+        assert!(text.contains("serve_advances_total 1"), "{text}");
+        assert!(text.contains("serve_snapshot_version 1"), "{text}");
+        // Batch rows: 3 + 1 = two observations summing to 4.
+        assert!(text.contains("serve_batch_rows_count 2"), "{text}");
+        assert!(text.contains("serve_batch_rows_sum 4"), "{text}");
     }
 
     #[test]

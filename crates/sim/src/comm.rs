@@ -7,6 +7,7 @@
 //! Point-to-point sends take an explicit user tag in a separate tag space.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dgnn_telemetry::trace;
 use dgnn_tensor::{Csr, Dense};
 
 /// Message payloads the trainers exchange.
@@ -42,10 +43,13 @@ struct Msg {
 // Collective ops and point-to-point ops use disjoint tag spaces.
 const COLLECTIVE_BIT: u64 = 1 << 63;
 
-/// A byte-volume mark taken by [`Comm::mark`]; scoped volume accounting
-/// for the strategy/epoch that holds it.
+/// A mark taken by [`Comm::mark`]; scopes both byte-volume and
+/// collective-busy-time accounting to the strategy/epoch that holds it.
 #[derive(Clone, Copy, Debug)]
-pub struct CommMark(u64);
+pub struct CommMark {
+    bytes: u64,
+    busy_ns: u64,
+}
 
 /// One rank's endpoint of the communicator.
 pub struct Comm {
@@ -56,6 +60,9 @@ pub struct Comm {
     pending: Vec<Msg>,
     next_collective: u64,
     bytes_sent: u64,
+    /// Wall time spent inside collectives, accumulated only while
+    /// `DGNN_TRACE` is on (0 otherwise, so untraced runs pay nothing).
+    busy_ns: u64,
 }
 
 impl Comm {
@@ -79,12 +86,21 @@ impl Comm {
     /// `ParallelStrategy` a per-epoch mark so communication volume is
     /// attributed to the strategy (and epoch) that produced it.
     pub fn mark(&self) -> CommMark {
-        CommMark(self.bytes_sent)
+        CommMark {
+            bytes: self.bytes_sent,
+            busy_ns: self.busy_ns,
+        }
     }
 
     /// Bytes sent since `mark` was taken on this communicator.
     pub fn bytes_since(&self, mark: CommMark) -> u64 {
-        self.bytes_sent - mark.0
+        self.bytes_sent - mark.bytes
+    }
+
+    /// Microseconds this rank spent inside collectives since `mark`.
+    /// Only advances while tracing is on; reports 0 otherwise.
+    pub fn busy_us_since(&self, mark: CommMark) -> u64 {
+        (self.busy_ns - mark.busy_ns) / 1_000
     }
 
     fn send(&mut self, to: usize, tag: u64, payload: Payload) {
@@ -131,6 +147,7 @@ impl Comm {
     /// indexed by source rank (the self slot passes through untouched).
     pub fn all_to_all(&mut self, mut parts: Vec<Payload>) -> Vec<Payload> {
         assert_eq!(parts.len(), self.world, "one part per rank required");
+        let timer = trace::Timer::start();
         let tag = COLLECTIVE_BIT | self.next_collective;
         self.next_collective += 1;
         let own = std::mem::replace(&mut parts[self.rank], Payload::Empty);
@@ -149,6 +166,7 @@ impl Comm {
             }
         }
         out[self.rank] = own;
+        self.busy_ns += timer.stop_ns("comm", "collective");
         out
     }
 
@@ -167,6 +185,7 @@ impl Comm {
     /// (rank 0, 1, …, P−1) on every rank, so all replicas see bit-identical
     /// results regardless of message arrival order.
     pub fn all_reduce_sum(&mut self, data: &mut [f32]) {
+        let timer = trace::Timer::start();
         let tag = COLLECTIVE_BIT | self.next_collective;
         self.next_collective += 1;
         for q in 0..self.world {
@@ -193,13 +212,15 @@ impl Comm {
                 *d += x;
             }
         }
+        self.busy_ns += timer.stop_ns("comm", "collective");
     }
 
     /// Broadcast from `root` to every rank.
     pub fn broadcast(&mut self, root: usize, payload: Payload) -> Payload {
+        let timer = trace::Timer::start();
         let tag = COLLECTIVE_BIT | self.next_collective;
         self.next_collective += 1;
-        if self.rank == root {
+        let out = if self.rank == root {
             for q in 0..self.world {
                 if q != root {
                     self.send(q, tag, payload.clone());
@@ -208,11 +229,14 @@ impl Comm {
             payload
         } else {
             self.recv(root, tag)
-        }
+        };
+        self.busy_ns += timer.stop_ns("comm", "collective");
+        out
     }
 
     /// Gathers one payload from every rank onto all ranks (all-gather).
     pub fn all_gather(&mut self, payload: Payload) -> Vec<Payload> {
+        let timer = trace::Timer::start();
         let tag = COLLECTIVE_BIT | self.next_collective;
         self.next_collective += 1;
         for q in 0..self.world {
@@ -220,7 +244,7 @@ impl Comm {
                 self.send(q, tag, payload.clone());
             }
         }
-        (0..self.world)
+        let out = (0..self.world)
             .map(|q| {
                 if q == self.rank {
                     payload.clone()
@@ -228,7 +252,9 @@ impl Comm {
                     self.recv(q, tag)
                 }
             })
-            .collect()
+            .collect();
+        self.busy_ns += timer.stop_ns("comm", "collective");
+        out
     }
 
     /// Barrier: completes only when every rank arrives.
@@ -266,6 +292,7 @@ where
             pending: Vec::new(),
             next_collective: 0,
             bytes_sent: 0,
+            busy_ns: 0,
         })
         .collect();
     drop(txs);
@@ -278,6 +305,9 @@ where
             .map(|comm| {
                 scope.spawn(move |_| {
                     let _threads = dgnn_tensor::pool::scoped_threads(ambient_threads);
+                    // Tag the thread so spans export under this rank's pid
+                    // lane; the tag dies with the scoped thread.
+                    trace::set_rank(comm.rank() as u32);
                     f(comm)
                 })
             })

@@ -35,6 +35,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use dgnn_sim::memory::MemoryTracker;
+use dgnn_telemetry::metrics::Counter;
+use dgnn_telemetry::trace;
 use dgnn_tensor::{Csr, Dense};
 
 use crate::frame::{self, Record, StoreError, KIND_CSR, KIND_DENSE, KIND_RECORD};
@@ -97,6 +99,38 @@ pub struct StoreStats {
     pub miss_bytes: u64,
     /// Residents evicted to make room for newcomers.
     pub evictions: u64,
+    /// Microseconds consumers spent blocked on file-tier reads (demand
+    /// faults plus waiting out in-flight prefetches). Advances only
+    /// while `DGNN_TRACE` tracing is on; 0 otherwise.
+    pub wait_us: u64,
+}
+
+/// Process-global counter handles mirroring the hit/miss/eviction side of
+/// [`StoreStats`], so live store behaviour is scrapeable from
+/// [`dgnn_telemetry::metrics::global`] alongside server metrics. The
+/// handles are resolved once per store; bumping one is a relaxed atomic
+/// add.
+struct TierMetrics {
+    mem_hits: Counter,
+    demand_misses: Counter,
+    prefetch_hits: Counter,
+    miss_bytes: Counter,
+    evictions: Counter,
+    spilled_bytes: Counter,
+}
+
+impl TierMetrics {
+    fn from_global() -> Self {
+        let reg = dgnn_telemetry::metrics::global();
+        Self {
+            mem_hits: reg.counter("store_mem_hits_total"),
+            demand_misses: reg.counter("store_demand_misses_total"),
+            prefetch_hits: reg.counter("store_prefetch_hits_total"),
+            miss_bytes: reg.counter("store_miss_bytes_total"),
+            evictions: reg.counter("store_evictions_total"),
+            spilled_bytes: reg.counter("store_spilled_bytes_total"),
+        }
+    }
 }
 
 /// A composite record's payload: meta words plus matrices.
@@ -284,6 +318,7 @@ pub struct TieredStore {
     resident: HashMap<String, Resident>,
     lru_tick: u64,
     stats: StoreStats,
+    metrics: TierMetrics,
     prefetcher: Option<Prefetcher>,
 }
 
@@ -309,6 +344,7 @@ impl TieredStore {
             resident: HashMap::new(),
             lru_tick: 0,
             stats: StoreStats::default(),
+            metrics: TierMetrics::from_global(),
             prefetcher: (!cfg.no_prefetch).then(Prefetcher::spawn),
         })
     }
@@ -366,6 +402,7 @@ impl TieredStore {
         }
         std::fs::write(path, &frame)?;
         self.stats.spilled_bytes += bytes;
+        self.metrics.spilled_bytes.add(bytes);
         // Replacing an existing resident: release its accounting first.
         self.evict_key(key);
         if let Some(cached) = resident {
@@ -416,6 +453,7 @@ impl TieredStore {
         };
         self.evict_key(&key);
         self.stats.evictions += 1;
+        self.metrics.evictions.inc();
         true
     }
 
@@ -486,6 +524,7 @@ impl TieredStore {
         let path = self.path_of(key);
         std::fs::write(path, &frame)?;
         self.stats.spilled_bytes += bytes;
+        self.metrics.spilled_bytes.add(bytes);
         if let Some(cached) = resident {
             self.tracker
                 .alloc(bytes)
@@ -522,6 +561,7 @@ impl TieredStore {
             let r = self.resident.remove(key).expect("checked above");
             self.tracker.free(r.bytes);
             self.stats.mem_hits += 1;
+            self.metrics.mem_hits.inc();
             let Cached::Record(rc) = r.cached else {
                 unreachable!()
             };
@@ -529,10 +569,13 @@ impl TieredStore {
             self.remove(key)?;
             return Ok(out);
         }
+        let timer = trace::Timer::start();
         let staged = self.prefetcher.as_mut().and_then(|pf| pf.take(key));
         let bytes = match staged {
             Some(Ok(bytes)) => {
                 self.stats.prefetch_hits += 1;
+                self.metrics.prefetch_hits.inc();
+                self.stats.wait_us += timer.stop_us("prefetch_wait", "store");
                 bytes
             }
             Some(Err(_)) | None => {
@@ -541,10 +584,15 @@ impl TieredStore {
                     return Err(StoreError::UnknownKey(key.to_string()));
                 }
                 self.stats.demand_misses += 1;
-                std::fs::read(path)?
+                self.metrics.demand_misses.inc();
+                let fault = trace::Timer::start();
+                let bytes = std::fs::read(path)?;
+                self.stats.wait_us += fault.stop_us("store_fault", "store");
+                bytes
             }
         };
         self.stats.miss_bytes += bytes.len() as u64;
+        self.metrics.miss_bytes.add(bytes.len() as u64);
         let out = match frame::decode(&bytes)? {
             Record::Record { meta, mats } => (meta, mats),
             other => {
@@ -584,12 +632,16 @@ impl TieredStore {
             self.lru_tick += 1;
             r.tick = self.lru_tick;
             self.stats.mem_hits += 1;
+            self.metrics.mem_hits.inc();
             return Ok(r.cached.clone());
         }
+        let timer = trace::Timer::start();
         let staged = self.prefetcher.as_mut().and_then(|pf| pf.take(key));
         let bytes = match staged {
             Some(Ok(bytes)) => {
                 self.stats.prefetch_hits += 1;
+                self.metrics.prefetch_hits.inc();
+                self.stats.wait_us += timer.stop_us("prefetch_wait", "store");
                 bytes
             }
             // A failed prefetch read falls through to a demand read so a
@@ -600,10 +652,15 @@ impl TieredStore {
                     return Err(StoreError::UnknownKey(key.to_string()));
                 }
                 self.stats.demand_misses += 1;
-                std::fs::read(path)?
+                self.metrics.demand_misses.inc();
+                let fault = trace::Timer::start();
+                let bytes = std::fs::read(path)?;
+                self.stats.wait_us += fault.stop_us("store_fault", "store");
+                bytes
             }
         };
         self.stats.miss_bytes += bytes.len() as u64;
+        self.metrics.miss_bytes.add(bytes.len() as u64);
         let cached = Cached::from_record(frame::decode(&bytes)?);
         self.admit(key, cached.clone(), bytes.len() as u64);
         Ok(cached)

@@ -1,0 +1,402 @@
+//! Counters, gauges, and fixed-bucket histograms with Prometheus-style
+//! text exposition.
+//!
+//! All instruments are cheap handles (`Arc` over atomics) cloned out of a
+//! [`Registry`]; recording is lock-free. Histograms use fixed bucket
+//! bounds chosen at creation, store their running sum in fixed-point
+//! milli-units, and saturate into a `+Inf` overflow bucket — so merging
+//! per-thread shards is exact and order-independent, and quantiles are
+//! reproducible across runs regardless of observation order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotone counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge holding an `f64`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Default latency bucket bounds in microseconds: roughly log-spaced from
+/// 1 µs to 60 s, sized for both kernel-level and request-level latencies.
+pub const LATENCY_BOUNDS_US: [f64; 22] = [
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    20.0,
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1_000.0,
+    2_000.0,
+    5_000.0,
+    10_000.0,
+    20_000.0,
+    50_000.0,
+    100_000.0,
+    200_000.0,
+    500_000.0,
+    1_000_000.0,
+    5_000_000.0,
+    20_000_000.0,
+    60_000_000.0,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    bounds: Vec<f64>,
+    /// One slot per finite bound plus the trailing `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    /// Running sum in fixed-point milli-units, so concurrent merges are
+    /// exact and order-independent (no float accumulation order effects).
+    sum_milli: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket histogram with quantile readout.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Creates a histogram over the given strictly-increasing finite
+    /// bucket upper bounds (an `+Inf` overflow bucket is always appended).
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets,
+            sum_milli: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Creates a histogram with the default [`LATENCY_BOUNDS_US`].
+    pub fn latency_us() -> Self {
+        Self::with_bounds(&LATENCY_BOUNDS_US)
+    }
+
+    /// Records one observation. Values above the last finite bound
+    /// saturate into the overflow bucket; negative values clamp to zero.
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { f64::MAX };
+        let idx = self.0.bounds.partition_point(|b| v > *b);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        let milli = (v * 1_000.0).round().min(u64::MAX as f64) as u64;
+        self.0.sum_milli.fetch_add(milli, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (from the fixed-point accumulator).
+    pub fn sum(&self) -> f64 {
+        self.0.sum_milli.load(Ordering::Relaxed) as f64 / 1_000.0
+    }
+
+    /// Per-bucket counts, overflow bucket last. Mainly for tests and
+    /// exposition.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The finite bucket upper bounds this histogram was created with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Quantile estimate by linear interpolation inside the target
+    /// bucket. Returns 0 for an empty histogram; observations in the
+    /// overflow bucket report the largest finite bound (the histogram
+    /// cannot resolve beyond it).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            let here = bucket.load(Ordering::Relaxed);
+            cum += here;
+            if cum >= target {
+                if i == self.0.bounds.len() {
+                    return *self.0.bounds.last().expect("bounds non-empty");
+                }
+                let lower = if i == 0 { 0.0 } else { self.0.bounds[i - 1] };
+                let upper = self.0.bounds[i];
+                let before = cum - here;
+                let frac = (target - before) as f64 / here as f64;
+                return lower + (upper - lower) * frac;
+            }
+        }
+        *self.0.bounds.last().expect("bounds non-empty")
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Folds another histogram (same bounds) into this one. Because the
+    /// sum is fixed-point and buckets are integer counts, any merge order
+    /// over a set of shards yields identical state.
+    pub fn merge(&self, other: &Histogram) {
+        assert_eq!(
+            self.0.bounds, other.0.bounds,
+            "can only merge histograms with identical bounds"
+        );
+        for (dst, src) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.0
+            .count
+            .fetch_add(other.0.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .sum_milli
+            .fetch_add(other.0.sum_milli.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named family of instruments with Prometheus-style text exposition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+fn check_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .map(|c| c.is_ascii_alphabetic() || c == '_')
+        .unwrap_or(false);
+    assert!(
+        head_ok && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "invalid metric name {name:?}: use [a-zA-Z_][a-zA-Z0-9_]*"
+    );
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name`. Panics if `name` is already
+    /// registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        check_name(name);
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered as a non-counter"),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        check_name(name);
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered as a non-gauge"),
+        }
+    }
+
+    /// Gets or creates the histogram `name` with [`LATENCY_BOUNDS_US`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &LATENCY_BOUNDS_US)
+    }
+
+    /// Gets or creates the histogram `name` with explicit bounds.
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Histogram {
+        check_name(name);
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered as a non-histogram"),
+        }
+    }
+
+    /// Renders every registered metric in Prometheus text format.
+    /// Histograms additionally emit `{quantile=...}` sample lines for
+    /// p50/p99/p999 so the percentiles are scrapeable without PromQL.
+    pub fn expose(&self) -> String {
+        fn fmt_f64(v: f64) -> String {
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{v:.0}")
+            } else {
+                format!("{v}")
+            }
+        }
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "# TYPE {name} gauge\n{name} {}\n",
+                        fmt_f64(g.get())
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (bound, count) in h.bounds().iter().zip(counts.iter()) {
+                        cum += count;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            fmt_f64(*bound)
+                        ));
+                    }
+                    cum += counts.last().copied().unwrap_or(0);
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                    out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum())));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                    for (q, v) in [(0.5, h.p50()), (0.99, h.p99()), (0.999, h.p999())] {
+                        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", fmt_f64(v)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry, used by subsystems without a natural owner
+/// (the store tier); servers hold their own [`Registry`] instances.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("hits_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("hits_total").get(), 5);
+        let g = reg.gauge("version");
+        g.set(7.0);
+        assert_eq!(reg.gauge("version").get(), 7.0);
+        let text = reg.expose();
+        assert!(text.contains("# TYPE hits_total counter\nhits_total 5\n"));
+        assert!(text.contains("# TYPE version gauge\nversion 7\n"));
+    }
+
+    #[test]
+    fn exposition_has_quantile_lines() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us");
+        for v in [10.0, 20.0, 40.0, 80.0, 5_000.0] {
+            h.observe(v);
+        }
+        let text = reg.expose();
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("lat_us_count 5"));
+        assert!(text.contains("lat_us{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_us{quantile=\"0.99\"}"));
+        assert!(text.contains("lat_us{quantile=\"0.999\"}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_clash_panics() {
+        let reg = Registry::new();
+        reg.gauge("x");
+        reg.counter("x");
+    }
+}

@@ -1,0 +1,114 @@
+//! Histogram/quantile math edge cases: empty, single sample, boundary
+//! values, overflow saturation, and order-independent merge.
+
+use dgnn_telemetry::metrics::Histogram;
+
+#[test]
+fn empty_histogram_reports_zero() {
+    let h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0.0);
+    assert_eq!(h.p50(), 0.0);
+    assert_eq!(h.p99(), 0.0);
+    assert_eq!(h.p999(), 0.0);
+}
+
+#[test]
+fn single_sample_pins_every_quantile_to_its_bucket() {
+    let h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+    h.observe(42.0);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), 42.0);
+    assert_eq!(h.bucket_counts(), vec![0, 0, 1, 0]);
+    // With one sample every quantile lands in the (10, 100] bucket; linear
+    // interpolation with frac = 1/1 puts the estimate at the upper bound.
+    for q in [0.01, 0.5, 0.99, 0.999] {
+        let v = h.quantile(q);
+        assert!((10.0..=100.0).contains(&v), "q={q} gave {v}");
+        assert_eq!(v, 100.0);
+    }
+}
+
+#[test]
+fn boundary_values_land_in_the_le_bucket() {
+    let h = Histogram::with_bounds(&[1.0, 2.0, 5.0]);
+    // Prometheus `le` semantics: a value exactly equal to a bound counts
+    // in that bound's bucket, not the next one.
+    h.observe(1.0);
+    h.observe(2.0);
+    h.observe(5.0);
+    assert_eq!(h.bucket_counts(), vec![1, 1, 1, 0]);
+    // Just above a bound spills into the next bucket.
+    h.observe(2.0000001);
+    assert_eq!(h.bucket_counts(), vec![1, 1, 2, 0]);
+    // Negative observations clamp to zero and land in the first bucket.
+    h.observe(-3.0);
+    assert_eq!(h.bucket_counts(), vec![2, 1, 2, 0]);
+    assert_eq!(h.sum(), 1.0 + 2.0 + 5.0 + 2.0);
+}
+
+#[test]
+fn overflow_saturates_and_quantiles_clamp_to_last_finite_bound() {
+    let h = Histogram::with_bounds(&[1.0, 10.0]);
+    for _ in 0..5 {
+        h.observe(1e12);
+    }
+    h.observe(f64::INFINITY);
+    assert_eq!(h.bucket_counts(), vec![0, 0, 6]);
+    assert_eq!(h.count(), 6);
+    // All mass in the overflow bucket: the histogram cannot resolve past
+    // its last finite bound, so quantiles clamp there instead of lying.
+    assert_eq!(h.p50(), 10.0);
+    assert_eq!(h.p999(), 10.0);
+}
+
+#[test]
+fn merge_is_order_independent() {
+    let bounds = [1.0, 5.0, 25.0, 125.0];
+    let samples: [&[f64]; 3] = [
+        &[0.5, 3.0, 600.0],
+        &[4.9, 5.0, 5.1, 24.0],
+        &[100.0, 0.1, 0.2, 0.3, 77.0],
+    ];
+    let shard = |idx: usize| {
+        let h = Histogram::with_bounds(&bounds);
+        for &v in samples[idx] {
+            h.observe(v);
+        }
+        h
+    };
+    // Merge the three per-thread shards in two different orders.
+    let fwd = Histogram::with_bounds(&bounds);
+    for i in [0, 1, 2] {
+        fwd.merge(&shard(i));
+    }
+    let rev = Histogram::with_bounds(&bounds);
+    for i in [2, 1, 0] {
+        rev.merge(&shard(i));
+    }
+    assert_eq!(fwd.bucket_counts(), rev.bucket_counts());
+    assert_eq!(fwd.count(), rev.count());
+    // Fixed-point sums are exactly equal, not approximately.
+    assert_eq!(fwd.sum().to_bits(), rev.sum().to_bits());
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        assert_eq!(fwd.quantile(q).to_bits(), rev.quantile(q).to_bits());
+    }
+}
+
+#[test]
+fn merged_shards_match_a_single_histogram_fed_everything() {
+    let bounds = [2.0, 8.0, 32.0];
+    let a = Histogram::with_bounds(&bounds);
+    let b = Histogram::with_bounds(&bounds);
+    let all = Histogram::with_bounds(&bounds);
+    for (i, &v) in [1.0, 3.0, 9.0, 40.0, 7.5, 2.0].iter().enumerate() {
+        if i % 2 == 0 { &a } else { &b }.observe(v);
+        all.observe(v);
+    }
+    let merged = Histogram::with_bounds(&bounds);
+    merged.merge(&a);
+    merged.merge(&b);
+    assert_eq!(merged.bucket_counts(), all.bucket_counts());
+    assert_eq!(merged.sum().to_bits(), all.sum().to_bits());
+    assert_eq!(merged.count(), all.count());
+}

@@ -11,4 +11,5 @@ pub use dgnn_partition as partition;
 pub use dgnn_serve as serve;
 pub use dgnn_sim as sim;
 pub use dgnn_stream as stream;
+pub use dgnn_telemetry as telemetry;
 pub use dgnn_tensor as tensor;

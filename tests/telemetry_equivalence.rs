@@ -1,0 +1,132 @@
+//! The observability contract: tracing can never perturb results.
+//!
+//! Probes only read the clock and append to thread-local buffers, so a
+//! run with `DGNN_TRACE` on must be **bit-identical** to the same run
+//! with it off — same loss bits, same final parameters, same served
+//! embedding bits. These tests pin that for the training engine and the
+//! incremental serving path, and pin the flip side of the satellite
+//! contract: the per-epoch phase breakdown is all zeros when tracing is
+//! off (the engine pays for no clock reads it was not asked for) and
+//! populated when it is on.
+//!
+//! The trace switch is process-global, so the tests serialize on a mutex
+//! and restore the off state before releasing it.
+
+use std::sync::Mutex;
+
+use dgnn_autograd::ParamStore;
+use dgnn_core::metrics::PhaseBreakdown;
+use dgnn_core::prelude::*;
+use dgnn_serve::{Checkpoint, InferenceSession, ServeModel};
+use dgnn_stream::EdgeEvent;
+use dgnn_telemetry::trace;
+use dgnn_tensor::digest::digest_f32;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serializes the tests that flip the process-global trace switch.
+static TRACE_TOGGLE: Mutex<()> = Mutex::new(());
+
+fn lock_toggle() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_TOGGLE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn small_cfg(kind: ModelKind) -> ModelConfig {
+    ModelConfig {
+        kind,
+        input_f: 2,
+        hidden: 6,
+        mprod_window: 3,
+        smoothing_window: 3,
+    }
+}
+
+/// One deterministic training run: loss-stream bits, final-parameter
+/// digest, and the raw per-epoch stats.
+fn train_run() -> (Vec<u64>, u64, Vec<EpochStats>) {
+    let cfg = small_cfg(ModelKind::CdGcn);
+    let g = dgnn_graph::gen::churn_skewed(96, 7, 420, 0.25, 0.9, 23);
+    let task = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    let opts = TrainOptions {
+        epochs: 3,
+        lr: 0.05,
+        nb: 2,
+        seed: 9,
+        threads: None,
+    };
+    let stats = train_single(&model, &head, &mut store, &task, &opts);
+    let losses = stats.iter().map(|s| s.loss.to_bits()).collect();
+    (losses, digest_f32(&store.values_flat()), stats)
+}
+
+/// One deterministic incremental-serving run: per-window versions and the
+/// final embedding-bit digest.
+fn serve_run() -> (Vec<u64>, u64) {
+    let cfg = small_cfg(ModelKind::EvolveGcn);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let model = Model::new(cfg, &mut store, &mut rng);
+    let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
+    let cp = Checkpoint::from_store(&model, &head, &store);
+    let serve_model = ServeModel::from_checkpoint(&cp).expect("serve model");
+    let features = Dense::from_fn(48, 2, |r, c| ((r * 17 + c * 3) % 13) as f32 / 13.0);
+    let mut session = InferenceSession::new(serve_model, features);
+    let mut versions = Vec::new();
+    for w in 0..4u64 {
+        let evs: Vec<EdgeEvent> = (0..6u32)
+            .map(|i| EdgeEvent::add(w, (w as u32 * 6 + i) % 48, (i * 11 + 2) % 48, 1.0))
+            .collect();
+        session.ingest(&evs);
+        versions.push(session.advance().version);
+    }
+    (versions, digest_f32(session.embeddings().data()))
+}
+
+#[test]
+fn training_is_bit_identical_with_tracing_on() {
+    let _guard = lock_toggle();
+    trace::set_enabled(false);
+    let (losses_off, params_off, stats_off) = train_run();
+    trace::set_enabled(true);
+    let (losses_on, params_on, stats_on) = train_run();
+    trace::set_enabled(false);
+    trace::clear();
+
+    assert_eq!(losses_off, losses_on, "tracing changed the loss stream");
+    assert_eq!(params_off, params_on, "tracing changed the parameters");
+
+    // Off: no clock reads, so the breakdown is exactly zero.
+    for s in &stats_off {
+        assert_eq!(
+            s.phase,
+            PhaseBreakdown::default(),
+            "phase breakdown must be all zeros when tracing is off"
+        );
+    }
+    // On: the same run reports where its time went.
+    for s in &stats_on {
+        assert!(
+            s.phase.busy_us() > 0,
+            "phase breakdown must be populated when tracing is on, got {:?}",
+            s.phase
+        );
+    }
+}
+
+#[test]
+fn serve_incremental_is_bit_identical_with_tracing_on() {
+    let _guard = lock_toggle();
+    trace::set_enabled(false);
+    let off = serve_run();
+    trace::set_enabled(true);
+    let on = serve_run();
+    trace::set_enabled(false);
+    trace::clear();
+    assert_eq!(off, on, "tracing changed the served embeddings");
+}
