@@ -2,7 +2,12 @@
 //! threads); pass `--fast` for reduced problem sizes. Asserts ≥ 1.7x at 4
 //! threads for `matmul`/`spmm` when the host has at least 4 cores, and
 //! records the timings to `BENCH_parallel.json`.
+//!
+//! Pass `--check-baseline` to instead re-measure single-thread GFLOP/s
+//! and compare against the committed `BENCH_parallel.json` without
+//! rewriting it — the CI kernel-regression guard.
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    dgnn_bench::kernel_scaling::run(fast);
+    let check_baseline = std::env::args().any(|a| a == "--check-baseline");
+    dgnn_bench::kernel_scaling::run(fast, check_baseline);
 }

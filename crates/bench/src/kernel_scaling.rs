@@ -1,7 +1,8 @@
 //! Kernel-scaling benchmark: the five hot kernels (`matmul`,
 //! `matmul_transa`, `matmul_transb`, `spmm`, `spmm_transa`) timed serially
 //! and on 2/4/8 pool threads, with a bitwise cross-check of every timed
-//! result against the serial reference.
+//! result against the serial reference and a roofline-style single-thread
+//! GFLOP/s column per kernel.
 //!
 //! On hosts with at least 4 available cores the run *asserts* ≥ 1.7x
 //! speedup at 4 threads for the two headline kernels (`matmul`, `spmm`) —
@@ -10,8 +11,18 @@
 //! timings are still recorded but the assertion is skipped: oversubscribed
 //! threads cannot demonstrate hardware speedup.
 //!
+//! Two assertions hold on *every* host because they compare the host to
+//! itself: `matmul_transb` must run within [`MAX_TRANSB_VS_MATMUL`]x of
+//! `matmul` single-thread (the pre-blocking dot-product form was ~4.2x
+//! off), and each blocked GEMM must match its naive serial reference
+//! bitwise at the engaged sizes.
+//!
 //! Results are written to `BENCH_parallel.json` in the working directory
-//! to seed the performance trajectory across PRs.
+//! to seed the performance trajectory across PRs; `check_baseline` mode
+//! instead re-measures single-thread GFLOP/s and compares against the
+//! *committed* artifact, failing on a >25% drop (warn-only on sub-4-core
+//! hosts or against a baseline recorded with `speedup_asserted: false`,
+//! matching that field's existing convention).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -29,13 +40,26 @@ pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// Speedup the headline kernels must reach at 4 threads on capable hosts.
 pub const REQUIRED_SPEEDUP_AT_4: f64 = 1.7;
 
+/// Ceiling on `matmul_transb`'s single-thread time relative to `matmul`
+/// at the same size. The packed blocked kernel lands within ~1.1x; the
+/// old dot-product form was ~4.2x.
+pub const MAX_TRANSB_VS_MATMUL: f64 = 2.0;
+
+/// A kernel may not drop below this fraction of the committed baseline's
+/// single-thread GFLOP/s in `check_baseline` mode.
+pub const BASELINE_MIN_FRACTION: f64 = 0.75;
+
 /// One kernel's measurements across the thread sweep.
 pub struct KernelResult {
     /// Kernel name (`matmul`, `spmm`, …).
     pub name: &'static str,
     /// Problem-size label (e.g. `320x320x320`).
     pub size: String,
-    /// Best-of-N wall time in microseconds, aligned with [`THREAD_SWEEP`].
+    /// Floating-point operations one call performs (mul+add counted
+    /// separately: `2·m·k·n` for the GEMMs, `2·nnz·f` for the SpMMs).
+    pub flops: f64,
+    /// Best-of-N wall time in microseconds, aligned with [`THREAD_SWEEP`]
+    /// (single-entry in `check_baseline` mode, which only measures 1T).
     pub us: Vec<f64>,
 }
 
@@ -47,6 +71,13 @@ impl KernelResult {
             .position(|&t| t == threads)
             .expect("thread count not in sweep");
         self.us[0] / self.us[i]
+    }
+
+    /// Single-thread throughput in GFLOP/s — the roofline column: a
+    /// size-normalized number that stays diffable across PRs even when
+    /// the benched problem sizes change.
+    pub fn gflops_1t(&self) -> f64 {
+        self.flops / (self.us[0] * 1e3)
     }
 }
 
@@ -64,37 +95,102 @@ fn dense_rand(rows: usize, cols: usize, rng: &mut StdRng) -> Dense {
     Dense::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
 }
 
-/// Times `kernel` across the thread sweep and cross-checks each threaded
-/// result bitwise against the serial one.
+fn bits_eq(a: &Dense, b: &Dense) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Times `kernel` across the thread sweep (or 1T only) and cross-checks
+/// each timed configuration bitwise against the serial result.
 fn sweep(
     name: &'static str,
     size: String,
+    flops: f64,
     reps: usize,
+    single_thread_only: bool,
     kernel: impl Fn() -> Dense,
 ) -> KernelResult {
     let reference = {
         let _g = pool::scoped_threads(Some(1));
         kernel()
     };
-    let mut us = Vec::with_capacity(THREAD_SWEEP.len());
-    for &threads in &THREAD_SWEEP {
+    let threads_to_run: &[usize] = if single_thread_only {
+        &THREAD_SWEEP[..1]
+    } else {
+        &THREAD_SWEEP
+    };
+    let mut us = Vec::with_capacity(threads_to_run.len());
+    for &threads in threads_to_run {
         let _g = pool::scoped_threads(Some(threads));
         let got = kernel();
         assert!(
-            got.data()
-                .iter()
-                .zip(reference.data())
-                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            bits_eq(&got, &reference),
             "{name}: {threads}-thread result is not bit-identical to serial"
         );
         us.push(best_of(reps, &kernel));
     }
-    KernelResult { name, size, us }
+    KernelResult {
+        name,
+        size,
+        flops,
+        us,
+    }
 }
 
-/// Runs the kernel-scaling sweep. `fast` shrinks the problem sizes.
-pub fn run(fast: bool) -> Vec<KernelResult> {
-    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+/// The naive i-k-j serial GEMM — the pre-blocking `matmul` loop. On the
+/// finite random bench inputs this is bitwise what every pre-change GEMM
+/// variant computed, so it pins the blocked kernels to history.
+fn naive_gemm(a: &Dense, b: &Dense) -> Dense {
+    let (m, kk, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Dense::zeros(m, n);
+    for i in 0..m {
+        for k in 0..kk {
+            let av = a.get(i, k);
+            for j in 0..n {
+                let cur = out.get(i, j);
+                out.set(i, j, cur + av * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+/// Asserts the blocked GEMMs are bit-identical to the pre-change kernels
+/// at an engaged size: `matmul` against the naive triple loop, and both
+/// transposed variants against their explicit-transpose `matmul` forms
+/// (which is exactly the accumulation order the old kernels used).
+fn assert_gemm_parity(a: &Dense, b: &Dense) {
+    let _g = pool::scoped_threads(Some(1));
+    let reference = naive_gemm(a, b);
+    assert!(
+        bits_eq(&a.matmul(b), &reference),
+        "blocked matmul diverges from the naive serial reference"
+    );
+    assert!(
+        bits_eq(&a.matmul_transb(&b.transpose()), &reference),
+        "packed matmul_transb diverges from matmul's bits"
+    );
+    assert!(
+        bits_eq(&a.transpose().matmul_transa(b), &reference),
+        "packed matmul_transa diverges from matmul's bits"
+    );
+}
+
+/// Runs the kernel-scaling sweep. `fast` shrinks the problem sizes;
+/// `check_baseline` measures single-thread only, skips the artifact
+/// write, and compares GFLOP/s against the committed
+/// `BENCH_parallel.json` instead.
+pub fn run(fast: bool, check_baseline: bool) -> Vec<KernelResult> {
+    let host_threads = pool::host_parallelism();
+    // Read the committed artifact *before* anything can overwrite it.
+    let baseline = if check_baseline {
+        read_baseline("BENCH_parallel.json")
+    } else {
+        Vec::new()
+    };
     // f = 64 in both modes so the spmm_transa transpose path clears its
     // break-even at 4 threads; fast mode still finishes in seconds.
     let (gemm_n, spmm_n, spmm_m, feat, reps) = if fast {
@@ -103,8 +199,13 @@ pub fn run(fast: bool) -> Vec<KernelResult> {
         (320, 20_000, 200_000, 64, 7)
     };
     println!(
-        "== Kernel scaling: serial vs {:?} threads (host has {host_threads}) ==",
-        &THREAD_SWEEP[1..]
+        "== Kernel scaling: serial vs {:?} threads (host has {host_threads}{}) ==",
+        &THREAD_SWEEP[1..],
+        if check_baseline {
+            "; baseline-check mode, 1T only"
+        } else {
+            ""
+        }
     );
 
     let mut rng = StdRng::seed_from_u64(42);
@@ -114,33 +215,108 @@ pub fn run(fast: bool) -> Vec<KernelResult> {
     let lap = g.snapshot(0).laplacian();
     let x = dense_rand(spmm_n, feat, &mut rng);
 
+    // Bitwise parity with the pre-change kernels at the engaged size.
+    assert_gemm_parity(&a, &b);
+    println!("parity: blocked GEMMs bit-identical to the naive serial reference at {gemm_n}^3");
+
+    let gemm_flops = 2.0 * (gemm_n as f64).powi(3);
+    let spmm_flops = 2.0 * lap.nnz() as f64 * feat as f64;
     let gemm_size = format!("{gemm_n}x{gemm_n}x{gemm_n}");
     let spmm_size = format!("{spmm_n}v/{}nnz/f{feat}", lap.nnz());
     let results = vec![
-        sweep("matmul", gemm_size.clone(), reps, || a.matmul(&b)),
-        sweep("matmul_transa", gemm_size.clone(), reps, || {
-            a.matmul_transa(&b)
-        }),
-        sweep("matmul_transb", gemm_size, reps, || a.matmul_transb(&b)),
-        sweep("spmm", spmm_size.clone(), reps, || lap.spmm(&x)),
-        sweep("spmm_transa", spmm_size, reps, || lap.spmm_transa(&x)),
+        sweep(
+            "matmul",
+            gemm_size.clone(),
+            gemm_flops,
+            reps,
+            check_baseline,
+            || a.matmul(&b),
+        ),
+        sweep(
+            "matmul_transa",
+            gemm_size.clone(),
+            gemm_flops,
+            reps,
+            check_baseline,
+            || a.matmul_transa(&b),
+        ),
+        sweep(
+            "matmul_transb",
+            gemm_size,
+            gemm_flops,
+            reps,
+            check_baseline,
+            || a.matmul_transb(&b),
+        ),
+        sweep(
+            "spmm",
+            spmm_size.clone(),
+            spmm_flops,
+            reps,
+            check_baseline,
+            || lap.spmm(&x),
+        ),
+        sweep(
+            "spmm_transa",
+            spmm_size,
+            spmm_flops,
+            reps,
+            check_baseline,
+            || lap.spmm_transa(&x),
+        ),
     ];
 
-    println!(
-        "{:<14} {:>22} {:>9} {:>9} {:>9} {:>9}  speedup@4",
-        "kernel", "size", "1T µs", "2T µs", "4T µs", "8T µs"
-    );
-    for r in &results {
+    if check_baseline {
         println!(
-            "{:<14} {:>22} {:>9.0} {:>9.0} {:>9.0} {:>9.0}  {:.2}x",
-            r.name,
-            r.size,
-            r.us[0],
-            r.us[1],
-            r.us[2],
-            r.us[3],
-            r.speedup(4)
+            "{:<14} {:>22} {:>9}  GFLOP/s(1T)",
+            "kernel", "size", "1T µs"
         );
+        for r in &results {
+            println!(
+                "{:<14} {:>22} {:>9.0}  {:.2}",
+                r.name,
+                r.size,
+                r.us[0],
+                r.gflops_1t()
+            );
+        }
+    } else {
+        println!(
+            "{:<14} {:>22} {:>9} {:>9} {:>9} {:>9}  speedup@4  GFLOP/s(1T)",
+            "kernel", "size", "1T µs", "2T µs", "4T µs", "8T µs"
+        );
+        for r in &results {
+            println!(
+                "{:<14} {:>22} {:>9.0} {:>9.0} {:>9.0} {:>9.0}  {:>8.2}x  {:.2}",
+                r.name,
+                r.size,
+                r.us[0],
+                r.us[1],
+                r.us[2],
+                r.us[3],
+                r.speedup(4),
+                r.gflops_1t()
+            );
+        }
+    }
+
+    // Host-relative assertion, valid everywhere: the gate-split backward's
+    // hot kernel must stay within MAX_TRANSB_VS_MATMUL of plain matmul.
+    let matmul_1t = results[0].us[0];
+    let transb_1t = results[2].us[0];
+    assert!(
+        transb_1t <= MAX_TRANSB_VS_MATMUL * matmul_1t,
+        "matmul_transb at {transb_1t:.0}µs exceeds {MAX_TRANSB_VS_MATMUL}x matmul \
+         ({matmul_1t:.0}µs) single-thread — the transb pathology is back"
+    );
+    println!(
+        "PASS: matmul_transb within {:.2}x of matmul single-thread (limit {MAX_TRANSB_VS_MATMUL}x)",
+        transb_1t / matmul_1t
+    );
+
+    if check_baseline {
+        compare_against_baseline(&results, &baseline, host_threads);
+        return results;
     }
 
     write_json(&results, host_threads);
@@ -176,6 +352,112 @@ pub fn run(fast: bool) -> Vec<KernelResult> {
     results
 }
 
+/// One kernel's committed-baseline facts, as parsed from the artifact.
+struct BaselineKernel {
+    name: String,
+    gflops_1t: Option<f64>,
+    /// The artifact-level `speedup_asserted` flag (repeated per kernel
+    /// for convenience): baselines recorded on sub-4-core hosts carry
+    /// `false` and are compared warn-only.
+    asserted: bool,
+}
+
+/// Extracts per-kernel `gflops_1t` (and the `speedup_asserted` flag) from
+/// a committed `BENCH_parallel.json`. The artifact is written by
+/// [`BenchReport`] with one kernel object per line, so a line-oriented
+/// scan is robust without a JSON value parser; kernels from an
+/// older-schema artifact (no `gflops_1t` field) parse with `None`.
+fn read_baseline(path: &str) -> Vec<BaselineKernel> {
+    let Ok(doc) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let asserted = doc.contains("\"speedup_asserted\": true");
+    doc.lines()
+        .filter_map(|line| {
+            let name = json_str_field(line, "name")?;
+            Some(BaselineKernel {
+                name,
+                gflops_1t: json_num_field(line, "gflops_1t"),
+                asserted,
+            })
+        })
+        .collect()
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let num: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | 'e' | 'E' | '+'))
+        .collect();
+    num.parse().ok()
+}
+
+/// Fails (or warns) when any re-measured kernel drops below
+/// [`BASELINE_MIN_FRACTION`] of the committed baseline's single-thread
+/// GFLOP/s. Warn-only when this host has < 4 cores or the baseline was
+/// recorded with `speedup_asserted: false` (i.e. on such a host) —
+/// cross-host single-thread throughput is not comparable enough to red CI.
+fn compare_against_baseline(
+    results: &[KernelResult],
+    baseline: &[BaselineKernel],
+    host_threads: usize,
+) {
+    if baseline.is_empty() {
+        println!("WARN: no committed BENCH_parallel.json baseline found; nothing to compare");
+        return;
+    }
+    let enforce = host_threads >= 4 && baseline.iter().all(|b| b.asserted);
+    let mut regressions = Vec::new();
+    for r in results {
+        let Some(base) = baseline.iter().find(|b| b.name == r.name) else {
+            println!("WARN: kernel {} missing from baseline; skipped", r.name);
+            continue;
+        };
+        let Some(base_gflops) = base.gflops_1t else {
+            println!(
+                "WARN: baseline predates the gflops_1t column for {}; skipped",
+                r.name
+            );
+            continue;
+        };
+        let got = r.gflops_1t();
+        let frac = got / base_gflops;
+        println!(
+            "baseline: {:<14} {:.2} GFLOP/s vs committed {:.2} ({:.0}%)",
+            r.name,
+            got,
+            base_gflops,
+            frac * 100.0
+        );
+        if frac < BASELINE_MIN_FRACTION {
+            regressions.push(format!(
+                "{}: {got:.2} GFLOP/s is {:.0}% of the committed {base_gflops:.2}",
+                r.name,
+                frac * 100.0
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        println!(
+            "PASS: no kernel below {:.0}% of the committed baseline",
+            BASELINE_MIN_FRACTION * 100.0
+        );
+    } else if enforce {
+        panic!("kernel GFLOP/s regression vs baseline: {regressions:?}");
+    } else {
+        println!("WARN (not enforced: sub-4-core host or unasserted baseline): {regressions:?}");
+    }
+}
+
 fn write_json(results: &[KernelResult], host_threads: usize) {
     let mut r = BenchReport::new("kernel_scaling");
     r.config_bool("speedup_asserted", host_threads >= 4);
@@ -188,11 +470,14 @@ fn write_json(results: &[KernelResult], host_threads: usize) {
         );
     }
     r.config_f64("required_speedup_at_4_threads", REQUIRED_SPEEDUP_AT_4, 2);
+    r.config_f64("max_transb_vs_matmul_1t", MAX_TRANSB_VS_MATMUL, 2);
+    r.config_f64("baseline_min_fraction", BASELINE_MIN_FRACTION, 2);
     r.metric_raw("thread_sweep", "[1, 2, 4, 8]");
     let mut kernels = String::from("[\n");
     for (i, k) in results.iter().enumerate() {
         kernels.push_str(&format!(
-            "    {{\"name\": \"{}\", \"size\": \"{}\", \"us\": [{}], \"speedup_at_4\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"size\": \"{}\", \"us\": [{}], \
+             \"speedup_at_4\": {:.3}, \"gflops_1t\": {:.3}}}{}\n",
             k.name,
             k.size,
             k.us.iter()
@@ -200,10 +485,39 @@ fn write_json(results: &[KernelResult], host_threads: usize) {
                 .collect::<Vec<_>>()
                 .join(", "),
             k.speedup(4),
+            k.gflops_1t(),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
     kernels.push_str("  ]");
     r.metric_raw("kernels", &kernels);
     r.write_to("BENCH_parallel.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_parser_reads_kernel_lines() {
+        let doc = "{\n  \"config\": {\n    \"speedup_asserted\": false\n  },\n  \
+                   \"kernels\": [\n    {\"name\": \"matmul\", \"size\": \"320x320x320\", \
+                   \"us\": [4210.4, 3923.5], \"speedup_at_4\": 1.073, \"gflops_1t\": 15.565},\n    \
+                   {\"name\": \"spmm\", \"size\": \"20000v\", \"us\": [12355.5]}\n  ]\n}\n";
+        let path = std::env::temp_dir().join("dgnn_baseline_parse_test.json");
+        std::fs::write(&path, doc).unwrap();
+        let parsed = read_baseline(path.to_str().unwrap());
+        std::fs::remove_file(&path).ok();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "matmul");
+        assert!((parsed[0].gflops_1t.unwrap() - 15.565).abs() < 1e-9);
+        assert!(!parsed[0].asserted);
+        assert_eq!(parsed[1].name, "spmm");
+        assert!(parsed[1].gflops_1t.is_none(), "old schema parses as None");
+    }
+
+    #[test]
+    fn missing_baseline_parses_empty() {
+        assert!(read_baseline("/nonexistent/BENCH_parallel.json").is_empty());
+    }
 }

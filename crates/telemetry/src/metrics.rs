@@ -127,13 +127,27 @@ impl Histogram {
     }
 
     /// Records one observation. Values above the last finite bound
-    /// saturate into the overflow bucket; negative values clamp to zero.
+    /// saturate into the overflow bucket; negative values (including
+    /// `-Inf`) clamp to zero. `NaN` and `+Inf` count into the overflow
+    /// bucket, but their contribution to the running sum is clamped to
+    /// the last finite bound — the histogram cannot resolve beyond it,
+    /// and one poisoned probe must not make [`Histogram::sum`] garbage
+    /// (mapping non-finite observations to `f64::MAX` used to add
+    /// ~1.8e19 milli-units per observation, wrapping the fixed-point
+    /// accumulator on the second one).
     pub fn observe(&self, v: f64) {
-        let v = if v.is_finite() { v.max(0.0) } else { f64::MAX };
-        let idx = self.0.bounds.partition_point(|b| v > *b);
+        let last = *self.0.bounds.last().expect("bounds non-empty");
+        let (idx, sum_v) = if v.is_finite() {
+            let v = v.max(0.0);
+            (self.0.bounds.partition_point(|b| v > *b), v)
+        } else if v == f64::NEG_INFINITY {
+            (0, 0.0)
+        } else {
+            (self.0.bounds.len(), last)
+        };
         self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
-        let milli = (v * 1_000.0).round().min(u64::MAX as f64) as u64;
+        let milli = (sum_v * 1_000.0).round().min(u64::MAX as f64) as u64;
         self.0.sum_milli.fetch_add(milli, Ordering::Relaxed);
     }
 

@@ -63,6 +63,30 @@ fn overflow_saturates_and_quantiles_clamp_to_last_finite_bound() {
 }
 
 #[test]
+fn non_finite_observations_clamp_sum_and_count_overflow() {
+    let h = Histogram::with_bounds(&[1.0, 10.0]);
+    h.observe(f64::NAN);
+    h.observe(f64::INFINITY);
+    // Both count into the overflow bucket, but each contributes only the
+    // last finite bound to the sum — not f64::MAX.
+    assert_eq!(h.bucket_counts(), vec![0, 0, 2]);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.sum(), 20.0);
+    // A second NaN must not wrap the fixed-point accumulator: the sum
+    // stays exact and monotone.
+    h.observe(f64::NAN);
+    assert_eq!(h.sum(), 30.0);
+    // -Inf clamps to zero like any negative observation.
+    h.observe(f64::NEG_INFINITY);
+    h.observe(-7.5);
+    assert_eq!(h.bucket_counts(), vec![2, 0, 3]);
+    assert_eq!(h.sum(), 30.0);
+    assert_eq!(h.count(), 5);
+    // Quantiles stay clamped to the last finite bound.
+    assert_eq!(h.p999(), 10.0);
+}
+
+#[test]
 fn merge_is_order_independent() {
     let bounds = [1.0, 5.0, 25.0, 125.0];
     let samples: [&[f64]; 3] = [

@@ -1,8 +1,22 @@
 //! Dense row-major `f32` matrices and the kernels dynamic-GNN training needs.
 //!
 //! The GPU kernels of the original system (PyTorch/CUDA) are replaced by
-//! cache-friendly CPU loops; `matmul` uses the i-k-j order so the inner loop
-//! streams over contiguous rows of both operands.
+//! cache-blocked CPU loops. All three GEMM variants run one shared core
+//! (`gemm_block`): the vectorizable i-k-j (axpy) order over
+//! `GEMM_KC`-row k-panels and `GEMM_JC`-wide column strips, with
+//! `GEMM_MR` output rows register-blocked per pass so one streamed strip
+//! of B feeds several accumulator rows. The transposed variants
+//! (`matmul_transa`, `matmul_transb`) pack the transposed operand once
+//! per call — an O(n²) tiled copy that buys the O(n³) loop contiguous,
+//! autovectorization-friendly accesses instead of a serial-dependency
+//! dot product down a strided column.
+//!
+//! Blocking is legal under the bit-identity rule because every
+//! `out[i][j]` still accumulates its `k` contributions serially, in
+//! increasing `k`, from `+0.0`, with one `mul`+`add` rounding per step —
+//! the same scalar sequence the naive triple loop performs; panels and
+//! register quads only reorder work *across* output elements, never
+//! within one.
 //!
 //! The hot kernels (`matmul*`, element-wise maps, reductions) run on the
 //! intra-rank thread pool ([`crate::pool`]) when the matrix is large enough:
@@ -54,6 +68,104 @@ impl fmt::Debug for Dense {
         }
         Ok(())
     }
+}
+
+/// Cache-blocking panel height: rows of the (packed) B operand processed
+/// per k-panel, keeping a `GEMM_KC × GEMM_JC` f32 tile of B (16 KiB)
+/// resident in L1 across the register-blocked row quads.
+const GEMM_KC: usize = 64;
+/// Cache-blocking strip width in f32 lanes — a multiple of the widest
+/// vector width (16 lanes of AVX-512) so full strips vectorize with no
+/// scalar tail.
+const GEMM_JC: usize = 64;
+/// Register-blocking factor: output rows sharing one streamed B strip per
+/// micro-kernel pass, quartering B traffic.
+const GEMM_MR: usize = 4;
+
+/// The shared blocked GEMM core: accumulates `a_block (m×kk) · b (kk×n)`
+/// into `out` (m×n), cache-blocked `GEMM_KC × GEMM_JC` with `GEMM_MR`-row
+/// register blocking.
+///
+/// Bit-identity: every `out[i][j]` starts at `+0.0` and accumulates its
+/// `k` contributions serially in increasing `k` with one `mul`+`add`
+/// rounding per step — exactly the naive triple loop's scalar sequence —
+/// so any blocking, and any row partition of this routine across pool
+/// threads, yields identical bits.
+///
+/// `skip_zeros` may only be set when every element of `b` is finite. A
+/// `±0.0 · finite` product is `±0.0`, and adding `±0.0` to an
+/// accumulator that started at `+0.0` can never change its bits (in
+/// round-to-nearest the accumulator can never itself become `-0.0`), so
+/// the skip is a pure optimisation for sparse-ish A. With a non-finite
+/// `b` the caller must clear it so `0.0 · ∞ = NaN` propagates.
+fn gemm_block(out: &mut [f32], a_block: &[f32], kk: usize, b: &[f32], n: usize, skip_zeros: bool) {
+    out.fill(0.0);
+    if n == 0 || kk == 0 {
+        return;
+    }
+    let m = out.len() / n;
+    for j0 in (0..n).step_by(GEMM_JC) {
+        let j1 = (j0 + GEMM_JC).min(n);
+        for k0 in (0..kk).step_by(GEMM_KC) {
+            let k1 = (k0 + GEMM_KC).min(kk);
+            let mut i = 0;
+            while i + GEMM_MR <= m {
+                let (q0, rest) = out[i * n..(i + GEMM_MR) * n].split_at_mut(n);
+                let (q1, rest) = rest.split_at_mut(n);
+                let (q2, q3) = rest.split_at_mut(n);
+                let s0 = &mut q0[j0..j1];
+                let s1 = &mut q1[j0..j1];
+                let s2 = &mut q2[j0..j1];
+                let s3 = &mut q3[j0..j1];
+                for k in k0..k1 {
+                    let a0 = a_block[i * kk + k];
+                    let a1 = a_block[(i + 1) * kk + k];
+                    let a2 = a_block[(i + 2) * kk + k];
+                    let a3 = a_block[(i + 3) * kk + k];
+                    if skip_zeros && a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                        continue;
+                    }
+                    let bs = &b[k * n + j0..k * n + j1];
+                    for ((((o0, o1), o2), o3), &bv) in s0
+                        .iter_mut()
+                        .zip(s1.iter_mut())
+                        .zip(s2.iter_mut())
+                        .zip(s3.iter_mut())
+                        .zip(bs)
+                    {
+                        *o0 += a0 * bv;
+                        *o1 += a1 * bv;
+                        *o2 += a2 * bv;
+                        *o3 += a3 * bv;
+                    }
+                }
+                i += GEMM_MR;
+            }
+            while i < m {
+                let strip = &mut out[i * n + j0..i * n + j1];
+                for k in k0..k1 {
+                    let a = a_block[i * kk + k];
+                    if skip_zeros && a == 0.0 {
+                        continue;
+                    }
+                    let bs = &b[k * n + j0..k * n + j1];
+                    for (o, &bv) in strip.iter_mut().zip(bs) {
+                        *o += a * bv;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Whether the zero-skip fast path may engage against this `b` operand:
+/// worth the O(len) scan only when the output is tall enough to amortize
+/// it, and legal only when `b` is entirely finite (see `gemm_block`).
+/// The decision never changes results — with finite `b` skipped and
+/// unskipped paths are bit-identical.
+fn allow_zero_skip(out_rows: usize, b: &[f32]) -> bool {
+    out_rows >= 16 && b.iter().all(|v| v.is_finite())
 }
 
 impl Dense {
@@ -187,108 +299,115 @@ impl Dense {
         self.data
     }
 
-    /// Matrix product `self * other`, row-parallel over the output.
+    /// Matrix product `self * other`, row-parallel over the output and
+    /// cache/register-blocked (see the module docs for why blocking keeps
+    /// results bit-identical to the naive triple loop).
+    ///
+    /// Rows of `self` that are exactly `±0.0` may be skipped as a fast
+    /// path, but only when `other` is entirely finite — the skip is then
+    /// provably bit-neutral, so the result is *always* the plain IEEE
+    /// product: `0.0 · ∞ = NaN` propagates, and all three `matmul*`
+    /// variants agree bitwise with their explicit-transpose forms on any
+    /// input.
     ///
     /// # Panics
     /// Panics when the inner dimensions disagree — validated up front,
     /// before any output allocation.
     pub fn matmul(&self, other: &Dense) -> Dense {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let n = other.cols;
-        // Scratch output: each row is zeroed just before its accumulation
-        // (cache-warm, and skips the arena's up-front fill pass).
+        let (kk, n) = (self.cols, other.cols);
+        // Scratch output: each block is zeroed just before its
+        // accumulation (cache-warm, and skips the arena's up-front fill).
         let mut out = Dense::scratch(self.rows, n);
-        let work = self.rows.saturating_mul(self.cols).saturating_mul(n);
+        let skip = allow_zero_skip(self.rows, &other.data);
+        let work = self.rows.saturating_mul(kk).saturating_mul(n);
         pool::par_rows(&mut out.data, n, work, |r0, block| {
-            for (di, out_row) in block.chunks_mut(n).enumerate() {
-                out_row.fill(0.0);
-                let a_row = self.row(r0 + di);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            let rows = block.len() / n;
+            let a_block = &self.data[r0 * kk..(r0 + rows) * kk];
+            gemm_block(block, a_block, kk, &other.data, n, skip);
         });
         out
     }
 
-    /// Matrix product `selfᵀ * other` without materialising the transpose.
-    /// Parallel over output rows — column slices of `self`; the k-outer
-    /// accumulation order per output element matches the serial kernel, so
-    /// any partition yields identical bits.
+    /// Matrix product `selfᵀ * other`: packs `selfᵀ` once per call (a
+    /// tiled O(rows·cols) copy) and runs the same blocked row-parallel
+    /// core as [`Dense::matmul`], which streams contiguous rows instead
+    /// of strided columns. Per output element the `k` accumulation order
+    /// is unchanged, so the packing is bitwise invisible; zero-skip and
+    /// non-finite semantics are exactly [`Dense::matmul`]'s.
     ///
     /// # Panics
     /// Panics when the row counts disagree — validated up front, before
     /// any output allocation.
     pub fn matmul_transa(&self, other: &Dense) -> Dense {
         assert_eq!(self.rows, other.rows, "matmul_transa shape mismatch");
-        let n = other.cols;
-        let cols = self.cols;
-        // Scratch output, zeroed per disjoint block inside the kernel.
-        let mut out = Dense::scratch(cols, n);
-        let work = self.rows.saturating_mul(cols).saturating_mul(n);
+        let (kk, n) = (self.rows, other.cols);
+        let at = self.transpose();
+        let mut out = Dense::scratch(self.cols, n);
+        let skip = allow_zero_skip(self.cols, &other.data);
+        let work = kk.saturating_mul(self.cols).saturating_mul(n);
         pool::par_rows(&mut out.data, n, work, |i0, block| {
-            block.fill(0.0);
-            let i1 = i0 + block.len() / n;
-            for k in 0..self.rows {
-                let a_slice = &self.data[k * cols + i0..k * cols + i1];
-                let b_row = other.row(k);
-                for (di, &a) in a_slice.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut block[di * n..(di + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            let rows = block.len() / n;
+            let a_block = &at.data[i0 * kk..(i0 + rows) * kk];
+            gemm_block(block, a_block, kk, &other.data, n, skip);
         });
+        workspace::recycle(at);
         out
     }
 
-    /// Matrix product `self * otherᵀ` without materialising the transpose,
-    /// row-parallel over the output.
+    /// Matrix product `self * otherᵀ`: packs `otherᵀ` once per call and
+    /// runs the same blocked row-parallel core as [`Dense::matmul`].
+    ///
+    /// The pack-and-transpose replaces the old per-element dot product —
+    /// a serial FP dependency chain the compiler cannot vectorize — with
+    /// the vectorizable axpy order; since the dot product accumulated
+    /// each `out[i][j]` in the same increasing-`k` order from `0.0`, the
+    /// rewrite is bit-identical on every input (`BENCH_parallel.json`
+    /// had this kernel ~4x slower than `matmul` at the same size).
     ///
     /// # Panics
     /// Panics when the column counts disagree — validated up front, before
     /// any output allocation.
     pub fn matmul_transb(&self, other: &Dense) -> Dense {
         assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
-        let n = other.rows;
-        // Every output element is written exactly once (`*o = acc`), so a
-        // scratch buffer is safe.
+        let (kk, n) = (self.cols, other.rows);
+        let bt = other.transpose();
         let mut out = Dense::scratch(self.rows, n);
-        let work = self.rows.saturating_mul(n).saturating_mul(self.cols);
+        let skip = allow_zero_skip(self.rows, &bt.data);
+        let work = self.rows.saturating_mul(n).saturating_mul(kk);
         pool::par_rows(&mut out.data, n, work, |r0, block| {
-            for (di, out_row) in block.chunks_mut(n).enumerate() {
-                let a_row = self.row(r0 + di);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = other.row(j);
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
+            let rows = block.len() / n;
+            let a_block = &self.data[r0 * kk..(r0 + rows) * kk];
+            gemm_block(block, a_block, kk, &bt.data, n, skip);
         });
+        workspace::recycle(bt);
         out
     }
 
-    /// The transposed matrix.
+    /// The transposed matrix — a tiled copy (32×32 tiles so both source
+    /// rows and destination rows stay cache-resident), partitioned over
+    /// output row blocks under the memory-bound pool gate. Pure data
+    /// movement: tiling and partitioning cannot affect values.
     pub fn transpose(&self) -> Dense {
-        let mut out = Dense::scratch(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        const TILE: usize = 32;
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = Dense::scratch(cols, rows);
+        let work = self.data.len().saturating_mul(2);
+        pool::par_rows_membound(&mut out.data, rows, work, |c0, block| {
+            let cblk = block.len() / rows;
+            for rt in (0..rows).step_by(TILE) {
+                let r1 = (rt + TILE).min(rows);
+                for ct in (0..cblk).step_by(TILE) {
+                    let c1 = (ct + TILE).min(cblk);
+                    for c in ct..c1 {
+                        let dst = &mut block[c * rows + rt..c * rows + r1];
+                        for (o, r) in dst.iter_mut().zip(rt..r1) {
+                            *o = self.data[r * cols + c0 + c];
+                        }
+                    }
+                }
             }
-        }
+        });
         out
     }
 
@@ -646,6 +765,55 @@ mod tests {
         let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = m(2, 3, &[1.0, 0.0, 2.0, 0.0, 1.0, 2.0]);
         assert_eq!(a.matmul_transb(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn zero_rows_propagate_nonfinite_b() {
+        // The zero-skip fast path is gated off whenever B has a
+        // non-finite entry, so 0·∞ = NaN and -0.0 coefficients propagate
+        // exactly as the naive IEEE triple loop would.
+        let a = m(2, 2, &[0.0, 1.0, -0.0, 2.0]);
+        let b = m(2, 2, &[f32::INFINITY, 1.0, 1.0, 1.0]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0·inf must yield NaN");
+        assert!(c.get(1, 0).is_nan(), "-0·inf must yield NaN");
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(1, 1), 2.0);
+        // All variants agree bitwise with the explicit-transpose forms.
+        let bits = |x: &Dense| x.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.matmul_transb(&b.transpose())), bits(&c));
+        assert_eq!(bits(&a.transpose().matmul_transa(&b)), bits(&c));
+        // NaN in B under a zero coefficient propagates too.
+        let bn = m(2, 1, &[f32::NAN, 5.0]);
+        assert!(a.matmul(&bn).get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn zero_skip_is_bit_neutral_on_finite_data() {
+        // Tall-enough A with exact-zero rows: the skip path engages (B is
+        // finite) and must produce the same bits as the explicit
+        // transpose forms, which exercise different skip decisions.
+        let a = Dense::from_fn(40, 24, |r, c| {
+            if r % 3 == 0 {
+                if c % 2 == 0 {
+                    0.0
+                } else {
+                    -0.0
+                }
+            } else {
+                (r as f32 - 20.0) * 0.25 + c as f32 * 0.125
+            }
+        });
+        let b = Dense::from_fn(24, 40, |r, c| ((r * 7 + c * 3) % 13) as f32 - 6.0);
+        let via_transb = a.matmul_transb(&b.transpose());
+        let plain = a.matmul(&b);
+        assert_eq!(plain.shape(), via_transb.shape());
+        let identical = plain
+            .data()
+            .iter()
+            .zip(via_transb.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(identical, "skip path diverged from explicit transpose");
     }
 
     #[test]

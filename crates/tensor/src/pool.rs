@@ -13,6 +13,16 @@
 //! chunk boundaries (independent of thread count) combined left-to-right,
 //! which keeps them bit-stable across thread counts as well.
 //!
+//! Kernels come in two work classes with separate engage gates:
+//! compute-bound GEMMs dispatch through [`par_rows`] (floor
+//! [`PAR_MIN_ROW_WORK`]), while memory-bound kernels — SpMM and friends,
+//! which saturate bandwidth with few threads — use [`par_rows_membound`]
+//! (higher floor [`PAR_MIN_MEMBOUND_WORK`], thread count capped at the
+//! host's logical CPUs so an oversubscribed override cannot regress them
+//! below serial). The gates only decide *whether and how wide* to
+//! dispatch, never what is computed, so they sit outside the determinism
+//! contract.
+//!
 //! # Thread-count resolution
 //!
 //! In priority order:
@@ -37,10 +47,17 @@ use rayon::ThreadPool;
 pub const ENV_THREADS: &str = "DGNN_THREADS";
 
 /// Minimum total work (inner-length × output-width units, roughly flops)
-/// below which the matmul/SpMM kernels stay serial: pool dispatch costs a
-/// few microseconds and must not dominate small matrices. Constant, so it
-/// never affects the determinism contract.
+/// below which the compute-bound matmul kernels stay serial: pool dispatch
+/// costs a few microseconds and must not dominate small matrices.
+/// Constant, so it never affects the determinism contract.
 pub const PAR_MIN_ROW_WORK: usize = 1 << 15;
+
+/// Minimum total work for the *memory-bound* kernels (SpMM, its backward,
+/// transposes): they saturate memory bandwidth with few threads while
+/// paying the same dispatch overhead, so they need a larger problem than
+/// the compute-bound GEMMs before the pool wins. Constant, so it never
+/// affects the determinism contract.
+pub const PAR_MIN_MEMBOUND_WORK: usize = 1 << 17;
 
 /// Minimum element count below which element-wise kernels stay serial.
 pub const PAR_MIN_ELEMS: usize = 1 << 13;
@@ -78,13 +95,27 @@ pub fn effective_threads() -> usize {
     if let Some(n) = env_threads() {
         return n;
     }
-    // `available_parallelism` is a syscall; it sits on the dispatch path of
-    // every kernel, so resolve it once per process (≈10µs per call on
-    // sandboxed hosts — it used to dominate small-matrix training).
-    static AVAIL: OnceLock<usize> = OnceLock::new();
-    let avail = *AVAIL.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from));
     let ranks = LIVE_RANKS.load(Ordering::Relaxed).max(1);
-    (avail / ranks).max(1)
+    (host_parallelism() / ranks).max(1)
+}
+
+/// The host's logical CPU count, resolved once per process.
+/// `available_parallelism` is a syscall; it sits on the dispatch path of
+/// every kernel (≈10µs per call on sandboxed hosts — it used to dominate
+/// small-matrix training).
+pub fn host_parallelism() -> usize {
+    static AVAIL: OnceLock<usize> = OnceLock::new();
+    *AVAIL.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// Thread count for memory-bound kernels: the resolved count capped at
+/// the host's logical CPUs. Oversubscribing a bandwidth-bound kernel only
+/// adds scheduling overhead (`BENCH_parallel.json` once recorded `spmm`
+/// at 0.96x "speedup" running 4 threads on a 1-core host), and since the
+/// determinism contract makes results thread-count independent, capping
+/// the dispatch is free.
+pub fn membound_threads() -> usize {
+    effective_threads().min(host_parallelism())
 }
 
 /// The override currently installed on this thread, if any — used by
@@ -164,6 +195,17 @@ pub fn rows_parallel(rows: usize, total_work: usize) -> bool {
     rows > 1 && total_work >= PAR_MIN_ROW_WORK && effective_threads() > 1 && !rayon::in_parallel()
 }
 
+/// [`rows_parallel`] for memory-bound kernels: the higher
+/// [`PAR_MIN_MEMBOUND_WORK`] floor and the host-capped
+/// [`membound_threads`] count, so bandwidth-bound loops never engage an
+/// oversubscribed pool that can only lose to serial.
+pub fn rows_parallel_membound(rows: usize, total_work: usize) -> bool {
+    rows > 1
+        && total_work >= PAR_MIN_MEMBOUND_WORK
+        && membound_threads() > 1
+        && !rayon::in_parallel()
+}
+
 /// Row-partitioned parallel execution over `data`, interpreted as rows of
 /// `row_len` elements. `f(start_row, block)` receives disjoint contiguous
 /// row blocks and must write only its block; `total_work` (≈ flops) gates
@@ -180,13 +222,42 @@ pub fn par_rows<T: Send>(
     if data.is_empty() || row_len == 0 {
         return;
     }
+    let rows = data.len() / row_len;
+    let engage = rows_parallel(rows, total_work);
+    dispatch_rows(data, row_len, engage, effective_threads(), f);
+}
+
+/// [`par_rows`] for memory-bound kernels (SpMM, transposes): engages
+/// under [`rows_parallel_membound`] and never dispatches more threads
+/// than the host has logical CPUs. The callback contract — and therefore
+/// the bit-identity guarantee — is exactly [`par_rows`]'s.
+pub fn par_rows_membound<T: Send>(
+    data: &mut [T],
+    row_len: usize,
+    total_work: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    if data.is_empty() || row_len == 0 {
+        return;
+    }
+    let rows = data.len() / row_len;
+    let engage = rows_parallel_membound(rows, total_work);
+    dispatch_rows(data, row_len, engage, membound_threads(), f);
+}
+
+fn dispatch_rows<T: Send>(
+    data: &mut [T],
+    row_len: usize,
+    engage: bool,
+    threads: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
     debug_assert_eq!(data.len() % row_len, 0, "data is not whole rows");
     let rows = data.len() / row_len;
-    if !rows_parallel(rows, total_work) {
+    if !engage || threads <= 1 {
         f(0, data);
         return;
     }
-    let threads = effective_threads();
     // A few chunks per thread so atomic claiming can balance skewed rows
     // (e.g. power-law SpMM); boundaries never affect results.
     let chunks = rows.min(threads * 4);

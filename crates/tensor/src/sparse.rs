@@ -254,8 +254,8 @@ impl Csr {
         // Histogram + scatter both move ~nnz entries; weight the engage
         // decision like an f=8 SpMM so tiny matrices stay serial.
         let work = nnz.saturating_mul(8);
-        let parts = if pool::rows_parallel(rows, work) {
-            (pool::effective_threads() * 2).min(rows.max(1))
+        let parts = if pool::rows_parallel_membound(rows, work) {
+            (pool::membound_threads() * 2).min(rows.max(1))
         } else {
             1
         };
@@ -263,7 +263,7 @@ impl Csr {
 
         // Per-part column histograms (part-partitioned, reads only its rows).
         let mut counts = vec![0u32; parts * cols];
-        pool::par_rows(&mut counts, cols, work, |p0, block| {
+        pool::par_rows_membound(&mut counts, cols, work, |p0, block| {
             for (dp, hist) in block.chunks_mut(cols).enumerate() {
                 let p = p0 + dp;
                 let lo = (p * rows_per_part).min(rows);
@@ -325,6 +325,12 @@ impl Csr {
     /// each pool thread aggregates a disjoint block of output rows with the
     /// serial inner loop, so results are bit-identical at any thread count.
     ///
+    /// The kernel is memory-bound, so it engages the pool under the
+    /// stricter [`pool::rows_parallel_membound`] gate — a higher work
+    /// floor and a thread count capped at the host's logical CPUs, so an
+    /// oversubscribed `DGNN_THREADS` override can never regress it below
+    /// serial.
+    ///
     /// # Panics
     /// Panics when `x` does not have `self.cols` rows — validated up front,
     /// before any output allocation.
@@ -358,13 +364,13 @@ impl Csr {
         assert_eq!(self.rows, x.rows(), "spmm_transa shape mismatch");
         let f = x.cols();
         let work = self.nnz().saturating_mul(f);
-        let threads = pool::effective_threads();
+        let threads = pool::membound_threads();
         // With the cache warm the transpose is free, so only the first call
         // needs the feature width to amortize the counting sort.
         let amortized = self.transpose_cache.get().is_some()
             || (threads > 1
                 && f.saturating_mul(threads - 1) > Self::TRANSPOSE_COST_F_UNITS * threads);
-        if amortized && pool::rows_parallel(self.cols, work) {
+        if amortized && pool::rows_parallel_membound(self.cols, work) {
             return self
                 .transpose_cache
                 .get_or_init(|| Arc::new(self.transpose()))
@@ -407,7 +413,7 @@ impl Csr {
             .map(|&r| self.indptr[r as usize + 1] - self.indptr[r as usize])
             .sum::<usize>()
             .saturating_mul(f);
-        pool::par_rows(out.data_mut(), f, work, |i0, block| {
+        pool::par_rows_membound(out.data_mut(), f, work, |i0, block| {
             for (di, out_row) in block.chunks_mut(f).enumerate() {
                 let r = rows[i0 + di] as usize;
                 for k in self.indptr[r]..self.indptr[r + 1] {
@@ -433,7 +439,7 @@ impl Csr {
         // accumulation (cache-warm, and skips the arena's up-front fill).
         let mut out = Dense::scratch(self.rows, f);
         let work = self.nnz().saturating_mul(f);
-        pool::par_rows(out.data_mut(), f, work, |r0, block| {
+        pool::par_rows_membound(out.data_mut(), f, work, |r0, block| {
             for (dr, out_row) in block.chunks_mut(f).enumerate() {
                 out_row.fill(0.0);
                 let r = r0 + dr;
