@@ -1,0 +1,6 @@
+//! Harness binary for the pre-aggregation reuse churn sweep; pass
+//! `--fast` for the reduced CI smoke workload.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::reuse::run(fast);
+}

@@ -12,7 +12,9 @@
 //! threaded kernels, recorded to `BENCH_parallel.json`), `serve`
 //! (incremental-vs-full inference recompute and query throughput,
 //! recorded to `BENCH_serve.json`), `store` (out-of-core training at half
-//! the snapshot working set, recorded to `BENCH_store.json`), `telemetry`
+//! the snapshot working set, recorded to `BENCH_store.json`), `reuse`
+//! (cross-snapshot pre-aggregation reuse churn sweep, recorded to
+//! `BENCH_reuse.json`), `telemetry`
 //! (traced epoch span coverage, metrics scrape, and §7 model-vs-measured,
 //! recorded to `BENCH_telemetry.json` + `TRACE_telemetry.json`), plus
 //! `calib` (machine-constant calibration) and `run_all`.
@@ -28,6 +30,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod kernel_scaling;
 pub mod report;
+pub mod reuse;
 pub mod serve;
 pub mod store;
 pub mod streaming;

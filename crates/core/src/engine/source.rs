@@ -121,14 +121,21 @@ pub struct StoreSource {
     schedule: Vec<Range<usize>>,
     cursor: Cell<usize>,
     preagg: bool,
+    /// The spilled task's [`Task::input_revision`]: every key is scoped
+    /// by it, so a tier shared between tasks (or between a streaming
+    /// run's windows) stays coherent — a rebuilt pre-aggregation gets
+    /// fresh keys instead of silently shadowing stale blocks.
+    rev: u64,
 }
 
-fn lap_key(t: usize) -> String {
-    format!("lap{t}")
-}
+impl StoreSource {
+    fn lap_key(&self, t: usize) -> String {
+        format!("lap{t}.r{}", self.rev)
+    }
 
-fn input_key(t: usize) -> String {
-    format!("in{t}")
+    fn input_key(&self, t: usize) -> String {
+        format!("in{t}.r{}", self.rev)
+    }
 }
 
 impl StoreSource {
@@ -144,24 +151,26 @@ impl StoreSource {
         tier: Rc<RefCell<TieredStore>>,
         blocks: &[Range<usize>],
     ) -> Result<Self, StoreError> {
-        {
-            let mut t = tier.borrow_mut();
-            for (i, lap) in task.laps.iter().enumerate() {
-                t.put_csr(&lap_key(i), lap)?;
-            }
-            let inputs = task.preagg.as_ref().unwrap_or(&task.features);
-            for (i, block) in inputs.iter().enumerate() {
-                t.put_dense(&input_key(i), block)?;
-            }
-        }
         let mut schedule = blocks.to_vec();
         schedule.extend(blocks.iter().rev().cloned());
-        Ok(Self {
+        let src = Self {
             tier,
             schedule,
             cursor: Cell::new(0),
             preagg: task.preagg.is_some(),
-        })
+            rev: task.input_revision,
+        };
+        {
+            let mut t = src.tier.borrow_mut();
+            for (i, lap) in task.laps.iter().enumerate() {
+                t.put_csr(&src.lap_key(i), lap)?;
+            }
+            let inputs = task.preagg.as_ref().unwrap_or(&task.features);
+            for (i, block) in inputs.iter().enumerate() {
+                t.put_dense(&src.input_key(i), block)?;
+            }
+        }
+        Ok(src)
     }
 
     /// The store's counters (misses, evictions, resident bytes).
@@ -174,7 +183,7 @@ impl SnapshotSource for StoreSource {
     fn lap(&self, t: usize) -> Rc<Csr> {
         self.tier
             .borrow_mut()
-            .get_csr(&lap_key(t))
+            .get_csr(&self.lap_key(t))
             .unwrap_or_else(|e| panic!("out-of-core Laplacian {t} unreadable: {e}"))
     }
 
@@ -182,7 +191,7 @@ impl SnapshotSource for StoreSource {
         let rc = self
             .tier
             .borrow_mut()
-            .get_dense(&input_key(t))
+            .get_dense(&self.input_key(t))
             .unwrap_or_else(|e| panic!("out-of-core input block {t} unreadable: {e}"));
         (*rc).clone()
     }
@@ -201,12 +210,25 @@ impl SnapshotSource for StoreSource {
             // A front-end walking outside the engine schedule (e.g. a
             // forward-only evaluation) resyncs instead of asserting: a
             // stale cursor only costs prefetch accuracy, never bits.
-            cur = self.schedule.iter().position(|b| b == block).unwrap_or(cur);
+            // Every block appears twice (forward half, then mirrored in
+            // the reversed backward half), so resolve to the occurrence
+            // *nearest the cursor* — matching the first occurrence
+            // unconditionally would snap a backward-pass resync to the
+            // forward half and prefetch the forward successor instead of
+            // the backward predecessor.
+            cur = self
+                .schedule
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| *b == block)
+                .min_by_key(|&(i, _)| i.abs_diff(cur))
+                .map(|(i, _)| i)
+                .unwrap_or(cur);
         }
         let next = &self.schedule[(cur + 1) % len];
         let keys: Vec<String> = next
             .clone()
-            .flat_map(|t| [lap_key(t), input_key(t)])
+            .flat_map(|t| [self.lap_key(t), self.input_key(t)])
             .collect();
         self.tier
             .borrow_mut()
@@ -432,6 +454,87 @@ fn decode_carry(meta: &[u32], mats: Vec<Dense>) -> CarryState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgnn_models::ModelConfig;
+    use dgnn_store::StoreConfig;
+
+    use crate::task::{prepare_task_holdout, TaskOptions};
+
+    fn small_task(seed: u64) -> Task {
+        let g = dgnn_graph::gen::churn(30, 7, 80, 0.3, seed);
+        let cfg = ModelConfig {
+            kind: dgnn_models::ModelKind::CdGcn,
+            input_f: 2,
+            hidden: 4,
+            mprod_window: 3,
+            smoothing_window: 3,
+        };
+        prepare_task_holdout(&g, &cfg, &TaskOptions::default())
+    }
+
+    fn shared_tier() -> Rc<RefCell<TieredStore>> {
+        Rc::new(RefCell::new(
+            TieredStore::open(&StoreConfig::with_budget(0)).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn enter_block_resyncs_to_the_nearest_schedule_occurrence() {
+        let task = small_task(1);
+        let blocks = vec![0..2usize, 2..4, 4..6];
+        let src = StoreSource::spill(&task, shared_tier(), &blocks).unwrap();
+        // schedule: [0..2, 2..4, 4..6 | 4..6, 2..4, 0..2]
+        src.enter_block(&(0..2));
+        src.enter_block(&(2..4));
+        src.enter_block(&(4..6));
+        assert_eq!(src.cursor.get(), 3, "in-schedule walk needs no resync");
+        // Jump into the backward half *out of order* (the cursor points at
+        // the backward 4..6): the resync must land on the backward
+        // occurrence of 2..4 (index 4) — the forward occurrence (index 1)
+        // would prefetch the forward successor 4..6 instead of the
+        // backward predecessor 0..2.
+        src.enter_block(&(2..4));
+        assert_eq!(src.cursor.get(), 5, "resync picked the forward half");
+        src.enter_block(&(0..2));
+        assert_eq!(src.cursor.get(), 0, "backward walk continues in order");
+    }
+
+    #[test]
+    fn enter_block_resync_from_deep_backward_position() {
+        let task = small_task(2);
+        let blocks = vec![0..2usize, 2..4, 4..6];
+        let src = StoreSource::spill(&task, shared_tier(), &blocks).unwrap();
+        // Walk forward and through the backward half down to 2..4, then
+        // re-enter 4..6 (a forward-only evaluation restarting mid-epoch):
+        // nearest occurrence of 4..6 to cursor 5 is the backward index 3.
+        for b in [&(0..2), &(2..4), &(4..6), &(4..6), &(2..4)] {
+            src.enter_block(b);
+        }
+        assert_eq!(src.cursor.get(), 5);
+        src.enter_block(&(4..6));
+        assert_eq!(src.cursor.get(), 4, "resync picked the forward 4..6");
+    }
+
+    #[test]
+    fn shared_tier_keeps_tasks_coherent_via_revision_keys() {
+        let a = small_task(3);
+        let b = small_task(4);
+        assert_ne!(a.input_revision, b.input_revision);
+        let tier = shared_tier();
+        let blocks = vec![0..3usize, 3..6];
+        let src_a = StoreSource::spill(&a, Rc::clone(&tier), &blocks).unwrap();
+        // Spilling a second task into the *same* tier must not shadow the
+        // first task's blocks.
+        let src_b = StoreSource::spill(&b, tier, &blocks).unwrap();
+        let bits = |d: &Dense| d.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        for t in 0..6 {
+            assert_eq!(*src_a.lap(t), a.laps[t], "task A Laplacian {t}");
+            assert_eq!(*src_b.lap(t), b.laps[t], "task B Laplacian {t}");
+            let pre_a = &a.preagg.as_ref().unwrap()[t];
+            let pre_b = &b.preagg.as_ref().unwrap()[t];
+            assert_eq!(bits(&src_a.input(t)), bits(pre_a), "task A input {t}");
+            assert_eq!(bits(&src_b.input(t)), bits(pre_b), "task B input {t}");
+        }
+    }
 
     fn sample_carry() -> CarryState {
         CarryState {

@@ -50,18 +50,20 @@ pub use hybrid::train_hybrid;
 pub use metrics::{auc, EpochStats, TrainOptions};
 pub use single::{train_single, train_single_out_of_core};
 pub use streaming::{train_streaming, StreamTrainOptions, WindowStats};
-pub use task::{prepare_task, prepare_task_holdout, Task, TaskOptions};
+pub use task::{prepare_task, prepare_task_holdout, prepare_task_journaled, Task, TaskOptions};
 pub use vertex_dist::train_vertex_partitioned;
 
 /// Convenience re-exports of the whole stack.
 pub mod prelude {
     pub use crate::metrics::{EpochStats, TrainOptions};
     pub use crate::streaming::{train_streaming, StreamTrainOptions, WindowStats};
-    pub use crate::task::{prepare_task, prepare_task_holdout, Task, TaskOptions};
+    pub use crate::task::{
+        prepare_task, prepare_task_holdout, prepare_task_journaled, Task, TaskOptions,
+    };
     pub use crate::{train_distributed, train_hybrid, train_single, train_vertex_partitioned};
     pub use dgnn_autograd::{Adam, Optimizer, ParamStore, Sgd, Tape, Var};
     pub use dgnn_graph::{
-        DatasetSpec, DynamicGraph, EdgeSamples, Smoothing, Snapshot, TemporalStats,
+        DatasetSpec, DynamicGraph, EdgeSamples, ReuseStats, Smoothing, Snapshot, TemporalStats,
     };
     pub use dgnn_models::{accuracy, LinkPredHead, Model, ModelConfig, ModelKind};
     pub use dgnn_partition::{Hypergraph, PartitionerConfig, SnapshotPartition, VertexChunks};

@@ -31,7 +31,7 @@ use crate::engine::single_rank::run_block;
 use crate::engine::source::TaskSource;
 use crate::metrics::{auc, EpochStats, TrainOptions};
 use crate::single::train_single;
-use crate::task::{prepare_task, Task, TaskOptions};
+use crate::task::{prepare_task_journaled, Task, TaskOptions};
 
 /// Options for online streaming training.
 #[derive(Clone, Copy, Debug)]
@@ -122,12 +122,20 @@ pub fn train_streaming(
     let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
 
     let mut history: VecDeque<Snapshot> = VecDeque::new();
+    // Touched-vertex journal aligned with `history`: `transitions[i]` is
+    // the touched set of the transition `history[i] → history[i+1]`
+    // (invariant: `transitions.len() == history.len() - 1`).
+    let mut transitions: VecDeque<Vec<u32>> = VecDeque::new();
     let mut out = Vec::new();
     for w in windows(log, opts.policy) {
+        if !history.is_empty() {
+            transitions.push_back(w.touched.clone());
+        }
         history.push_back(w.snapshot.clone());
         // Keep `history` training snapshots plus the held-out newest.
         while history.len() > opts.history + 1 {
             history.pop_front();
+            transitions.pop_front();
         }
         if history.len() < opts.min_history + 1 {
             continue;
@@ -136,12 +144,17 @@ pub fn train_streaming(
         let t = train_snaps.len();
         let train_graph = DynamicGraph::new(n, train_snaps);
         let next = history.back().expect("non-empty history").clone();
-        // Task preparation runs fresh per window: the smoothings (§5.4)
-        // re-mix *every* history snapshot as the window slides, so only
-        // the raw-graph configs could reuse prior Laplacians/features —
-        // a caching opportunity once profiles show it matters; the
-        // per-window epochs dominate at current sizes.
-        let task = prepare_task(&train_graph, &next, &cfg, &opts.task);
+        // Task preparation runs fresh per window, but the window journal
+        // lets the §5.5 pre-aggregation build incrementally across the
+        // history for raw-graph (unsmoothed) configs: only rows touched
+        // by each transition are recomputed. Smoothed configs (§5.4)
+        // re-mix *every* history snapshot as the window slides, so
+        // `prepare_task_journaled` falls back to its exact bitwise scan
+        // there; either path produces the same bits as a from-scratch
+        // build. The journal for the training slice excludes the final
+        // transition (into the held-out snapshot).
+        let journal: Vec<Vec<u32>> = transitions.iter().take(t - 1).cloned().collect();
+        let task = prepare_task_journaled(&train_graph, &next, &cfg, &opts.task, Some(&journal));
 
         let inner = TrainOptions {
             epochs: opts.epochs_per_window,

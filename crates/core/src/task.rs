@@ -2,8 +2,11 @@
 //! optional first-layer pre-aggregation (paper §5.5), and link-prediction
 //! samples — everything a trainer consumes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use dgnn_graph::features::degree_features;
 use dgnn_graph::linkpred::build_linkpred;
+use dgnn_graph::preagg::{incremental_preagg, ReuseStats};
 use dgnn_graph::smoothing::m_transform_features;
 use dgnn_graph::{DynamicGraph, EdgeSamples, Smoothing, Snapshot};
 use dgnn_models::ModelConfig;
@@ -29,6 +32,14 @@ pub struct Task {
     pub train: Vec<EdgeSamples>,
     /// Test samples from the held-out snapshot at `T+1`.
     pub test: EdgeSamples,
+    /// How the pre-aggregation was built (all zeros when `preagg` is
+    /// `None`): full rebuilds vs incremental carries and the row counts
+    /// behind them.
+    pub preagg_reuse: ReuseStats,
+    /// Process-unique revision of this task's operator/input blocks.
+    /// The out-of-core spill keys are scoped by it, so two tasks spilled
+    /// into one shared tier can never serve each other stale blocks.
+    pub input_revision: u64,
 }
 
 /// Options controlling task preparation.
@@ -38,6 +49,12 @@ pub struct TaskOptions {
     pub theta: f64,
     /// Enable the first-layer `Ã·X` pre-computation.
     pub precompute_first_layer: bool,
+    /// Build the pre-aggregation incrementally across snapshots
+    /// ([`dgnn_graph::preagg`]): each timestep's block starts as a copy
+    /// of its predecessor and only the dirty rows are recomputed.
+    /// Bit-identical to the from-scratch build either way; turning it
+    /// off only changes how the same bits are produced.
+    pub reuse_preagg: bool,
     /// Sampling seed.
     pub seed: u64,
 }
@@ -47,10 +64,14 @@ impl Default for TaskOptions {
         Self {
             theta: 0.1,
             precompute_first_layer: true,
+            reuse_preagg: true,
             seed: 17,
         }
     }
 }
+
+/// Source of [`Task::input_revision`] values.
+static NEXT_INPUT_REVISION: AtomicU64 = AtomicU64::new(0);
 
 /// Prepares a task from a raw dynamic graph: applies the model's smoothing,
 /// builds Laplacians and degree features (M-transformed alongside the
@@ -63,6 +84,25 @@ pub fn prepare_task(
     cfg: &ModelConfig,
     opts: &TaskOptions,
 ) -> Task {
+    prepare_task_journaled(raw, next, cfg, opts, None)
+}
+
+/// [`prepare_task`] with an optional touched-vertex journal:
+/// `journal[t-1]` lists every vertex whose incident edges (structure or
+/// weight) changed between raw snapshots `t-1` and `t` — what
+/// `DeltaBatcher::touched_vertices` emits per window. When the model
+/// applies no smoothing the journal bounds the dirty pre-aggregation
+/// rows directly (the Eq. (1) Laplacian is structurally symmetric and
+/// degree features are per-vertex), so the incremental build skips even
+/// the fallback scan; smoothed configs mix raw frames across time, so
+/// the journal is ignored there and the exact bitwise scan decides.
+pub fn prepare_task_journaled(
+    raw: &DynamicGraph,
+    next: &Snapshot,
+    cfg: &ModelConfig,
+    opts: &TaskOptions,
+    journal: Option<&[Vec<u32>]>,
+) -> Task {
     let smoothing = cfg.smoothing();
     let graph = smoothing.apply(raw);
     let laps: Vec<Csr> = graph.snapshots().iter().map(Snapshot::laplacian).collect();
@@ -74,11 +114,19 @@ pub fn prepare_task(
     }
     let features: Vec<Dense> = features.into_frames();
 
+    let mut preagg_reuse = ReuseStats::default();
     let preagg = opts.precompute_first_layer.then(|| {
-        laps.iter()
-            .zip(&features)
-            .map(|(a, x)| a.spmm(x))
-            .collect::<Vec<Dense>>()
+        if opts.reuse_preagg {
+            let journal = journal.filter(|_| matches!(smoothing, Smoothing::None));
+            let (blocks, stats) = incremental_preagg(&laps, &features, journal);
+            preagg_reuse = stats;
+            blocks
+        } else {
+            laps.iter()
+                .zip(&features)
+                .map(|(a, x)| a.spmm(x))
+                .collect::<Vec<Dense>>()
+        }
     });
 
     let data = build_linkpred(raw, next, opts.theta, opts.seed);
@@ -91,6 +139,8 @@ pub fn prepare_task(
         preagg,
         train: data.train,
         test: data.test,
+        preagg_reuse,
+        input_revision: NEXT_INPUT_REVISION.fetch_add(1, Ordering::Relaxed),
     }
 }
 
@@ -140,6 +190,74 @@ mod tests {
             let expected = task.laps[t].spmm(&task.features[t]);
             assert!(preagg[t].approx_eq(&expected, 1e-6));
         }
+    }
+
+    fn preagg_bits(task: &Task) -> Vec<Vec<u32>> {
+        task.preagg
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|d| d.data().iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn reuse_knob_is_bit_identical_for_every_model() {
+        let g = churn(120, 5, 300, 0.1, 6);
+        for kind in [ModelKind::CdGcn, ModelKind::EvolveGcn, ModelKind::TmGcn] {
+            let cfg = ModelConfig::paper_defaults(kind);
+            let on = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+            let off = prepare_task_holdout(
+                &g,
+                &cfg,
+                &TaskOptions {
+                    reuse_preagg: false,
+                    ..TaskOptions::default()
+                },
+            );
+            assert_eq!(preagg_bits(&on), preagg_bits(&off), "kind = {kind:?}");
+            assert_eq!(off.preagg_reuse, ReuseStats::default());
+            assert_eq!(on.preagg_reuse.timesteps, on.t);
+        }
+    }
+
+    #[test]
+    fn journaled_preparation_is_bit_identical() {
+        use dgnn_graph::preagg::journal_from_diff;
+        let g = churn(300, 6, 450, 0.03, 8);
+        let train = g.time_slice(0, 5);
+        let next = g.snapshot(5).clone();
+        // churn snapshots are unweighted, so the structural-diff journal
+        // covers every raw change.
+        let journal: Vec<Vec<u32>> = (1..5)
+            .map(|t| {
+                journal_from_diff(&dgnn_graph::diff(
+                    g.snapshot(t - 1).adj(),
+                    g.snapshot(t).adj(),
+                ))
+            })
+            .collect();
+        let cfg = ModelConfig::paper_defaults(ModelKind::CdGcn);
+        let opts = TaskOptions::default();
+        let journaled = prepare_task_journaled(&train, &next, &cfg, &opts, Some(&journal));
+        let scanned = prepare_task(&train, &next, &cfg, &opts);
+        assert_eq!(preagg_bits(&journaled), preagg_bits(&scanned));
+        assert!(journaled.preagg_reuse.incremental_builds > 0);
+        // A smoothed config must ignore the raw journal (it would not
+        // bound the smoothed row changes) and still come out identical.
+        let smoothed_cfg = ModelConfig::paper_defaults(ModelKind::EvolveGcn);
+        let a = prepare_task_journaled(&train, &next, &smoothed_cfg, &opts, Some(&journal));
+        let b = prepare_task(&train, &next, &smoothed_cfg, &opts);
+        assert_eq!(preagg_bits(&a), preagg_bits(&b));
+    }
+
+    #[test]
+    fn input_revisions_are_unique() {
+        let g = churn(40, 3, 100, 0.3, 5);
+        let cfg = ModelConfig::paper_defaults(ModelKind::CdGcn);
+        let a = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+        let b = prepare_task_holdout(&g, &cfg, &TaskOptions::default());
+        assert_ne!(a.input_revision, b.input_revision);
     }
 
     #[test]

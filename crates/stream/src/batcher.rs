@@ -10,6 +10,8 @@
 //! advance `O(Δ + nnz)` (a linear merge) instead of a full
 //! `O(nnz log nnz)` rebuild.
 
+use std::cell::RefCell;
+
 use dgnn_graph::GraphDiff;
 use dgnn_tensor::Csr;
 
@@ -29,6 +31,12 @@ pub struct DeltaBatcher {
     /// — its state at the last flush.
     touched: Vec<((u32, u32), Option<f32>)>,
     events_since_flush: usize,
+    /// Memoized [`DeltaBatcher::touched_vertices`] result, valid until
+    /// the next [`DeltaBatcher::apply`] or flush. The method is a
+    /// per-window hot-path probe (the pre-aggregation reuse cache and the
+    /// serve engine both call it), and re-sorting the full journal on
+    /// every call was `O(Δ log Δ)` per probe instead of per batch.
+    touched_cache: RefCell<Option<Vec<u32>>>,
 }
 
 impl DeltaBatcher {
@@ -39,6 +47,7 @@ impl DeltaBatcher {
             graph: StreamingGraph::new(n),
             touched: Vec::new(),
             events_since_flush: 0,
+            touched_cache: RefCell::new(None),
         }
     }
 
@@ -49,6 +58,7 @@ impl DeltaBatcher {
             graph: StreamingGraph::from_snapshot(s),
             touched: Vec::new(),
             events_since_flush: 0,
+            touched_cache: RefCell::new(None),
         }
     }
 
@@ -67,6 +77,8 @@ impl DeltaBatcher {
         let before = self.graph.apply(ev);
         self.touched.push(((ev.src, ev.dst), before));
         self.events_since_flush += 1;
+        // `get_mut`: no runtime borrow on the ingest hot path.
+        self.touched_cache.get_mut().take();
     }
 
     /// Absorbs a slice of events in order.
@@ -80,8 +92,14 @@ impl DeltaBatcher {
     /// sorted and deduplicated — the seed set a diff subscriber (e.g. the
     /// `dgnn-serve` incremental inference engine) expands into its
     /// per-layer recompute frontier. Call before [`DeltaBatcher::flush`] /
-    /// [`DeltaBatcher::advance`], which clear the journal.
+    /// [`DeltaBatcher::advance`], which clear the journal. Memoized: the
+    /// set is computed once per batch state and served from cache until
+    /// the next [`DeltaBatcher::apply`] or flush invalidates it.
     pub fn touched_vertices(&self) -> Vec<u32> {
+        let mut cache = self.touched_cache.borrow_mut();
+        if let Some(cached) = cache.as_ref() {
+            return cached.clone();
+        }
         let mut out: Vec<u32> = self
             .touched
             .iter()
@@ -89,6 +107,7 @@ impl DeltaBatcher {
             .collect();
         out.sort_unstable();
         out.dedup();
+        *cache = Some(out.clone());
         out
     }
 
@@ -149,6 +168,7 @@ impl DeltaBatcher {
         }
         self.touched.clear();
         self.events_since_flush = 0;
+        self.touched_cache.get_mut().take();
         (ext_prev, ext_next)
     }
 }
@@ -214,6 +234,35 @@ mod tests {
         assert!(b.touched_vertices().is_empty());
         b.apply(&EdgeEvent::update(1, 5, 5, 2.0));
         assert_eq!(b.touched_vertices(), vec![5]);
+    }
+
+    #[test]
+    fn touched_vertices_memoization_matches_fresh_recompute() {
+        // Reference: the pre-memoization implementation, recomputed from
+        // the journal on every call.
+        fn reference(journal: &[((u32, u32), Option<f32>)]) -> Vec<u32> {
+            let mut out: Vec<u32> = journal.iter().flat_map(|&((u, v), _)| [u, v]).collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        let g = churn(40, 5, 120, 0.3, 17);
+        let log = EventLog::replay(&g);
+        let mut b = DeltaBatcher::new(g.n());
+        for (i, ev) in log.events().iter().enumerate() {
+            b.apply(ev);
+            if i % 7 == 0 {
+                // Probe mid-batch: the first call fills the cache, the
+                // second is served from it; both must pin the reference.
+                let expect = reference(&b.touched);
+                assert_eq!(b.touched_vertices(), expect, "event {i}, cold");
+                assert_eq!(b.touched_vertices(), expect, "event {i}, cached");
+            }
+            if i % 11 == 0 {
+                let _ = b.flush();
+                assert!(b.touched_vertices().is_empty(), "flush must invalidate");
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct StreamWindow {
     /// Difference against the previously emitted window (against the
     /// empty graph for the first window) — ready for §3.2 transfer.
     pub diff: GraphDiff,
+    /// Vertices incident to any edge touched (structure *or* weight)
+    /// since the previously emitted window, sorted and deduplicated —
+    /// the journal the training-side pre-aggregation reuse cache
+    /// ([`dgnn_graph::preagg`]) expands into its dirty rows. Unlike
+    /// `diff`, this also covers weight-only changes.
+    pub touched: Vec<u32>,
 }
 
 /// Iterator over the closed windows of an [`EventLog`].
@@ -161,6 +167,7 @@ impl<'a> Iterator for WindowIter<'a> {
                     batcher.apply(&events[self.cursor]);
                     self.cursor += 1;
                 }
+                let touched = batcher.touched_vertices();
                 let (next, diff) = batcher.advance();
                 self.index += 1;
                 Some(StreamWindow {
@@ -170,6 +177,7 @@ impl<'a> Iterator for WindowIter<'a> {
                     events: self.cursor - consumed_before,
                     snapshot: Snapshot::new(next),
                     diff,
+                    touched,
                 })
             }
             WindowState::Sliding {
@@ -210,10 +218,15 @@ impl<'a> Iterator for WindowIter<'a> {
                     touched.entry(key).or_insert(true);
                     *live_lo += 1;
                 }
-                // Structural edits against the previous emission.
+                // Structural edits against the previous emission. Every
+                // ingested or expired occurrence lands a key in `touched`,
+                // so its endpoints are exactly the vertices whose incident
+                // aggregate (structure or value) may have moved.
                 let mut ext_prev = Vec::new();
                 let mut ext_next = Vec::new();
+                let mut touched_vertices: Vec<u32> = Vec::with_capacity(touched.len() * 2);
                 for (&(u, v), &was_present) in touched.iter() {
+                    touched_vertices.extend([u, v]);
                     let present = agg.contains_key(&(u, v));
                     match (was_present, present) {
                         (true, false) => ext_prev.push((u, v)),
@@ -221,6 +234,8 @@ impl<'a> Iterator for WindowIter<'a> {
                         _ => {}
                     }
                 }
+                touched_vertices.sort_unstable();
+                touched_vertices.dedup();
                 touched.clear();
                 let next_values: Vec<f32> = agg.values().map(|&(w, _)| w as f32).collect();
                 let diff = GraphDiff {
@@ -238,6 +253,7 @@ impl<'a> Iterator for WindowIter<'a> {
                     events: self.cursor - consumed_before,
                     snapshot: Snapshot::new(next),
                     diff,
+                    touched: touched_vertices,
                 })
             }
         }
@@ -318,6 +334,36 @@ mod tests {
         for w in windows(&log, WindowPolicy::Tumbling { width: 1 }) {
             resident = dgnn_graph::reconstruct(&resident, &w.diff);
             assert_eq!(&resident, w.snapshot.adj(), "window {}", w.index);
+        }
+    }
+
+    #[test]
+    fn windows_carry_touched_vertex_journals() {
+        use dgnn_graph::preagg::journal_from_diff;
+        let g = churn(60, 6, 180, 0.25, 7);
+        let log = EventLog::replay(&g);
+        for w in windows(&log, WindowPolicy::Tumbling { width: 1 }) {
+            assert!(w.touched.is_sorted(), "window {}", w.index);
+            // The journal must cover at least the structural-diff
+            // endpoints (it additionally covers weight-only touches).
+            for v in journal_from_diff(&w.diff) {
+                assert!(
+                    w.touched.binary_search(&v).is_ok(),
+                    "window {}: diff endpoint {v} missing from journal",
+                    w.index
+                );
+            }
+        }
+        let occ = EventLog::occurrences(&churn_skewed(50, 7, 140, 0.3, 0.8, 3));
+        for w in windows(&occ, WindowPolicy::Sliding { width: 3, slide: 1 }) {
+            assert!(w.touched.is_sorted(), "window {}", w.index);
+            for v in journal_from_diff(&w.diff) {
+                assert!(
+                    w.touched.binary_search(&v).is_ok(),
+                    "window {}: diff endpoint {v} missing from journal",
+                    w.index
+                );
+            }
         }
     }
 

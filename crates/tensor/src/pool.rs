@@ -286,6 +286,22 @@ pub fn par_indices(n: usize, total_work: usize, f: impl Fn(usize) + Sync) {
     with_pool(effective_threads(), |pool| pool.parallel_for(n, &f));
 }
 
+/// [`par_indices`] for memory-bound kernels: gates on
+/// [`rows_parallel_membound`] and dispatches at most [`membound_threads`]
+/// workers, with the same disjoint-writes contract on the closure.
+pub fn par_indices_membound(n: usize, total_work: usize, f: impl Fn(usize) + Sync) {
+    if n == 0 {
+        return;
+    }
+    if !rows_parallel_membound(n, total_work) {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    with_pool(membound_threads(), |pool| pool.parallel_for(n, &f));
+}
+
 /// Element-partitioned parallel execution: `f(start_index, chunk)` over
 /// disjoint contiguous chunks of `data`. Serial below [`PAR_MIN_ELEMS`].
 pub fn par_elems<T: Send>(data: &mut [T], f: impl Fn(usize, &mut [T]) + Sync) {

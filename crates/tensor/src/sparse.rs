@@ -429,6 +429,66 @@ impl Csr {
         out
     }
 
+    /// Sparse × dense product computed *in place* for a subset of output
+    /// rows: `out[r] = (self * x)[r]` for every `r` in `rows`, all other
+    /// rows of `out` left untouched — the fusion of [`Csr::spmm_rows`]
+    /// with `Dense::set_rows` that the incremental pre-aggregation carry
+    /// runs, skipping the intermediate block and its scatter copy. Each
+    /// selected row is zeroed and then accumulated by the same serial
+    /// gather as [`Csr::spmm`], so the written rows are bit-identical to
+    /// the corresponding rows of the full product at any thread count.
+    ///
+    /// # Panics
+    /// Panics when shapes mismatch, or when `rows` is not strictly
+    /// ascending and in range — distinctness is what makes the parallel
+    /// scatter through the shared output pointer sound, and it is
+    /// validated up front.
+    pub fn spmm_rows_into(&self, x: &Dense, rows: &[u32], out: &mut Dense) {
+        assert_eq!(self.cols, x.rows(), "spmm_rows_into shape mismatch");
+        assert_eq!(out.rows(), self.rows, "spmm_rows_into output row mismatch");
+        assert_eq!(out.cols(), x.cols(), "spmm_rows_into output width mismatch");
+        assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "spmm_rows_into rows must be strictly ascending"
+        );
+        let Some(&last) = rows.last() else {
+            return;
+        };
+        assert!(
+            (last as usize) < self.rows,
+            "spmm_rows_into row index out of range"
+        );
+        let f = x.cols();
+        // Work *estimate* (selected rows at the matrix's mean density):
+        // it only gates whether the pool engages, so an estimate avoids a
+        // second scattered pass over `indptr` without touching results.
+        let mean_nnz = self.values.len() / self.rows.max(1) + 1;
+        let work = rows.len().saturating_mul(mean_nnz).saturating_mul(f);
+        let chunks = rows.len().min(pool::membound_threads() * 4);
+        let rows_per_chunk = rows.len().div_ceil(chunks);
+        let base = rayon::SendPtr::new(out.data_mut().as_mut_ptr());
+        pool::par_indices_membound(chunks, work, |ci| {
+            let lo = ci * rows_per_chunk;
+            let hi = ((ci + 1) * rows_per_chunk).min(rows.len());
+            for &r in &rows[lo..hi] {
+                let r = r as usize;
+                // Sound: `rows` is strictly ascending, so chunks write
+                // disjoint output rows through the shared base pointer.
+                let out_row: &mut [f32] =
+                    unsafe { std::slice::from_raw_parts_mut(base.ptr().add(r * f), f) };
+                out_row.fill(0.0);
+                for k in self.indptr[r]..self.indptr[r + 1] {
+                    let c = self.indices[k] as usize;
+                    let v = self.values[k];
+                    let x_row = &x.data()[c * f..(c + 1) * f];
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            }
+        });
+    }
+
     /// The row-parallel gather shared by [`Csr::spmm`]'s inner loop and the
     /// transpose path of [`Csr::spmm_transa`]. `x` is indexed by this
     /// matrix's columns *without* a shape assertion on the row count — the
@@ -753,6 +813,59 @@ mod tests {
             }
             assert_eq!(a.spmm_rows(&x, &[]).shape(), (0, 7));
         }
+    }
+
+    #[test]
+    fn spmm_rows_into_overwrites_selected_rows_bitwise() {
+        let edges: Vec<(u32, u32)> = (0..600u32).map(|i| (i % 37, (i * 11) % 41)).collect();
+        let a = Csr::from_edges(50, &edges);
+        let x = Dense::from_fn(50, 7, |r, c| ((r * 13 + c * 3) % 17) as f32 - 8.0);
+        let full = a.spmm(&x);
+        for threads in [1usize, 4] {
+            let _g = crate::pool::scoped_threads(Some(threads));
+            let rows: Vec<u32> = vec![0, 3, 17, 49];
+            // Stale garbage in every row: selected rows must be fully
+            // overwritten, unselected rows left byte-for-byte alone.
+            let mut out = Dense::from_fn(50, 7, |r, c| (r * 7 + c) as f32 + 0.5);
+            let before = out.clone();
+            a.spmm_rows_into(&x, &rows, &mut out);
+            for r in 0..50u32 {
+                for c in 0..7 {
+                    let want = if rows.contains(&r) {
+                        full.get(r as usize, c)
+                    } else {
+                        before.get(r as usize, c)
+                    };
+                    assert_eq!(
+                        out.get(r as usize, c).to_bits(),
+                        want.to_bits(),
+                        "row {r} col {c} at {threads} threads"
+                    );
+                }
+            }
+            // Empty selection is a no-op.
+            let untouched = out.clone();
+            a.spmm_rows_into(&x, &[], &mut out);
+            assert_eq!(out, untouched);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm_rows_into rows must be strictly ascending")]
+    fn spmm_rows_into_rejects_unsorted_rows() {
+        let edges: Vec<(u32, u32)> = (0..20u32).map(|i| (i % 5, (i * 3) % 5)).collect();
+        let a = Csr::from_edges(5, &edges);
+        let x = Dense::zeros(5, 2);
+        let mut out = Dense::zeros(5, 2);
+        a.spmm_rows_into(&x, &[3, 1], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm_rows_into row index out of range")]
+    fn spmm_rows_into_index_panics() {
+        let a = Csr::empty(3, 3);
+        let mut out = Dense::zeros(3, 2);
+        a.spmm_rows_into(&Dense::zeros(3, 2), &[3], &mut out);
     }
 
     #[test]
