@@ -126,6 +126,8 @@ pub struct StoreSource {
     /// run's windows) stays coherent — a rebuilt pre-aggregation gets
     /// fresh keys instead of silently shadowing stale blocks.
     rev: u64,
+    /// Timesteps spilled — the key range [`Drop`] reclaims.
+    t_count: usize,
 }
 
 impl StoreSource {
@@ -145,7 +147,9 @@ impl StoreSource {
     ///
     /// After this returns, the task's `laps` / `features` / `preagg`
     /// vectors are no longer consulted — a caller reproducing a true
-    /// larger-than-memory run can drop them.
+    /// larger-than-memory run can drop them. The spilled keys belong to
+    /// the returned source and are reclaimed when it drops; spill the
+    /// same task twice into one tier only with both sources live.
     pub fn spill(
         task: &Task,
         tier: Rc<RefCell<TieredStore>>,
@@ -159,6 +163,7 @@ impl StoreSource {
             cursor: Cell::new(0),
             preagg: task.preagg.is_some(),
             rev: task.input_revision,
+            t_count: task.laps.len(),
         };
         {
             let mut t = src.tier.borrow_mut();
@@ -176,6 +181,24 @@ impl StoreSource {
     /// The store's counters (misses, evictions, resident bytes).
     pub fn stats(&self) -> dgnn_store::StoreStats {
         self.tier.borrow().stats()
+    }
+}
+
+/// A source owns its revision-scoped keys: dropping it reclaims them
+/// (memory tier and spill files) so a tier shared across tasks or
+/// streaming windows stays bounded by its *live* sources instead of
+/// accumulating every superseded revision for the tier's lifetime.
+/// Best-effort — files already unlinked (or a tier borrowed elsewhere
+/// mid-unwind) are skipped, never panicked on.
+impl Drop for StoreSource {
+    fn drop(&mut self) {
+        let Ok(mut tier) = self.tier.try_borrow_mut() else {
+            return;
+        };
+        for t in 0..self.t_count {
+            let _ = tier.remove(&self.lap_key(t));
+            let _ = tier.remove(&self.input_key(t));
+        }
     }
 }
 
@@ -534,6 +557,41 @@ mod tests {
             assert_eq!(bits(&src_a.input(t)), bits(pre_a), "task A input {t}");
             assert_eq!(bits(&src_b.input(t)), bits(pre_b), "task B input {t}");
         }
+    }
+
+    #[test]
+    fn dropping_a_source_reclaims_its_spill_keys() {
+        let a = small_task(5);
+        let b = small_task(6);
+        let tier = shared_tier();
+        let blocks = vec![0..3usize, 3..6];
+        let dgns_files = |tier: &Rc<RefCell<TieredStore>>| {
+            std::fs::read_dir(tier.borrow().dir())
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .path()
+                        .extension()
+                        .is_some_and(|x| x == "dgns")
+                })
+                .count()
+        };
+        let src_a = StoreSource::spill(&a, Rc::clone(&tier), &blocks).unwrap();
+        let after_a = dgns_files(&tier);
+        assert_eq!(after_a, 12, "6 Laplacians + 6 inputs");
+        let src_b = StoreSource::spill(&b, Rc::clone(&tier), &blocks).unwrap();
+        assert_eq!(dgns_files(&tier), 24, "two live revisions coexist");
+        // Dropping the superseded source reclaims exactly its keys — a
+        // long-lived shared tier is bounded by live sources, not run
+        // count.
+        drop(src_a);
+        assert_eq!(dgns_files(&tier), 12, "revision A reclaimed");
+        for t in 0..6 {
+            assert_eq!(*src_b.lap(t), b.laps[t], "task B Laplacian {t} intact");
+        }
+        drop(src_b);
+        assert_eq!(dgns_files(&tier), 0, "revision B reclaimed");
     }
 
     fn sample_carry() -> CarryState {

@@ -464,12 +464,17 @@ impl Csr {
         // second scattered pass over `indptr` without touching results.
         let mean_nnz = self.values.len() / self.rows.max(1) + 1;
         let work = rows.len().saturating_mul(mean_nnz).saturating_mul(f);
-        let chunks = rows.len().min(pool::membound_threads() * 4);
-        let rows_per_chunk = rows.len().div_ceil(chunks);
+        // Chunk count derived *from* the rounded-up chunk size (not the
+        // other way around), so every `ci` starts inside `rows`: with
+        // `chunks = ceil(len / rows_per_chunk)`, `(chunks-1)·rows_per_chunk
+        // < len` for any non-divisible split.
+        let target_chunks = (pool::membound_threads() * 4).max(1);
+        let rows_per_chunk = rows.len().div_ceil(target_chunks);
+        let chunks = rows.len().div_ceil(rows_per_chunk);
         let base = rayon::SendPtr::new(out.data_mut().as_mut_ptr());
         pool::par_indices_membound(chunks, work, |ci| {
             let lo = ci * rows_per_chunk;
-            let hi = ((ci + 1) * rows_per_chunk).min(rows.len());
+            let hi = (lo + rows_per_chunk).min(rows.len());
             for &r in &rows[lo..hi] {
                 let r = r as usize;
                 // Sound: `rows` is strictly ascending, so chunks write
@@ -847,6 +852,45 @@ mod tests {
             let untouched = out.clone();
             a.spmm_rows_into(&x, &[], &mut out);
             assert_eq!(out, untouched);
+        }
+    }
+
+    #[test]
+    fn spmm_rows_into_handles_every_chunk_remainder() {
+        // Regression: the chunk split used to take `chunks = min(len, 4T)`
+        // with `rows_per_chunk = ceil(len / chunks)`, so any `len` where
+        // `ceil(len / 4T) · (4T - 1) > len` (e.g. 5 rows at 1 thread) gave
+        // a trailing chunk with `lo > len` and panicked on the slice.
+        // Sweep selection sizes across the non-divisible remainders at
+        // several thread counts and pin the results bitwise.
+        let n = 64usize;
+        let edges: Vec<(u32, u32)> = (0..900u32).map(|i| (i % 61, (i * 7) % 63)).collect();
+        let a = Csr::from_edges(n, &edges);
+        let x = Dense::from_fn(n, 3, |r, c| ((r * 5 + c * 11) % 19) as f32 - 9.0);
+        let full = a.spmm(&x);
+        for threads in [1usize, 2, 8] {
+            let _g = crate::pool::scoped_threads(Some(threads));
+            for len in [1usize, 2, 3, 4, 5, 7, 9, 13, 31, 33, 63, 64] {
+                let rows: Vec<u32> = (0..n as u32).step_by(n / len).take(len).collect();
+                assert_eq!(rows.len(), len);
+                let mut out = Dense::from_fn(n, 3, |r, c| (r + c) as f32 - 2.5);
+                let before = out.clone();
+                a.spmm_rows_into(&x, &rows, &mut out);
+                for r in 0..n {
+                    for c in 0..3 {
+                        let want = if rows.contains(&(r as u32)) {
+                            full.get(r, c)
+                        } else {
+                            before.get(r, c)
+                        };
+                        assert_eq!(
+                            out.get(r, c).to_bits(),
+                            want.to_bits(),
+                            "row {r} col {c}, {len} selected rows at {threads} threads"
+                        );
+                    }
+                }
+            }
         }
     }
 
