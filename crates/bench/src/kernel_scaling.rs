@@ -20,16 +20,23 @@
 //! Results are written to `BENCH_parallel.json` in the working directory
 //! to seed the performance trajectory across PRs; `check_baseline` mode
 //! instead re-measures single-thread GFLOP/s and compares against the
-//! *committed* artifact, failing on a >25% drop (warn-only on sub-4-core
-//! hosts or against a baseline recorded with `speedup_asserted: false`,
-//! matching that field's existing convention).
+//! *committed* artifact — all five kernels, a kernel missing from the
+//! artifact counts as a regression — failing on a >25% drop (warn-only on
+//! sub-4-core hosts or against a baseline recorded with
+//! `speedup_asserted: false`, matching that field's existing convention).
+//!
+//! The SIMD pass (PR 9) is additionally pinned against PR 7's committed
+//! scalar numbers: ≥ [`SIMD_GEMM_SPEEDUP`]x on the best GEMM and
+//! ≥ [`SIMD_SPMM_SPEEDUP`]x on `spmm`, asserted on capable hosts (≥ 4
+//! cores with the AVX2 compiles dispatched) and warn-only elsewhere —
+//! single-core sandboxes are too noisy and not hardware-comparable.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use crate::report::BenchReport;
 use dgnn_graph::gen::churn;
-use dgnn_tensor::{pool, Dense};
+use dgnn_tensor::{pool, simd, Dense};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -48,6 +55,23 @@ pub const MAX_TRANSB_VS_MATMUL: f64 = 2.0;
 /// A kernel may not drop below this fraction of the committed baseline's
 /// single-thread GFLOP/s in `check_baseline` mode.
 pub const BASELINE_MIN_FRACTION: f64 = 0.75;
+
+/// PR 7's committed single-thread `matmul` GFLOP/s (scalar blocked
+/// kernels, 320³) — the fixed reference the SIMD pass is measured against.
+pub const PR7_SCALAR_MATMUL_GFLOPS_1T: f64 = 19.3;
+
+/// PR 7's committed single-thread `spmm` GFLOP/s (20000v / ~420k nnz /
+/// f32×64) — the fixed reference the SELL + prefetch pass is measured
+/// against.
+pub const PR7_SCALAR_SPMM_GFLOPS_1T: f64 = 3.75;
+
+/// Required speedup of the best GEMM over [`PR7_SCALAR_MATMUL_GFLOPS_1T`]
+/// on capable hosts.
+pub const SIMD_GEMM_SPEEDUP: f64 = 1.3;
+
+/// Required speedup of `spmm` over [`PR7_SCALAR_SPMM_GFLOPS_1T`] on
+/// capable hosts.
+pub const SIMD_SPMM_SPEEDUP: f64 = 1.5;
 
 /// One kernel's measurements across the thread sweep.
 pub struct KernelResult {
@@ -222,7 +246,9 @@ pub fn run(fast: bool, check_baseline: bool) -> Vec<KernelResult> {
     let gemm_flops = 2.0 * (gemm_n as f64).powi(3);
     let spmm_flops = 2.0 * lap.nnz() as f64 * feat as f64;
     let gemm_size = format!("{gemm_n}x{gemm_n}x{gemm_n}");
-    let spmm_size = format!("{spmm_n}v/{}nnz/f{feat}", lap.nnz());
+    // f32x{feat} = feature width in f32 columns (the old `f64` label read
+    // as double precision; the workspace is f32 end-to-end).
+    let spmm_size = format!("{spmm_n}v/{}nnz/f32x{feat}", lap.nnz());
     let results = vec![
         sweep(
             "matmul",
@@ -314,6 +340,8 @@ pub fn run(fast: bool, check_baseline: bool) -> Vec<KernelResult> {
         transb_1t / matmul_1t
     );
 
+    assert_simd_pass_vs_pr7(&results, host_threads);
+
     if check_baseline {
         compare_against_baseline(&results, &baseline, host_threads);
         return results;
@@ -401,6 +429,38 @@ fn json_num_field(line: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Pins the SIMD pass against PR 7's committed scalar numbers: the best
+/// GEMM must clear [`SIMD_GEMM_SPEEDUP`]x of its reference and `spmm`
+/// [`SIMD_SPMM_SPEEDUP`]x of its own. Asserted only on capable hosts
+/// (≥ 4 cores *and* the AVX2 compiles dispatched); elsewhere the ratios
+/// are printed warn-only — a 1-core sandbox is too noisy to red CI, and a
+/// scalar-forced run (`DGNN_SIMD=0`) is measuring the fallback on purpose.
+fn assert_simd_pass_vs_pr7(results: &[KernelResult], host_threads: usize) {
+    let best_gemm = results[..3]
+        .iter()
+        .map(KernelResult::gflops_1t)
+        .fold(0.0f64, f64::max);
+    let spmm = results
+        .iter()
+        .find(|r| r.name == "spmm")
+        .expect("spmm result present")
+        .gflops_1t();
+    let gemm_ratio = best_gemm / PR7_SCALAR_MATMUL_GFLOPS_1T;
+    let spmm_ratio = spmm / PR7_SCALAR_SPMM_GFLOPS_1T;
+    let line = format!(
+        "SIMD vs PR-7 scalar: best GEMM {best_gemm:.2} GFLOP/s ({gemm_ratio:.2}x of {PR7_SCALAR_MATMUL_GFLOPS_1T}, need {SIMD_GEMM_SPEEDUP}x), spmm {spmm:.2} ({spmm_ratio:.2}x of {PR7_SCALAR_SPMM_GFLOPS_1T}, need {SIMD_SPMM_SPEEDUP}x)"
+    );
+    let ok = gemm_ratio >= SIMD_GEMM_SPEEDUP && spmm_ratio >= SIMD_SPMM_SPEEDUP;
+    if host_threads >= 4 && simd::enabled() {
+        assert!(ok, "{line}");
+        println!("PASS: {line}");
+    } else if ok {
+        println!("PASS (not enforced: sub-4-core host or SIMD off): {line}");
+    } else {
+        println!("WARN (not enforced: sub-4-core host or SIMD off): {line}");
+    }
+}
+
 /// Fails (or warns) when any re-measured kernel drops below
 /// [`BASELINE_MIN_FRACTION`] of the committed baseline's single-thread
 /// GFLOP/s. Warn-only when this host has < 4 cores or the baseline was
@@ -419,14 +479,16 @@ fn compare_against_baseline(
     let mut regressions = Vec::new();
     for r in results {
         let Some(base) = baseline.iter().find(|b| b.name == r.name) else {
-            println!("WARN: kernel {} missing from baseline; skipped", r.name);
+            // Coverage is part of the guard: a kernel silently dropped
+            // from the artifact must not un-guard itself.
+            regressions.push(format!("{}: missing from the committed baseline", r.name));
             continue;
         };
         let Some(base_gflops) = base.gflops_1t else {
-            println!(
-                "WARN: baseline predates the gflops_1t column for {}; skipped",
+            regressions.push(format!(
+                "{}: committed baseline lacks a gflops_1t field",
                 r.name
-            );
+            ));
             continue;
         };
         let got = r.gflops_1t();
@@ -461,6 +523,7 @@ fn compare_against_baseline(
 fn write_json(results: &[KernelResult], host_threads: usize) {
     let mut r = BenchReport::new("kernel_scaling");
     r.config_bool("speedup_asserted", host_threads >= 4);
+    r.config_bool("simd_enabled", simd::enabled());
     if host_threads < 4 {
         r.config_str(
             "note",

@@ -27,6 +27,7 @@
 
 use std::fmt;
 
+use crate::simd::{self, F32x8};
 use crate::{pool, workspace};
 
 /// A dense row-major matrix of `f32` values.
@@ -81,24 +82,44 @@ const GEMM_JC: usize = 64;
 /// Register-blocking factor: output rows sharing one streamed B strip per
 /// micro-kernel pass, quartering B traffic.
 const GEMM_MR: usize = 4;
+/// Register micro-tile width in f32 lanes: two [`F32x8`] vectors per
+/// output row, so the `GEMM_MR × GEMM_NR` tile holds eight accumulator
+/// vectors in registers across a whole k-panel (loaded from and stored to
+/// `out` once per panel instead of once per k).
+const GEMM_NR: usize = 2 * simd::LANES;
 
-/// The shared blocked GEMM core: accumulates `a_block (m×kk) · b (kk×n)`
-/// into `out` (m×n), cache-blocked `GEMM_KC × GEMM_JC` with `GEMM_MR`-row
-/// register blocking.
-///
-/// Bit-identity: every `out[i][j]` starts at `+0.0` and accumulates its
-/// `k` contributions serially in increasing `k` with one `mul`+`add`
-/// rounding per step — exactly the naive triple loop's scalar sequence —
-/// so any blocking, and any row partition of this routine across pool
-/// threads, yields identical bits.
-///
-/// `skip_zeros` may only be set when every element of `b` is finite. A
-/// `±0.0 · finite` product is `±0.0`, and adding `±0.0` to an
-/// accumulator that started at `+0.0` can never change its bits (in
-/// round-to-nearest the accumulator can never itself become `-0.0`), so
-/// the skip is a pure optimisation for sparse-ish A. With a non-finite
-/// `b` the caller must clear it so `0.0 · ∞ = NaN` propagates.
-fn gemm_block(out: &mut [f32], a_block: &[f32], kk: usize, b: &[f32], n: usize, skip_zeros: bool) {
+// The shared blocked GEMM core: accumulates `a_block (m×kk) · b (kk×n)`
+// into `out` (m×n), cache-blocked `GEMM_KC × GEMM_JC` with `GEMM_MR`-row
+// register blocking.
+//
+// Bit-identity: every `out[i][j]` starts at `+0.0` and accumulates its
+// `k` contributions serially in increasing `k` with one `mul`+`add`
+// rounding per step — exactly the naive triple loop's scalar sequence —
+// so any blocking, and any row partition of this routine across pool
+// threads, yields identical bits.
+//
+// `skip_zeros` may only be set when every element of `b` is finite. A
+// `±0.0 · finite` product is `±0.0`, and adding `±0.0` to an
+// accumulator that started at `+0.0` can never change its bits (in
+// round-to-nearest the accumulator can never itself become `-0.0`), so
+// the skip is a pure optimisation for sparse-ish A. With a non-finite
+// `b` the caller must clear it so `0.0 · ∞ = NaN` propagates.
+//
+// Compiled twice (portable + AVX2) and runtime-dispatched; see
+// [`crate::simd`] for why the two compiles are bit-identical.
+simd::simd_dispatch!(fn gemm_block = gemm_block_impl / gemm_block_avx2(
+    out: &mut [f32], a_block: &[f32], kk: usize, b: &[f32], n: usize, skip_zeros: bool
+));
+
+#[inline(always)]
+fn gemm_block_impl(
+    out: &mut [f32],
+    a_block: &[f32],
+    kk: usize,
+    b: &[f32],
+    n: usize,
+    skip_zeros: bool,
+) {
     out.fill(0.0);
     if n == 0 || kk == 0 {
         return;
@@ -113,47 +134,186 @@ fn gemm_block(out: &mut [f32], a_block: &[f32], kk: usize, b: &[f32], n: usize, 
                 let (q0, rest) = out[i * n..(i + GEMM_MR) * n].split_at_mut(n);
                 let (q1, rest) = rest.split_at_mut(n);
                 let (q2, q3) = rest.split_at_mut(n);
-                let s0 = &mut q0[j0..j1];
-                let s1 = &mut q1[j0..j1];
-                let s2 = &mut q2[j0..j1];
-                let s3 = &mut q3[j0..j1];
-                for k in k0..k1 {
-                    let a0 = a_block[i * kk + k];
-                    let a1 = a_block[(i + 1) * kk + k];
-                    let a2 = a_block[(i + 2) * kk + k];
-                    let a3 = a_block[(i + 3) * kk + k];
-                    if skip_zeros && a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
-                        continue;
-                    }
-                    let bs = &b[k * n + j0..k * n + j1];
-                    for ((((o0, o1), o2), o3), &bv) in s0
-                        .iter_mut()
-                        .zip(s1.iter_mut())
-                        .zip(s2.iter_mut())
-                        .zip(s3.iter_mut())
-                        .zip(bs)
-                    {
-                        *o0 += a0 * bv;
-                        *o1 += a1 * bv;
-                        *o2 += a2 * bv;
-                        *o3 += a3 * bv;
-                    }
-                }
+                let a = [
+                    &a_block[i * kk..(i + 1) * kk],
+                    &a_block[(i + 1) * kk..(i + 2) * kk],
+                    &a_block[(i + 2) * kk..(i + 3) * kk],
+                    &a_block[(i + 3) * kk..(i + 4) * kk],
+                ];
+                micro_quad(q0, q1, q2, q3, a, k0, k1, b, n, j0, j1, skip_zeros);
                 i += GEMM_MR;
             }
             while i < m {
-                let strip = &mut out[i * n + j0..i * n + j1];
-                for k in k0..k1 {
-                    let a = a_block[i * kk + k];
-                    if skip_zeros && a == 0.0 {
-                        continue;
-                    }
-                    let bs = &b[k * n + j0..k * n + j1];
-                    for (o, &bv) in strip.iter_mut().zip(bs) {
-                        *o += a * bv;
-                    }
-                }
+                let q = &mut out[i * n..(i + 1) * n];
+                let a_row = &a_block[i * kk..(i + 1) * kk];
+                micro_row(q, a_row, k0, k1, b, n, j0, j1, skip_zeros);
                 i += 1;
+            }
+        }
+    }
+}
+
+/// The `GEMM_MR × GEMM_NR` register micro-kernel: for four output rows
+/// (`q0..q3`, full `n`-wide row slices) and the column strip `j0..j1`,
+/// accumulates the k-panel `k0..k1` with eight [`F32x8`] accumulators
+/// held in registers for the whole panel. Tiles cascade `GEMM_NR` → one
+/// vector → scalar, so every strip width is covered; per output element
+/// the arithmetic is the same serial increasing-k mul+add sequence as the
+/// scalar loop (lanes only span adjacent columns), so bits are unchanged.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_quad(
+    q0: &mut [f32],
+    q1: &mut [f32],
+    q2: &mut [f32],
+    q3: &mut [f32],
+    a: [&[f32]; GEMM_MR],
+    k0: usize,
+    k1: usize,
+    b: &[f32],
+    n: usize,
+    j0: usize,
+    j1: usize,
+    skip_zeros: bool,
+) {
+    let mut j = j0;
+    while j1 - j >= GEMM_NR {
+        let jh = j + simd::LANES;
+        let mut c00 = F32x8::load(&q0[j..]);
+        let mut c01 = F32x8::load(&q0[jh..]);
+        let mut c10 = F32x8::load(&q1[j..]);
+        let mut c11 = F32x8::load(&q1[jh..]);
+        let mut c20 = F32x8::load(&q2[j..]);
+        let mut c21 = F32x8::load(&q2[jh..]);
+        let mut c30 = F32x8::load(&q3[j..]);
+        let mut c31 = F32x8::load(&q3[jh..]);
+        for k in k0..k1 {
+            let (a0, a1, a2, a3) = (a[0][k], a[1][k], a[2][k], a[3][k]);
+            if skip_zeros && a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            let bk = &b[k * n + j..];
+            let b0 = F32x8::load(bk);
+            let b1 = F32x8::load(&bk[simd::LANES..]);
+            let v0 = F32x8::splat(a0);
+            c00 = c00.add_mul(v0, b0);
+            c01 = c01.add_mul(v0, b1);
+            let v1 = F32x8::splat(a1);
+            c10 = c10.add_mul(v1, b0);
+            c11 = c11.add_mul(v1, b1);
+            let v2 = F32x8::splat(a2);
+            c20 = c20.add_mul(v2, b0);
+            c21 = c21.add_mul(v2, b1);
+            let v3 = F32x8::splat(a3);
+            c30 = c30.add_mul(v3, b0);
+            c31 = c31.add_mul(v3, b1);
+        }
+        c00.store(&mut q0[j..]);
+        c01.store(&mut q0[jh..]);
+        c10.store(&mut q1[j..]);
+        c11.store(&mut q1[jh..]);
+        c20.store(&mut q2[j..]);
+        c21.store(&mut q2[jh..]);
+        c30.store(&mut q3[j..]);
+        c31.store(&mut q3[jh..]);
+        j += GEMM_NR;
+    }
+    if j1 - j >= simd::LANES {
+        let mut c0 = F32x8::load(&q0[j..]);
+        let mut c1 = F32x8::load(&q1[j..]);
+        let mut c2 = F32x8::load(&q2[j..]);
+        let mut c3 = F32x8::load(&q3[j..]);
+        for k in k0..k1 {
+            let (a0, a1, a2, a3) = (a[0][k], a[1][k], a[2][k], a[3][k]);
+            if skip_zeros && a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            let bv = F32x8::load(&b[k * n + j..]);
+            c0 = c0.add_mul(F32x8::splat(a0), bv);
+            c1 = c1.add_mul(F32x8::splat(a1), bv);
+            c2 = c2.add_mul(F32x8::splat(a2), bv);
+            c3 = c3.add_mul(F32x8::splat(a3), bv);
+        }
+        c0.store(&mut q0[j..]);
+        c1.store(&mut q1[j..]);
+        c2.store(&mut q2[j..]);
+        c3.store(&mut q3[j..]);
+        j += simd::LANES;
+    }
+    if j < j1 {
+        for k in k0..k1 {
+            let (a0, a1, a2, a3) = (a[0][k], a[1][k], a[2][k], a[3][k]);
+            if skip_zeros && a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            let bk = &b[k * n..];
+            for jj in j..j1 {
+                let bv = bk[jj];
+                q0[jj] += a0 * bv;
+                q1[jj] += a1 * bv;
+                q2[jj] += a2 * bv;
+                q3[jj] += a3 * bv;
+            }
+        }
+    }
+}
+
+/// Single-row tail of the micro-kernel (output row counts not divisible
+/// by `GEMM_MR`); same column cascade and bit-identity argument as
+/// [`micro_quad`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_row(
+    q: &mut [f32],
+    a_row: &[f32],
+    k0: usize,
+    k1: usize,
+    b: &[f32],
+    n: usize,
+    j0: usize,
+    j1: usize,
+    skip_zeros: bool,
+) {
+    let mut j = j0;
+    while j1 - j >= GEMM_NR {
+        let jh = j + simd::LANES;
+        let mut c0 = F32x8::load(&q[j..]);
+        let mut c1 = F32x8::load(&q[jh..]);
+        for k in k0..k1 {
+            let av = a_row[k];
+            if skip_zeros && av == 0.0 {
+                continue;
+            }
+            let bk = &b[k * n + j..];
+            let v = F32x8::splat(av);
+            c0 = c0.add_mul(v, F32x8::load(bk));
+            c1 = c1.add_mul(v, F32x8::load(&bk[simd::LANES..]));
+        }
+        c0.store(&mut q[j..]);
+        c1.store(&mut q[jh..]);
+        j += GEMM_NR;
+    }
+    if j1 - j >= simd::LANES {
+        let mut c0 = F32x8::load(&q[j..]);
+        for k in k0..k1 {
+            let av = a_row[k];
+            if skip_zeros && av == 0.0 {
+                continue;
+            }
+            c0 = c0.add_mul(F32x8::splat(av), F32x8::load(&b[k * n + j..]));
+        }
+        c0.store(&mut q[j..]);
+        j += simd::LANES;
+    }
+    if j < j1 {
+        for k in k0..k1 {
+            let av = a_row[k];
+            if skip_zeros && av == 0.0 {
+                continue;
+            }
+            let bk = &b[k * n..];
+            for jj in j..j1 {
+                q[jj] += av * bk[jj];
             }
         }
     }

@@ -16,6 +16,8 @@ pub mod dense;
 pub mod digest;
 pub mod init;
 pub mod pool;
+mod sell;
+pub mod simd;
 pub mod sparse;
 pub mod tensor3;
 pub mod workspace;

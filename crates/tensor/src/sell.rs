@@ -1,0 +1,516 @@
+//! Vectorized SpMM row kernels and the SELL-style packed execution layout.
+//!
+//! The gather kernels here are the inner loops of [`crate::sparse::Csr`]'s
+//! `spmm` family, rewritten on the [`crate::simd`] shim: each output row's
+//! feature columns are processed in register-resident [`F32x8`] chunks, with
+//! the next stored entry's `x` row software-prefetched. Vector lanes only
+//! ever span *different* output columns; every output element still
+//! accumulates its stored-entry contributions serially in ascending `k`
+//! from `+0.0` with one unfused mul+add rounding per step — bitwise the
+//! sequence the scalar gather always ran — so golden captures and
+//! thread-count equivalence are preserved (see `crate::simd` for the
+//! dispatch story).
+//!
+//! The [`SellPack`] is a SELL-σ/ELL-like bandwidth layout for the main
+//! `spmm`: rows sorted by stored-entry count (descending, ties by row id)
+//! and binned into [`LANES`]-row *slabs*, each slab's indices/values packed
+//! column-major into rectangular lane-width panels (entry `k` of lane
+//! `lane` at `base + k·LANES + lane`, value panels 32-byte aligned). Built
+//! lazily and cached on `Csr` like the cached transpose; invalidated by
+//! `values_mut`. Padding slots exist for short lanes but are **never
+//! read** — the lockstep walker shrinks its active-lane prefix as lanes
+//! run out — because reading padded zeros would not be bit-neutral (a
+//! `-0.0` accumulator plus `+0.0` flips to `+0.0`, and a padded gather of
+//! `x[0]` could inject NaN/Inf).
+
+use crate::simd::{self, F32x8, LANES};
+
+/// Stored entries below which the SELL pack is not built: the sort and
+/// panel copy are O(nnz log nnz)-ish and only pay off once the gather is
+/// bandwidth-bound. Deliberately thread-count independent so the engaged
+/// execution layout — and therefore every produced bit pattern — is a pure
+/// function of the matrix and `x`.
+pub(crate) const SELL_MIN_NNZ: usize = 2048;
+
+/// Feature widths up to this run the lockstep panel walker (the packed
+/// panels are the win: eight independent `x`-row streams per step). Wider
+/// rows amortize the per-row gather on their own, so slabs then only
+/// provide the nnz-sorted execution order and each lane runs the
+/// register-chunk gather over its original CSR row.
+const SELL_LOCKSTEP_MAX_F: usize = 2 * LANES;
+
+/// How many stored entries ahead the gather prefetches the `x` row of.
+/// Far enough to cover L3 latency at ~2 entries/cycle/row, near enough to
+/// stay inside the k-panel most of the time; out-of-range lookahead is
+/// simply not issued.
+const PREFETCH_AHEAD: usize = 16;
+
+/// One register-resident column chunk of a row gather: accumulates
+/// `NV` [`F32x8`] vectors (columns `j .. j + NV·LANES` of `out_row`) over
+/// stored entries `lo..hi`, then stores — overwrite semantics, bitwise
+/// identical to zero-fill-then-accumulate since every accumulator starts
+/// at `+0.0`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn gather_chunk<const NV: usize>(
+    out_row: &mut [f32],
+    indices: &[u32],
+    values: &[f32],
+    lo: usize,
+    hi: usize,
+    x: &[f32],
+    f: usize,
+    j: usize,
+) {
+    let mut acc = [F32x8::ZERO; NV];
+    for k in lo..hi {
+        let c = indices[k] as usize;
+        if let Some(&cn) = indices.get(k + PREFETCH_AHEAD) {
+            // Pull every cache line of the chunk's span of the future x
+            // row (16 f32 = one 64-byte line).
+            let span = cn as usize * f + j;
+            let mut off = 0;
+            while off < NV * LANES {
+                simd::prefetch_read(x, span + off);
+                off += 16;
+            }
+        }
+        let v = F32x8::splat(values[k]);
+        let xr = &x[c * f + j..];
+        for (t, a) in acc.iter_mut().enumerate() {
+            *a = a.add_mul(v, F32x8::load(&xr[t * LANES..]));
+        }
+    }
+    for (t, a) in acc.into_iter().enumerate() {
+        a.store(&mut out_row[j + t * LANES..]);
+    }
+}
+
+/// Overwrites `out_row` (length `f`) with row `r`'s gather
+/// `Σₖ values[k] · x[indices[k]]` for `k` in `lo..hi`, columns processed
+/// in a 64/32/16/8-wide chunk cascade plus a scalar tail. Per output
+/// element the accumulation is serial ascending-`k` — the scalar kernel's
+/// exact sequence.
+#[inline(always)]
+fn gather_row(
+    out_row: &mut [f32],
+    indices: &[u32],
+    values: &[f32],
+    lo: usize,
+    hi: usize,
+    x: &[f32],
+    f: usize,
+) {
+    let mut j = 0;
+    while f - j >= 8 * LANES {
+        gather_chunk::<8>(out_row, indices, values, lo, hi, x, f, j);
+        j += 8 * LANES;
+    }
+    if f - j >= 4 * LANES {
+        gather_chunk::<4>(out_row, indices, values, lo, hi, x, f, j);
+        j += 4 * LANES;
+    }
+    if f - j >= 2 * LANES {
+        gather_chunk::<2>(out_row, indices, values, lo, hi, x, f, j);
+        j += 2 * LANES;
+    }
+    if f - j >= LANES {
+        gather_chunk::<1>(out_row, indices, values, lo, hi, x, f, j);
+        j += LANES;
+    }
+    if j < f {
+        out_row[j..].fill(0.0);
+        for k in lo..hi {
+            let v = values[k];
+            let xr = &x[indices[k] as usize * f..];
+            for jj in j..f {
+                out_row[jj] += v * xr[jj];
+            }
+        }
+    }
+}
+
+/// `out_row += v · x_row`, vector lanes over columns, scalar tail. The
+/// accumulate (load-modify-store) counterpart of [`gather_row`] for
+/// scatter-shaped kernels where a row receives contributions across
+/// several calls.
+#[inline(always)]
+fn axpy_row(out_row: &mut [f32], v: f32, x_row: &[f32]) {
+    let f = out_row.len();
+    let vv = F32x8::splat(v);
+    let mut j = 0;
+    while f - j >= LANES {
+        let acc = F32x8::load(&out_row[j..]).add_mul(vv, F32x8::load(&x_row[j..]));
+        acc.store(&mut out_row[j..]);
+        j += LANES;
+    }
+    for jj in j..f {
+        out_row[jj] += v * x_row[jj];
+    }
+}
+
+// Contiguous-row gather block: the par_rows closure body of `Csr::spmm`
+// (rows `r0 ..` for `block.len() / f` rows). Overwrites the block.
+simd::simd_dispatch!(pub(crate) fn spmm_block = spmm_block_impl / spmm_block_avx2(
+    block: &mut [f32],
+    f: usize,
+    r0: usize,
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+));
+
+#[inline(always)]
+fn spmm_block_impl(
+    block: &mut [f32],
+    f: usize,
+    r0: usize,
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+) {
+    for (dr, out_row) in block.chunks_mut(f).enumerate() {
+        let r = r0 + dr;
+        gather_row(out_row, indices, values, indptr[r], indptr[r + 1], x, f);
+    }
+}
+
+// Selected-row gather block: the par_rows closure body of `Csr::spmm_rows`
+// (`rows` holds the selected source row per output row). Overwrites.
+simd::simd_dispatch!(pub(crate) fn spmm_rows_block = spmm_rows_block_impl / spmm_rows_block_avx2(
+    block: &mut [f32],
+    f: usize,
+    rows: &[u32],
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+));
+
+#[inline(always)]
+fn spmm_rows_block_impl(
+    block: &mut [f32],
+    f: usize,
+    rows: &[u32],
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+) {
+    for (dr, out_row) in block.chunks_mut(f).enumerate() {
+        let r = rows[dr] as usize;
+        gather_row(out_row, indices, values, indptr[r], indptr[r + 1], x, f);
+    }
+}
+
+// Scattered-row gather chunk: the par_indices closure body of
+// `Csr::spmm_rows_into`. The caller guarantees `rows` are distinct and in
+// range and `out` points at a `matrix-rows × f` buffer, so chunks write
+// disjoint rows through the shared pointer (the `SendPtr` contract).
+simd::simd_dispatch!(pub(crate) fn spmm_rows_into_chunk
+    = spmm_rows_into_chunk_impl / spmm_rows_into_chunk_avx2(
+    out: &rayon::SendPtr<f32>,
+    f: usize,
+    rows: &[u32],
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+));
+
+#[inline(always)]
+fn spmm_rows_into_chunk_impl(
+    out: &rayon::SendPtr<f32>,
+    f: usize,
+    rows: &[u32],
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+) {
+    for &r in rows {
+        let r = r as usize;
+        // SAFETY: `rows` entries are distinct and `< matrix rows` (caller
+        // asserts strictly-ascending + in-range), so every chunk writes a
+        // disjoint in-bounds row of the `rows × f` output.
+        let out_row: &mut [f32] =
+            unsafe { std::slice::from_raw_parts_mut(out.ptr().add(r * f), f) };
+        gather_row(out_row, indices, values, indptr[r], indptr[r + 1], x, f);
+    }
+}
+
+// The serial scatter of `Csr::spmm_transa` (out[c] += v · x[r] in stored
+// order). `out` must be zero-initialized by the caller — scatter rows
+// receive contributions from many source rows, so this path accumulates.
+simd::simd_dispatch!(pub(crate) fn spmm_transa_scatter
+    = spmm_transa_scatter_impl / spmm_transa_scatter_avx2(
+    out: &mut [f32],
+    f: usize,
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+));
+
+#[inline(always)]
+fn spmm_transa_scatter_impl(
+    out: &mut [f32],
+    f: usize,
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+) {
+    let rows = indptr.len() - 1;
+    for r in 0..rows {
+        let x_row = &x[r * f..(r + 1) * f];
+        for k in indptr[r]..indptr[r + 1] {
+            if let Some(&cn) = indices.get(k + PREFETCH_AHEAD) {
+                simd::prefetch_read(out, cn as usize * f);
+            }
+            let c = indices[k] as usize;
+            axpy_row(&mut out[c * f..(c + 1) * f], values[k], x_row);
+        }
+    }
+}
+
+/// The SELL-style packed execution layout cached on `Csr` (see the module
+/// docs for the layout and the padding-is-never-read rule).
+#[derive(Debug)]
+pub(crate) struct SellPack {
+    /// Rows in execution order: stored-entry count descending, row id
+    /// ascending within ties; [`LANES`] consecutive entries form a slab.
+    row_order: Vec<u32>,
+    /// Stored-entry count of each row of `row_order` (non-increasing
+    /// within a slab by construction).
+    lane_len: Vec<u32>,
+    /// Per-slab entry offsets into the panels (`n_slabs + 1` entries; slab
+    /// `s` occupies `slab_ptr[s] .. slab_ptr[s + 1]`).
+    slab_ptr: Vec<usize>,
+    /// Column indices, slab-local column-major: lane `lane`'s `k`-th entry
+    /// at `slab_ptr[s] + k·LANES + lane`.
+    indices: Vec<u32>,
+    /// Values in the same layout, 32-byte aligned so every `k`-panel is
+    /// one aligned vector load.
+    values: simd::AlignedF32,
+    /// Padding slots (short lanes; allocated zero, never read).
+    padded: usize,
+}
+
+impl SellPack {
+    /// Packs a CSR matrix (given as raw parts) into slabs.
+    pub(crate) fn build(indptr: &[usize], csr_indices: &[u32], csr_values: &[f32]) -> SellPack {
+        let rows = indptr.len() - 1;
+        let len = |r: usize| indptr[r + 1] - indptr[r];
+        let mut row_order: Vec<u32> = (0..rows as u32).collect();
+        row_order.sort_unstable_by_key(|&r| (std::cmp::Reverse(len(r as usize)), r));
+        let lane_len: Vec<u32> = row_order.iter().map(|&r| len(r as usize) as u32).collect();
+        let n_slabs = rows.div_ceil(LANES);
+        let mut slab_ptr = Vec::with_capacity(n_slabs + 1);
+        slab_ptr.push(0usize);
+        let mut total = 0usize;
+        for s in 0..n_slabs {
+            // Lane lengths are non-increasing, so the slab's first lane is
+            // its longest; the slab is a `max_len × LANES` rectangle.
+            total += lane_len[s * LANES] as usize * LANES;
+            slab_ptr.push(total);
+        }
+        let mut indices = vec![0u32; total];
+        let mut values = simd::AlignedF32::zeroed(total);
+        let vals = values.as_mut_slice();
+        let mut stored = 0usize;
+        for s in 0..n_slabs {
+            let base = slab_ptr[s];
+            let lanes = (rows - s * LANES).min(LANES);
+            for lane in 0..lanes {
+                let r = row_order[s * LANES + lane] as usize;
+                let lo = indptr[r];
+                let l = len(r);
+                for k in 0..l {
+                    let slot = base + k * LANES + lane;
+                    indices[slot] = csr_indices[lo + k];
+                    vals[slot] = csr_values[lo + k];
+                }
+                stored += l;
+            }
+        }
+        let padded = total - stored;
+        SellPack {
+            row_order,
+            lane_len,
+            slab_ptr,
+            indices,
+            values,
+            padded,
+        }
+    }
+
+    /// Number of [`LANES`]-row slabs (the parallel grain of the SELL spmm).
+    pub(crate) fn n_slabs(&self) -> usize {
+        self.slab_ptr.len() - 1
+    }
+
+    /// Padding slots allocated for short lanes (stat; padding is never
+    /// read by the walkers).
+    pub(crate) fn padded_entries(&self) -> usize {
+        self.padded
+    }
+}
+
+// One slab of the SELL spmm: writes the slab's [`LANES`] (or fewer, last
+// slab) output rows. Row ids within `row_order` are a permutation of all
+// rows, so slabs write disjoint rows through the shared pointer; `out`
+// must point at a `rows × f` buffer and `x` at a `cols × f` buffer of the
+// matrix the pack was built from.
+simd::simd_dispatch!(pub(crate) fn sell_slab = sell_slab_impl / sell_slab_avx2(
+    pack: &SellPack,
+    s: usize,
+    indptr: &[usize],
+    csr_indices: &[u32],
+    csr_values: &[f32],
+    x: &[f32],
+    f: usize,
+    out: &rayon::SendPtr<f32>,
+));
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn sell_slab_impl(
+    pack: &SellPack,
+    s: usize,
+    indptr: &[usize],
+    csr_indices: &[u32],
+    csr_values: &[f32],
+    x: &[f32],
+    f: usize,
+    out: &rayon::SendPtr<f32>,
+) {
+    let l0 = s * LANES;
+    let lanes = (pack.row_order.len() - l0).min(LANES);
+    let rows = &pack.row_order[l0..l0 + lanes];
+    let lens = &pack.lane_len[l0..l0 + lanes];
+    // SAFETY (both paths): `row_order` is a permutation of `0..rows`, so
+    // the rows this slab touches are disjoint from every other slab's and
+    // in bounds of the `rows × f` output buffer.
+    if f > SELL_LOCKSTEP_MAX_F {
+        // Wide features: the per-row register-chunk gather already streams
+        // panels of x; the pack contributes the nnz-sorted execution order
+        // (balanced slabs, hub rows first). Reads the original CSR arrays —
+        // identical entries in identical k order, so identical bits.
+        for (i, &r) in rows.iter().enumerate() {
+            let r = r as usize;
+            if let Some(&rn) = rows.get(i + 1) {
+                // Lead the next lane's first x target while this row runs.
+                if let Some(&cn) = csr_indices.get(indptr[rn as usize]) {
+                    simd::prefetch_read(x, cn as usize * f);
+                }
+            }
+            let out_row: &mut [f32] =
+                unsafe { std::slice::from_raw_parts_mut(out.ptr().add(r * f), f) };
+            gather_row(
+                out_row,
+                csr_indices,
+                csr_values,
+                indptr[r],
+                indptr[r + 1],
+                x,
+                f,
+            );
+        }
+    } else {
+        // Narrow features: lockstep over the packed panels — each step
+        // issues [`LANES`] independent short axpys (eight x-row streams in
+        // flight instead of one serial chain). Per output row the entries
+        // still arrive in ascending k, so bits are unchanged.
+        for &r in rows {
+            let row: &mut [f32] =
+                unsafe { std::slice::from_raw_parts_mut(out.ptr().add(r as usize * f), f) };
+            row.fill(0.0);
+        }
+        let base = pack.slab_ptr[s];
+        let vals = pack.values.as_slice();
+        let max_len = lens.first().map_or(0, |&l| l as usize);
+        let mut active = lanes;
+        for k in 0..max_len {
+            // Lane lengths are non-increasing: drop lanes as they run out
+            // so padding slots are never read.
+            while active > 0 && (lens[active - 1] as usize) <= k {
+                active -= 1;
+            }
+            let panel = base + k * LANES;
+            if k + 1 < max_len {
+                let next = base + (k + 1) * LANES;
+                for lane in 0..active {
+                    // A lane past the next panel's active prefix holds a
+                    // padding index of 0 — prefetching x[0] is harmless.
+                    simd::prefetch_read(x, pack.indices[next + lane] as usize * f);
+                }
+            }
+            for lane in 0..active {
+                let r = rows[lane] as usize;
+                let c = pack.indices[panel + lane] as usize;
+                let out_row: &mut [f32] =
+                    unsafe { std::slice::from_raw_parts_mut(out.ptr().add(r * f), f) };
+                axpy_row(out_row, vals[panel + lane], &x[c * f..(c + 1) * f]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_layout_roundtrips_and_counts_padding() {
+        // Rows with nnz 3, 0, 1, 2, 5 → order [4, 0, 3, 2, 1]; one slab
+        // (5 rows < LANES) of width LANES and height 5.
+        let indptr = vec![0usize, 3, 3, 4, 6, 11];
+        let indices: Vec<u32> = (0..11).collect();
+        let values: Vec<f32> = (0..11).map(|v| v as f32 + 0.5).collect();
+        let pack = SellPack::build(&indptr, &indices, &values);
+        assert_eq!(pack.n_slabs(), 1);
+        assert_eq!(pack.row_order, vec![4, 0, 3, 2, 1]);
+        assert_eq!(pack.lane_len, vec![5, 3, 2, 1, 0]);
+        assert_eq!(pack.slab_ptr, vec![0, 5 * LANES]);
+        assert_eq!(pack.padded_entries(), 5 * LANES - 11);
+        // Lane 0 is row 4: its k-th entry sits at k·LANES.
+        for k in 0..5 {
+            assert_eq!(pack.indices[k * LANES], indices[6 + k]);
+            assert_eq!(pack.values.as_slice()[k * LANES], values[6 + k]);
+        }
+        // Lane 1 is row 0 (nnz 3); entries at k·LANES + 1.
+        for k in 0..3 {
+            assert_eq!(pack.indices[k * LANES + 1], indices[k]);
+        }
+    }
+
+    #[test]
+    fn axpy_and_gather_handle_all_widths() {
+        for f in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64, 65, 96] {
+            let x: Vec<f32> = (0..4 * f).map(|i| (i % 13) as f32 - 6.0).collect();
+            let indices = [1u32, 0, 3, 2];
+            let values = [0.5f32, -2.0, 1.5, 3.0];
+            let mut got = vec![7.0f32; f];
+            gather_row(&mut got, &indices, &values, 0, 4, &x, f);
+            let mut want = vec![0.0f32; f];
+            for k in 0..4 {
+                for j in 0..f {
+                    want[j] += values[k] * x[indices[k] as usize * f + j];
+                }
+            }
+            for j in 0..f {
+                assert_eq!(got[j].to_bits(), want[j].to_bits(), "gather f={f} j={j}");
+            }
+            let mut acc: Vec<f32> = (0..f).map(|j| j as f32 * 0.25).collect();
+            let mut ref_acc = acc.clone();
+            axpy_row(&mut acc, -1.5, &x[..f]);
+            for j in 0..f {
+                ref_acc[j] += -1.5 * x[j];
+                assert_eq!(acc[j].to_bits(), ref_acc[j].to_bits(), "axpy f={f} j={j}");
+            }
+        }
+    }
+}

@@ -4,7 +4,8 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::dense::Dense;
-use crate::pool;
+use crate::sell::{self, SellPack};
+use crate::{pool, simd};
 
 /// A sparse matrix in compressed-sparse-row form with `f32` values.
 ///
@@ -24,6 +25,12 @@ pub struct Csr {
     /// [`Csr::values_mut`] (the only mutation surface); excluded from
     /// equality.
     transpose_cache: OnceLock<Arc<Csr>>,
+    /// Lazily-built SELL-style packed execution layout for [`Csr::spmm`]
+    /// (see [`crate::sell`]): rows binned by stored-entry count into
+    /// lane-width slabs. Amortizes like the transpose cache — the trainers
+    /// aggregate with the same immutable Laplacian every layer and epoch.
+    /// Cleared by [`Csr::values_mut`]; excluded from equality.
+    sell_cache: OnceLock<Arc<SellPack>>,
 }
 
 /// Equality over the matrix contents only — the transpose cache is a
@@ -55,6 +62,7 @@ impl Csr {
             indices: Vec::new(),
             values: Vec::new(),
             transpose_cache: OnceLock::new(),
+            sell_cache: OnceLock::new(),
         }
     }
 
@@ -67,6 +75,7 @@ impl Csr {
             indices: (0..n as u32).collect(),
             values: vec![1.0; n],
             transpose_cache: OnceLock::new(),
+            sell_cache: OnceLock::new(),
         }
     }
 
@@ -107,6 +116,7 @@ impl Csr {
             indices,
             values,
             transpose_cache: OnceLock::new(),
+            sell_cache: OnceLock::new(),
         }
     }
 
@@ -138,6 +148,7 @@ impl Csr {
             indices,
             values,
             transpose_cache: OnceLock::new(),
+            sell_cache: OnceLock::new(),
         }
     }
 
@@ -186,10 +197,12 @@ impl Csr {
     }
 
     /// Mutable value array (topology is fixed; only weights may change).
-    /// Drops the cached transpose — its values would go stale.
+    /// Drops the cached transpose and SELL pack — their values would go
+    /// stale.
     #[inline]
     pub fn values_mut(&mut self) -> &mut [f32] {
         self.transpose_cache = OnceLock::new();
+        self.sell_cache = OnceLock::new();
         &mut self.values
     }
 
@@ -317,6 +330,7 @@ impl Csr {
             indices,
             values,
             transpose_cache: OnceLock::new(),
+            sell_cache: OnceLock::new(),
         }
     }
 
@@ -377,15 +391,14 @@ impl Csr {
                 .spmm_gather(x);
         }
         let mut out = Dense::zeros(self.cols, f);
-        for r in 0..self.rows {
-            let x_row = &x.data()[r * f..(r + 1) * f];
-            for (c, v) in self.row_iter(r) {
-                let out_row = &mut out.data_mut()[c as usize * f..(c as usize + 1) * f];
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
-                }
-            }
-        }
+        sell::spmm_transa_scatter(
+            out.data_mut(),
+            f,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+            x.data(),
+        );
         out
     }
 
@@ -407,24 +420,26 @@ impl Csr {
             "spmm_rows row index out of range"
         );
         let f = x.cols();
-        let mut out = Dense::zeros(rows.len(), f);
+        // Scratch, not zeros: the gather fully overwrites every selected
+        // output row (accumulators start at +0.0), bitwise the same as
+        // zero-fill-then-accumulate.
+        let mut out = Dense::scratch(rows.len(), f);
         let work: usize = rows
             .iter()
             .map(|&r| self.indptr[r as usize + 1] - self.indptr[r as usize])
             .sum::<usize>()
             .saturating_mul(f);
         pool::par_rows_membound(out.data_mut(), f, work, |i0, block| {
-            for (di, out_row) in block.chunks_mut(f).enumerate() {
-                let r = rows[i0 + di] as usize;
-                for k in self.indptr[r]..self.indptr[r + 1] {
-                    let c = self.indices[k] as usize;
-                    let v = self.values[k];
-                    let x_row = &x.data()[c * f..(c + 1) * f];
-                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                        *o += v * xv;
-                    }
-                }
-            }
+            let sel = &rows[i0..i0 + block.len() / f.max(1)];
+            sell::spmm_rows_block(
+                block,
+                f,
+                sel,
+                &self.indptr,
+                &self.indices,
+                &self.values,
+                x.data(),
+            );
         });
         out
     }
@@ -475,22 +490,17 @@ impl Csr {
         pool::par_indices_membound(chunks, work, |ci| {
             let lo = ci * rows_per_chunk;
             let hi = (lo + rows_per_chunk).min(rows.len());
-            for &r in &rows[lo..hi] {
-                let r = r as usize;
-                // Sound: `rows` is strictly ascending, so chunks write
-                // disjoint output rows through the shared base pointer.
-                let out_row: &mut [f32] =
-                    unsafe { std::slice::from_raw_parts_mut(base.ptr().add(r * f), f) };
-                out_row.fill(0.0);
-                for k in self.indptr[r]..self.indptr[r + 1] {
-                    let c = self.indices[k] as usize;
-                    let v = self.values[k];
-                    let x_row = &x.data()[c * f..(c + 1) * f];
-                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                        *o += v * xv;
-                    }
-                }
-            }
+            // Sound: `rows` is strictly ascending, so chunks write
+            // disjoint output rows through the shared base pointer.
+            sell::spmm_rows_into_chunk(
+                &base,
+                f,
+                &rows[lo..hi],
+                &self.indptr,
+                &self.indices,
+                &self.values,
+                x.data(),
+            );
         });
     }
 
@@ -500,25 +510,74 @@ impl Csr {
     /// transpose path has already validated the original orientation.
     fn spmm_gather(&self, x: &Dense) -> Dense {
         let f = x.cols();
-        // Scratch output: each row is zeroed immediately before its
-        // accumulation (cache-warm, and skips the arena's up-front fill).
+        // Scratch output: the gather fully overwrites every row (vector
+        // accumulators start at +0.0 — bitwise the fill-then-accumulate
+        // sequence), so the arena's up-front zero fill is skipped.
         let mut out = Dense::scratch(self.rows, f);
         let work = self.nnz().saturating_mul(f);
+        if let Some(pack) = self.sell_pack(f) {
+            // SELL path: slabs of LANES rows in nnz-sorted order; every
+            // row lands in exactly one slab, and the slab assignment is a
+            // pure function of the matrix, so bits match the plain gather
+            // at any thread count.
+            let base = rayon::SendPtr::new(out.data_mut().as_mut_ptr());
+            pool::par_indices_membound(pack.n_slabs(), work, |sl| {
+                sell::sell_slab(
+                    pack,
+                    sl,
+                    &self.indptr,
+                    &self.indices,
+                    &self.values,
+                    x.data(),
+                    f,
+                    &base,
+                );
+            });
+            return out;
+        }
         pool::par_rows_membound(out.data_mut(), f, work, |r0, block| {
-            for (dr, out_row) in block.chunks_mut(f).enumerate() {
-                out_row.fill(0.0);
-                let r = r0 + dr;
-                for k in self.indptr[r]..self.indptr[r + 1] {
-                    let c = self.indices[k] as usize;
-                    let v = self.values[k];
-                    let x_row = &x.data()[c * f..(c + 1) * f];
-                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                        *o += v * xv;
-                    }
-                }
-            }
+            sell::spmm_block(
+                block,
+                f,
+                r0,
+                &self.indptr,
+                &self.indices,
+                &self.values,
+                x.data(),
+            );
         });
         out
+    }
+
+    /// The cached SELL pack when the matrix is big enough for it to pay:
+    /// the gate is a pure function of the matrix shape (never of thread
+    /// count or feature width beyond `f > 0`), so the execution layout —
+    /// and therefore every produced bit — is deterministic per matrix.
+    fn sell_pack(&self, f: usize) -> Option<&SellPack> {
+        if f == 0 || self.rows < 2 * simd::LANES || self.nnz() < sell::SELL_MIN_NNZ {
+            return None;
+        }
+        Some(
+            self.sell_cache.get_or_init(|| {
+                Arc::new(SellPack::build(&self.indptr, &self.indices, &self.values))
+            }),
+        )
+    }
+
+    /// True once the lazily-built SELL pack exists (tests observe cache
+    /// population and invalidation through this).
+    pub fn sell_packed(&self) -> bool {
+        self.sell_cache.get().is_some()
+    }
+
+    /// `(slabs, padding slots)` of the built SELL pack, or `None` while
+    /// the pack does not exist (matrix below the gate, or not yet used by
+    /// [`Csr::spmm`]). Padding slots are allocated-but-never-read slots of
+    /// short lanes — the layout's space overhead.
+    pub fn sell_stats(&self) -> Option<(usize, usize)> {
+        self.sell_cache
+            .get()
+            .map(|p| (p.n_slabs(), p.padded_entries()))
     }
 
     /// Weighted sum `Σ wᵢ · Aᵢ` of same-shaped sparse matrices.
@@ -575,6 +634,7 @@ impl Csr {
             indices,
             values,
             transpose_cache: OnceLock::new(),
+            sell_cache: OnceLock::new(),
         }
     }
 
@@ -595,6 +655,7 @@ impl Csr {
             indices: self.indices[lo..hi].to_vec(),
             values: self.values[lo..hi].to_vec(),
             transpose_cache: OnceLock::new(),
+            sell_cache: OnceLock::new(),
         }
     }
 
