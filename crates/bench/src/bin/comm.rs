@@ -1,0 +1,7 @@
+//! Transport benchmark binary: measured multi-rank epochs on both
+//! communicator transports vs the §7 model, written to `BENCH_comm.json`.
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dgnn_bench::comm::run(fast);
+}

@@ -24,6 +24,7 @@
 //! count, a `config` map, and a `metrics` map.
 
 pub mod ablations;
+pub mod comm;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

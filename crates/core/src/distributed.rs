@@ -29,19 +29,36 @@ pub fn train_distributed(
     opts: &TrainOptions,
     p: usize,
 ) -> Vec<EpochStats> {
+    train_distributed_digest(raw, next, cfg, task_opts, opts, p).0
+}
+
+/// As [`train_distributed`], additionally returning the FNV digest of each
+/// rank's final parameter replica (rank order). The replicas must agree
+/// bitwise — gradients are all-reduced in fixed rank order — and the
+/// transport-equivalence suite pins these digests across communicator
+/// transports and rank counts.
+pub fn train_distributed_digest(
+    raw: &DynamicGraph,
+    next: &Snapshot,
+    cfg: ModelConfig,
+    task_opts: &TaskOptions,
+    opts: &TrainOptions,
+    p: usize,
+) -> (Vec<EpochStats>, Vec<u64>) {
     let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
     let econf = EngineConfig::new(*opts, *task_opts);
     let task = prepare_task(raw, next, &cfg, &econf.resolved_task(true));
     let results = run_ranks(p, |comm| train_rank(comm, &task, cfg, &econf));
-    results.into_iter().next().expect("at least one rank")
+    let (mut stats, digests): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    (stats.swap_remove(0), digests)
 }
 
 fn train_rank(
-    comm: &mut Comm,
+    comm: &mut dyn Comm,
     task: &Task,
     cfg: ModelConfig,
     econf: &EngineConfig,
-) -> Vec<EpochStats> {
+) -> (Vec<EpochStats>, u64) {
     // `opts.threads` (installed by the entry fn) reaches this rank thread
     // via `run_ranks`' override propagation: each rank owns an independent
     // pool of that size.
@@ -52,7 +69,9 @@ fn train_rank(
     let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
     let blocks = econf.blocks(task.t);
     let mut strategy = TimePartitioned::new(comm, &model, &head, task, &blocks);
-    run_engine(&mut strategy, &mut store, &blocks, opts.epochs, opts.lr)
+    let stats = run_engine(&mut strategy, &mut store, &blocks, opts.epochs, opts.lr);
+    let digest = dgnn_tensor::digest::digest_f32(&store.values_flat());
+    (stats, digest)
 }
 
 #[cfg(test)]

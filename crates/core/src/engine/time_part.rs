@@ -72,7 +72,7 @@ pub(crate) struct RankStats {
 
 /// The snapshot-partitioned layout over `p` rank threads.
 pub(crate) struct TimePartitioned<'m, 'c> {
-    comm: &'c mut Comm,
+    comm: &'c mut dyn Comm,
     model: &'m Model,
     head: &'m LinkPredHead,
     task: &'m Task,
@@ -88,7 +88,7 @@ impl<'m, 'c> TimePartitioned<'m, 'c> {
     /// rank's transfer accounting over `blocks` (first snapshot naive, rest
     /// as differences — paper §6.2).
     pub fn new(
-        comm: &'c mut Comm,
+        comm: &'c mut dyn Comm,
         model: &'m Model,
         head: &'m LinkPredHead,
         task: &'m Task,
@@ -443,5 +443,6 @@ impl<'m> ParallelStrategy<'m> for TimePartitioned<'m, '_> {
         out.phase = phase;
         let mark = self.epoch_mark.expect("begin_epoch sets the mark");
         out.phase.comm_us = self.comm.busy_us_since(mark);
+        out.phase.comm_wait_us = self.comm.wait_us_since(mark);
     }
 }

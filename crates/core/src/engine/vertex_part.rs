@@ -166,7 +166,7 @@ pub(crate) struct VertexIo {
 
 /// The hypergraph vertex-partitioned layout over `p` rank threads.
 pub(crate) struct VertexPartitioned<'m, 'c> {
-    comm: &'c mut Comm,
+    comm: &'c mut dyn Comm,
     model: &'m Model,
     head: &'m LinkPredHead,
     ctx: &'m VertexRankCtx,
@@ -177,7 +177,7 @@ pub(crate) struct VertexPartitioned<'m, 'c> {
 
 impl<'m, 'c> VertexPartitioned<'m, 'c> {
     pub fn new(
-        comm: &'c mut Comm,
+        comm: &'c mut dyn Comm,
         model: &'m Model,
         head: &'m LinkPredHead,
         ctx: &'m VertexRankCtx,
@@ -537,5 +537,6 @@ impl<'m> ParallelStrategy<'m> for VertexPartitioned<'m, '_> {
         out.phase = phase;
         let mark = self.epoch_mark.expect("begin_epoch sets the mark");
         out.phase.comm_us = self.comm.busy_us_since(mark);
+        out.phase.comm_wait_us = self.comm.wait_us_since(mark);
     }
 }

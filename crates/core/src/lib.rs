@@ -43,15 +43,15 @@ pub mod task;
 pub mod vertex_dist;
 
 pub use classification::{train_single_classification, ClassEpochStats};
-pub use distributed::train_distributed;
+pub use distributed::{train_distributed, train_distributed_digest};
 pub use engine::source::{SnapshotSource, StoreSource, TaskSource};
 pub use engine::EngineConfig;
-pub use hybrid::train_hybrid;
+pub use hybrid::{train_hybrid, train_hybrid_digest};
 pub use metrics::{auc, EpochStats, TrainOptions};
 pub use single::{train_single, train_single_out_of_core};
 pub use streaming::{train_streaming, StreamTrainOptions, WindowStats};
 pub use task::{prepare_task, prepare_task_holdout, prepare_task_journaled, Task, TaskOptions};
-pub use vertex_dist::train_vertex_partitioned;
+pub use vertex_dist::{train_vertex_partitioned, train_vertex_partitioned_digest};
 
 /// Convenience re-exports of the whole stack.
 pub mod prelude {
@@ -60,7 +60,10 @@ pub mod prelude {
     pub use crate::task::{
         prepare_task, prepare_task_holdout, prepare_task_journaled, Task, TaskOptions,
     };
-    pub use crate::{train_distributed, train_hybrid, train_single, train_vertex_partitioned};
+    pub use crate::{
+        train_distributed, train_distributed_digest, train_hybrid, train_hybrid_digest,
+        train_single, train_vertex_partitioned, train_vertex_partitioned_digest,
+    };
     pub use dgnn_autograd::{Adam, Optimizer, ParamStore, Sgd, Tape, Var};
     pub use dgnn_graph::{
         DatasetSpec, DynamicGraph, EdgeSamples, ReuseStats, Smoothing, Snapshot, TemporalStats,

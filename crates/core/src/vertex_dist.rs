@@ -34,6 +34,21 @@ pub fn train_vertex_partitioned(
     opts: &TrainOptions,
     p: usize,
 ) -> Vec<EpochStats> {
+    train_vertex_partitioned_digest(raw, next, cfg, task_opts, opts, p).0
+}
+
+/// As [`train_vertex_partitioned`], additionally returning the FNV digest
+/// of each rank's final parameter replica (rank order); the replicas must
+/// agree bitwise, and the transport-equivalence suite pins the digests
+/// across communicator transports and rank counts.
+pub fn train_vertex_partitioned_digest(
+    raw: &DynamicGraph,
+    next: &Snapshot,
+    cfg: ModelConfig,
+    task_opts: &TaskOptions,
+    opts: &TrainOptions,
+    p: usize,
+) -> (Vec<EpochStats>, Vec<u64>) {
     let _threads = dgnn_tensor::pool::scoped_threads(opts.threads);
     let econf = EngineConfig::new(*opts, *task_opts);
     // Samples are drawn in the original vertex space so both schemes train
@@ -76,15 +91,18 @@ pub fn train_vertex_partitioned(
         let head = LinkPredHead::new(&mut store, cfg.embedding_dim(), 2, &mut rng);
         let blocks = econf.blocks(task.t);
         let mut strategy = VertexPartitioned::new(comm, &model, &head, &ctx, task);
-        run_engine(
+        let stats = run_engine(
             &mut strategy,
             &mut store,
             &blocks,
             econf.train.epochs,
             econf.train.lr,
-        )
+        );
+        let digest = dgnn_tensor::digest::digest_f32(&store.values_flat());
+        (stats, digest)
     });
-    results.into_iter().next().expect("at least one rank")
+    let (mut stats, digests): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    (stats.swap_remove(0), digests)
 }
 
 #[cfg(test)]

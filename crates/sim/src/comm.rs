@@ -1,12 +1,49 @@
-//! The functional communication layer: rank threads exchanging real data
-//! through channels — the NCCL stand-in used by the distributed trainers.
+//! The communication layer: rank threads exchanging real data through
+//! channels — the NCCL stand-in used by the distributed trainers.
 //!
-//! Semantics follow SPMD collectives: every rank calls the same sequence of
-//! collective operations; matching is done on a per-rank monotone operation
-//! counter, so out-of-order channel arrivals are buffered and re-ordered.
-//! Point-to-point sends take an explicit user tag in a separate tag space.
+//! Since PR 10 the communicator is a *trait* ([`Comm`]) with two
+//! transports behind it:
+//!
+//! * [`SimComm`] — the original mailbox communicator: every rank owns one
+//!   inbox channel that all peers share, with an out-of-order buffer in
+//!   front of it. This is the cost-model-friendly layout (one queue per
+//!   rank, like a NIC RX ring).
+//! * [`SharedMemComm`] — a real shared-memory transport: every *ordered
+//!   pair* of ranks owns a dedicated lane, so rank threads exchange owned
+//!   buffers peer-to-peer with no shared inbox contention.
+//!
+//! Both implement the same collectives (`all_to_all`, `all_reduce_sum`,
+//! `broadcast`, `all_gather`, `barrier`) through one shared skeleton, so
+//! the **determinism contract** holds on either transport: reductions
+//! combine contributions in fixed rank order 0..P−1, collective matching
+//! uses a per-rank monotone operation counter (out-of-order arrivals are
+//! buffered and re-ordered), and volume accounting counts the same
+//! payload bytes per send. Results — loss streams, transfer/comm
+//! accounting, final parameters — are bit-identical across transports,
+//! rank counts, and thread counts; `tests/transport_equivalence.rs` pins
+//! this against the golden captures.
+//!
+//! Transport selection: [`run_ranks`] resolves a thread-local override
+//! installed by [`scoped_transport`], then the `DGNN_COMM` environment
+//! variable (`sim`/`shm`), defaulting to [`CommTransport::Sim`].
+//!
+//! Failure semantics: a rank panicking mid-collective must not strand its
+//! peers in a blocking receive. Every blocked receive polls a shared
+//! poison flag; when a rank unwinds, its peers abort with a [`RankAbort`]
+//! payload, and [`try_run_ranks`] surfaces the *originating* rank's panic
+//! as a typed [`RankPanic`] instead of deadlocking. [`run_ranks`] resumes
+//! the original payload, so panics propagate to the caller exactly as a
+//! plain `std::thread` join would — identically on both transports.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dgnn_telemetry::trace;
 use dgnn_tensor::{Csr, Dense};
 
@@ -43,135 +80,176 @@ struct Msg {
 // Collective ops and point-to-point ops use disjoint tag spaces.
 const COLLECTIVE_BIT: u64 = 1 << 63;
 
-/// A mark taken by [`Comm::mark`]; scopes both byte-volume and
-/// collective-busy-time accounting to the strategy/epoch that holds it.
+/// How long a blocked receive waits before re-checking the poison flag.
+/// Purely a failure-detection latency: on the happy path a pending
+/// message returns immediately.
+const ABORT_POLL: Duration = Duration::from_millis(2);
+
+/// Environment variable selecting the transport (`sim` or `shm`).
+pub const ENV_COMM: &str = "DGNN_COMM";
+
+/// Which communicator implementation `run_ranks` builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommTransport {
+    /// [`SimComm`]: one shared inbox per rank (the original communicator).
+    Sim,
+    /// [`SharedMemComm`]: a dedicated lane per ordered rank pair.
+    SharedMem,
+}
+
+impl CommTransport {
+    /// Both transports, for sweeping tests/benches.
+    pub fn all() -> [CommTransport; 2] {
+        [CommTransport::Sim, CommTransport::SharedMem]
+    }
+
+    /// Short name, matching the accepted `DGNN_COMM` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommTransport::Sim => "sim",
+            CommTransport::SharedMem => "shm",
+        }
+    }
+
+    /// Resolves the ambient transport: a [`scoped_transport`] override on
+    /// this thread wins, then the `DGNN_COMM` environment variable (read
+    /// once per process), then [`CommTransport::Sim`].
+    ///
+    /// # Panics
+    /// On an unrecognised `DGNN_COMM` value (anything but `sim`/`shm`).
+    pub fn from_env() -> Self {
+        if let Some(t) = TRANSPORT_OVERRIDE.with(Cell::get) {
+            return t;
+        }
+        static CACHE: OnceLock<Option<CommTransport>> = OnceLock::new();
+        CACHE
+            .get_or_init(|| match std::env::var(ENV_COMM) {
+                Ok(v) => match v.trim() {
+                    "" => None,
+                    "sim" => Some(CommTransport::Sim),
+                    "shm" => Some(CommTransport::SharedMem),
+                    other => panic!("{ENV_COMM} must be `sim` or `shm`, got {other:?}"),
+                },
+                Err(_) => None,
+            })
+            .unwrap_or(CommTransport::Sim)
+    }
+}
+
+thread_local! {
+    static TRANSPORT_OVERRIDE: Cell<Option<CommTransport>> = const { Cell::new(None) };
+}
+
+/// RAII guard restoring the previous per-thread transport override on drop.
+pub struct TransportGuard {
+    prev: Option<CommTransport>,
+}
+
+/// Installs a per-thread transport override for the guard's lifetime:
+/// [`run_ranks`] calls under the guard use `transport` regardless of
+/// `DGNN_COMM`. The equivalence suites use this to run the same entry
+/// point on both transports inside one process.
+pub fn scoped_transport(transport: CommTransport) -> TransportGuard {
+    TransportGuard {
+        prev: TRANSPORT_OVERRIDE.with(|o| o.replace(Some(transport))),
+    }
+}
+
+impl Drop for TransportGuard {
+    fn drop(&mut self) {
+        TRANSPORT_OVERRIDE.with(|o| o.set(self.prev));
+    }
+}
+
+/// A mark taken by [`Comm::mark`]; scopes byte-volume and collective
+/// busy/wait-time accounting to the strategy/epoch that holds it.
 #[derive(Clone, Copy, Debug)]
 pub struct CommMark {
     bytes: u64,
     busy_ns: u64,
+    wait_ns: u64,
 }
 
-/// One rank's endpoint of the communicator.
-pub struct Comm {
-    rank: usize,
-    world: usize,
-    txs: Vec<Sender<Msg>>,
-    rx: Receiver<Msg>,
-    pending: Vec<Msg>,
-    next_collective: u64,
-    bytes_sent: u64,
-    /// Wall time spent inside collectives, accumulated only while
-    /// `DGNN_TRACE` is on (0 otherwise, so untraced runs pay nothing).
-    busy_ns: u64,
-}
-
-impl Comm {
+/// One rank's endpoint of the communicator: point-to-point sends plus the
+/// SPMD collectives the distributed trainers are written against.
+///
+/// Every implementation upholds the determinism contract spelled out in
+/// the [module docs](self): fixed rank-order reductions, counter-matched
+/// collectives, and identical volume accounting — so a trainer produces
+/// bit-identical results whichever transport backs it.
+pub trait Comm {
     /// This rank's id.
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
+    fn rank(&self) -> usize;
 
     /// World size.
-    pub fn world(&self) -> usize {
-        self.world
-    }
+    fn world(&self) -> usize;
 
     /// Total payload bytes sent by this rank so far (volume accounting).
-    pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
-    }
+    fn bytes_sent(&self) -> u64;
 
-    /// Opens a volume scope: a mark whose [`Comm::bytes_since`] reports the
-    /// bytes this rank sent after the mark. The engine hands each
-    /// `ParallelStrategy` a per-epoch mark so communication volume is
+    /// Nanoseconds spent inside collectives (whole calls, including the
+    /// local reduction arithmetic). Advances only while `DGNN_TRACE` is
+    /// on — 0 otherwise, so untraced runs pay nothing.
+    fn busy_ns(&self) -> u64;
+
+    /// Nanoseconds spent *blocked on peer data* inside receives — the
+    /// wait share of [`Comm::busy_ns`]. Advances only while tracing is on.
+    fn wait_ns(&self) -> u64;
+
+    /// Point-to-point send with a user tag (unique per sender until
+    /// consumed).
+    fn send_tagged(&mut self, to: usize, tag: u64, payload: Payload);
+
+    /// Point-to-point receive matching [`Comm::send_tagged`].
+    fn recv_tagged(&mut self, from: usize, tag: u64) -> Payload;
+
+    /// All-to-all: `parts[q]` goes to rank `q`; returns the chunks
+    /// received, indexed by source rank (the self slot passes through
+    /// untouched).
+    fn all_to_all(&mut self, parts: Vec<Payload>) -> Vec<Payload>;
+
+    /// Sum all-reduce over a float vector. The reduction order is fixed
+    /// (rank 0, 1, …, P−1) on every rank, so all replicas see
+    /// bit-identical results regardless of message arrival order.
+    fn all_reduce_sum(&mut self, data: &mut [f32]);
+
+    /// Broadcast from `root` to every rank.
+    fn broadcast(&mut self, root: usize, payload: Payload) -> Payload;
+
+    /// Gathers one payload from every rank onto all ranks (all-gather).
+    fn all_gather(&mut self, payload: Payload) -> Vec<Payload>;
+
+    /// Opens an accounting scope: a mark whose `*_since` counterparts
+    /// report bytes/busy/wait accumulated after the mark. The engine
+    /// hands each `ParallelStrategy` a per-epoch mark so communication is
     /// attributed to the strategy (and epoch) that produced it.
-    pub fn mark(&self) -> CommMark {
+    fn mark(&self) -> CommMark {
         CommMark {
-            bytes: self.bytes_sent,
-            busy_ns: self.busy_ns,
+            bytes: self.bytes_sent(),
+            busy_ns: self.busy_ns(),
+            wait_ns: self.wait_ns(),
         }
     }
 
     /// Bytes sent since `mark` was taken on this communicator.
-    pub fn bytes_since(&self, mark: CommMark) -> u64 {
-        self.bytes_sent - mark.bytes
+    fn bytes_since(&self, mark: CommMark) -> u64 {
+        self.bytes_sent() - mark.bytes
     }
 
     /// Microseconds this rank spent inside collectives since `mark`.
     /// Only advances while tracing is on; reports 0 otherwise.
-    pub fn busy_us_since(&self, mark: CommMark) -> u64 {
-        (self.busy_ns - mark.busy_ns) / 1_000
+    fn busy_us_since(&self, mark: CommMark) -> u64 {
+        (self.busy_ns() - mark.busy_ns) / 1_000
     }
 
-    fn send(&mut self, to: usize, tag: u64, payload: Payload) {
-        self.bytes_sent += payload.bytes();
-        self.txs[to]
-            .send(Msg {
-                from: self.rank,
-                tag,
-                payload,
-            })
-            .expect("peer rank hung up");
-    }
-
-    fn recv(&mut self, from: usize, tag: u64) -> Payload {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.from == from && m.tag == tag)
-        {
-            return self.pending.swap_remove(pos).payload;
-        }
-        loop {
-            let msg = self.rx.recv().expect("peer rank hung up");
-            if msg.from == from && msg.tag == tag {
-                return msg.payload;
-            }
-            self.pending.push(msg);
-        }
-    }
-
-    /// Point-to-point send with a user tag (unique per sender until consumed).
-    pub fn send_tagged(&mut self, to: usize, tag: u64, payload: Payload) {
-        assert!(tag & COLLECTIVE_BIT == 0, "high bit is reserved");
-        self.send(to, tag, payload);
-    }
-
-    /// Point-to-point receive matching [`Comm::send_tagged`].
-    pub fn recv_tagged(&mut self, from: usize, tag: u64) -> Payload {
-        assert!(tag & COLLECTIVE_BIT == 0, "high bit is reserved");
-        self.recv(from, tag)
-    }
-
-    /// All-to-all: `parts[q]` goes to rank `q`; returns the chunks received,
-    /// indexed by source rank (the self slot passes through untouched).
-    pub fn all_to_all(&mut self, mut parts: Vec<Payload>) -> Vec<Payload> {
-        assert_eq!(parts.len(), self.world, "one part per rank required");
-        let timer = trace::Timer::start();
-        let tag = COLLECTIVE_BIT | self.next_collective;
-        self.next_collective += 1;
-        let own = std::mem::replace(&mut parts[self.rank], Payload::Empty);
-        for (q, part) in parts.into_iter().enumerate() {
-            if q != self.rank {
-                self.send(q, tag, part);
-            }
-        }
-        let mut out: Vec<Payload> = Vec::with_capacity(self.world);
-        for q in 0..self.world {
-            if q == self.rank {
-                out.push(Payload::Empty);
-            } else {
-                let received = self.recv(q, tag);
-                out.push(received);
-            }
-        }
-        out[self.rank] = own;
-        self.busy_ns += timer.stop_ns("comm", "collective");
-        out
+    /// Microseconds this rank spent blocked on peer data since `mark`.
+    /// Only advances while tracing is on; reports 0 otherwise.
+    fn wait_us_since(&self, mark: CommMark) -> u64 {
+        (self.wait_ns() - mark.wait_ns) / 1_000
     }
 
     /// All-to-all specialised to dense chunks.
-    pub fn all_to_all_dense(&mut self, parts: Vec<Dense>) -> Vec<Dense> {
+    fn all_to_all_dense(&mut self, parts: Vec<Dense>) -> Vec<Dense> {
         self.all_to_all(parts.into_iter().map(Payload::Dense).collect())
             .into_iter()
             .map(|p| match p {
@@ -181,23 +259,152 @@ impl Comm {
             .collect()
     }
 
-    /// Sum all-reduce over a float vector. The reduction order is fixed
-    /// (rank 0, 1, …, P−1) on every rank, so all replicas see bit-identical
-    /// results regardless of message arrival order.
-    pub fn all_reduce_sum(&mut self, data: &mut [f32]) {
+    /// Barrier: completes only when every rank arrives.
+    fn barrier(&mut self) {
+        let _ = self.all_gather(Payload::Empty);
+    }
+}
+
+/// State common to both endpoints: identity, accounting, the collective
+/// op counter, and the shared poison flag.
+struct EndpointState {
+    rank: usize,
+    world: usize,
+    /// 0 while all ranks are healthy; `r + 1` once rank `r` has panicked.
+    poison: Arc<AtomicUsize>,
+    next_collective: u64,
+    bytes_sent: u64,
+    busy_ns: u64,
+    wait_ns: u64,
+}
+
+impl EndpointState {
+    fn new(rank: usize, world: usize, poison: Arc<AtomicUsize>) -> Self {
+        EndpointState {
+            rank,
+            world,
+            poison,
+            next_collective: 0,
+            bytes_sent: 0,
+            busy_ns: 0,
+            wait_ns: 0,
+        }
+    }
+
+    /// Panics with a [`RankAbort`] if a peer rank has already panicked —
+    /// called from receive loops so no rank blocks on a dead peer.
+    fn check_abort(&self) {
+        let flag = self.poison.load(Ordering::SeqCst);
+        if flag != 0 && flag != self.rank + 1 {
+            std::panic::panic_any(RankAbort { origin: flag - 1 });
+        }
+    }
+}
+
+/// The transport-specific plumbing under the shared collective skeleton:
+/// raw enqueue/dequeue of messages. Accounting and abort handling live in
+/// the blanket [`Comm`] implementation and [`EndpointState`].
+trait Endpoint {
+    fn state(&self) -> &EndpointState;
+    fn state_mut(&mut self) -> &mut EndpointState;
+    /// Raw enqueue of `(tag, payload)` to rank `to` (no accounting).
+    fn push(&mut self, to: usize, tag: u64, payload: Payload);
+    /// Blocking dequeue of the message from `from` carrying `tag`,
+    /// buffering out-of-order arrivals and aborting if a peer panicked.
+    fn pull(&mut self, from: usize, tag: u64) -> Payload;
+}
+
+fn send_counted<E: Endpoint + ?Sized>(ep: &mut E, to: usize, tag: u64, payload: Payload) {
+    ep.state_mut().bytes_sent += payload.bytes();
+    ep.push(to, tag, payload);
+}
+
+fn recv_counted<E: Endpoint + ?Sized>(ep: &mut E, from: usize, tag: u64) -> Payload {
+    if !trace::enabled() {
+        return ep.pull(from, tag);
+    }
+    let t0 = trace::now_ns();
+    let payload = ep.pull(from, tag);
+    let dt = trace::now_ns().saturating_sub(t0);
+    ep.state_mut().wait_ns += dt;
+    payload
+}
+
+/// The collectives, written once against the private `Endpoint` trait so
+/// both transports share matching semantics, accounting, and reduction
+/// order.
+impl<E: Endpoint> Comm for E {
+    fn rank(&self) -> usize {
+        self.state().rank
+    }
+
+    fn world(&self) -> usize {
+        self.state().world
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.state().bytes_sent
+    }
+
+    fn busy_ns(&self) -> u64 {
+        self.state().busy_ns
+    }
+
+    fn wait_ns(&self) -> u64 {
+        self.state().wait_ns
+    }
+
+    fn send_tagged(&mut self, to: usize, tag: u64, payload: Payload) {
+        assert!(tag & COLLECTIVE_BIT == 0, "high bit is reserved");
+        send_counted(self, to, tag, payload);
+    }
+
+    fn recv_tagged(&mut self, from: usize, tag: u64) -> Payload {
+        assert!(tag & COLLECTIVE_BIT == 0, "high bit is reserved");
+        recv_counted(self, from, tag)
+    }
+
+    fn all_to_all(&mut self, mut parts: Vec<Payload>) -> Vec<Payload> {
+        let (rank, world) = (self.rank(), self.world());
+        assert_eq!(parts.len(), world, "one part per rank required");
         let timer = trace::Timer::start();
-        let tag = COLLECTIVE_BIT | self.next_collective;
-        self.next_collective += 1;
-        for q in 0..self.world {
-            if q != self.rank {
-                self.send(q, tag, Payload::Floats(data.to_vec()));
+        let tag = COLLECTIVE_BIT | self.state().next_collective;
+        self.state_mut().next_collective += 1;
+        let own = std::mem::replace(&mut parts[rank], Payload::Empty);
+        for (q, part) in parts.into_iter().enumerate() {
+            if q != rank {
+                send_counted(self, q, tag, part);
             }
         }
-        let mut contributions: Vec<Option<Vec<f32>>> = vec![None; self.world];
-        contributions[self.rank] = Some(data.to_vec());
-        for q in 0..self.world {
-            if q != self.rank {
-                match self.recv(q, tag) {
+        let mut out: Vec<Payload> = Vec::with_capacity(world);
+        for q in 0..world {
+            if q == rank {
+                out.push(Payload::Empty);
+            } else {
+                let received = recv_counted(self, q, tag);
+                out.push(received);
+            }
+        }
+        out[rank] = own;
+        self.state_mut().busy_ns += timer.stop_ns("comm", "collective");
+        out
+    }
+
+    fn all_reduce_sum(&mut self, data: &mut [f32]) {
+        let (rank, world) = (self.rank(), self.world());
+        let timer = trace::Timer::start();
+        let tag = COLLECTIVE_BIT | self.state().next_collective;
+        self.state_mut().next_collective += 1;
+        for q in 0..world {
+            if q != rank {
+                send_counted(self, q, tag, Payload::Floats(data.to_vec()));
+            }
+        }
+        let mut contributions: Vec<Option<Vec<f32>>> = vec![None; world];
+        contributions[rank] = Some(data.to_vec());
+        for q in 0..world {
+            if q != rank {
+                match recv_counted(self, q, tag) {
                     Payload::Floats(f) => contributions[q] = Some(f),
                     other => panic!("expected floats, got {other:?}"),
                 }
@@ -212,58 +419,261 @@ impl Comm {
                 *d += x;
             }
         }
-        self.busy_ns += timer.stop_ns("comm", "collective");
+        self.state_mut().busy_ns += timer.stop_ns("comm", "collective");
     }
 
-    /// Broadcast from `root` to every rank.
-    pub fn broadcast(&mut self, root: usize, payload: Payload) -> Payload {
+    fn broadcast(&mut self, root: usize, payload: Payload) -> Payload {
+        let (rank, world) = (self.rank(), self.world());
         let timer = trace::Timer::start();
-        let tag = COLLECTIVE_BIT | self.next_collective;
-        self.next_collective += 1;
-        let out = if self.rank == root {
-            for q in 0..self.world {
+        let tag = COLLECTIVE_BIT | self.state().next_collective;
+        self.state_mut().next_collective += 1;
+        let out = if rank == root {
+            for q in 0..world {
                 if q != root {
-                    self.send(q, tag, payload.clone());
+                    send_counted(self, q, tag, payload.clone());
                 }
             }
             payload
         } else {
-            self.recv(root, tag)
+            recv_counted(self, root, tag)
         };
-        self.busy_ns += timer.stop_ns("comm", "collective");
+        self.state_mut().busy_ns += timer.stop_ns("comm", "collective");
         out
     }
 
-    /// Gathers one payload from every rank onto all ranks (all-gather).
-    pub fn all_gather(&mut self, payload: Payload) -> Vec<Payload> {
+    fn all_gather(&mut self, payload: Payload) -> Vec<Payload> {
+        let (rank, world) = (self.rank(), self.world());
         let timer = trace::Timer::start();
-        let tag = COLLECTIVE_BIT | self.next_collective;
-        self.next_collective += 1;
-        for q in 0..self.world {
-            if q != self.rank {
-                self.send(q, tag, payload.clone());
+        let tag = COLLECTIVE_BIT | self.state().next_collective;
+        self.state_mut().next_collective += 1;
+        for q in 0..world {
+            if q != rank {
+                send_counted(self, q, tag, payload.clone());
             }
         }
-        let out = (0..self.world)
+        let out = (0..world)
             .map(|q| {
-                if q == self.rank {
+                if q == rank {
                     payload.clone()
                 } else {
-                    self.recv(q, tag)
+                    recv_counted(self, q, tag)
                 }
             })
             .collect();
-        self.busy_ns += timer.stop_ns("comm", "collective");
+        self.state_mut().busy_ns += timer.stop_ns("comm", "collective");
         out
-    }
-
-    /// Barrier: completes only when every rank arrives.
-    pub fn barrier(&mut self) {
-        let _ = self.all_gather(Payload::Empty);
     }
 }
 
-/// Runs `f` on `p` rank threads and returns their results in rank order.
+/// The mailbox transport (the original communicator): one inbox channel
+/// per rank, shared by all peers, with an out-of-order buffer in front.
+pub struct SimComm {
+    st: EndpointState,
+    txs: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+    pending: Vec<Msg>,
+}
+
+impl Endpoint for SimComm {
+    fn state(&self) -> &EndpointState {
+        &self.st
+    }
+
+    fn state_mut(&mut self) -> &mut EndpointState {
+        &mut self.st
+    }
+
+    fn push(&mut self, to: usize, tag: u64, payload: Payload) {
+        self.txs[to]
+            .send(Msg {
+                from: self.st.rank,
+                tag,
+                payload,
+            })
+            .expect("peer rank hung up");
+    }
+
+    fn pull(&mut self, from: usize, tag: u64) -> Payload {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            return self.pending.swap_remove(pos).payload;
+        }
+        loop {
+            match self.rx.recv_timeout(ABORT_POLL) {
+                Ok(msg) => {
+                    if msg.from == from && msg.tag == tag {
+                        return msg.payload;
+                    }
+                    self.pending.push(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => self.st.check_abort(),
+                Err(RecvTimeoutError::Disconnected) => panic!("peer rank hung up"),
+            }
+        }
+    }
+}
+
+/// The shared-memory transport: a dedicated lane (channel) per ordered
+/// rank pair, so peers exchange owned buffers point-to-point with no
+/// shared-inbox contention, plus a per-source out-of-order buffer.
+pub struct SharedMemComm {
+    st: EndpointState,
+    /// `txs[to]`: this rank's outbound lane to rank `to`.
+    txs: Vec<Sender<Msg>>,
+    /// `rxs[from]`: the inbound lane from rank `from`.
+    rxs: Vec<Receiver<Msg>>,
+    /// Out-of-order buffer, indexed by source rank.
+    pending: Vec<VecDeque<Msg>>,
+}
+
+impl Endpoint for SharedMemComm {
+    fn state(&self) -> &EndpointState {
+        &self.st
+    }
+
+    fn state_mut(&mut self) -> &mut EndpointState {
+        &mut self.st
+    }
+
+    fn push(&mut self, to: usize, tag: u64, payload: Payload) {
+        self.txs[to]
+            .send(Msg {
+                from: self.st.rank,
+                tag,
+                payload,
+            })
+            .expect("peer rank hung up");
+    }
+
+    fn pull(&mut self, from: usize, tag: u64) -> Payload {
+        if let Some(pos) = self.pending[from].iter().position(|m| m.tag == tag) {
+            return self.pending[from]
+                .remove(pos)
+                .expect("position in range")
+                .payload;
+        }
+        loop {
+            match self.rxs[from].recv_timeout(ABORT_POLL) {
+                Ok(msg) => {
+                    debug_assert_eq!(msg.from, from, "lane crossed between ranks");
+                    if msg.tag == tag {
+                        return msg.payload;
+                    }
+                    self.pending[from].push_back(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => self.st.check_abort(),
+                Err(RecvTimeoutError::Disconnected) => panic!("peer rank hung up"),
+            }
+        }
+    }
+}
+
+fn build_sim(p: usize, poison: &Arc<AtomicUsize>) -> Vec<SimComm> {
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded()).unzip();
+    rxs.into_iter()
+        .enumerate()
+        .map(|(rank, rx)| SimComm {
+            st: EndpointState::new(rank, p, Arc::clone(poison)),
+            txs: txs.clone(),
+            rx,
+            pending: Vec::new(),
+        })
+        .collect()
+}
+
+fn build_shm(p: usize, poison: &Arc<AtomicUsize>) -> Vec<SharedMemComm> {
+    // Lane (from, to) is created in `from`-major order, so `rx_grid[to]`
+    // accumulates receivers indexed by source rank.
+    let mut tx_rows: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(p);
+    let mut rx_grid: Vec<Vec<Receiver<Msg>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    for _from in 0..p {
+        let mut row = Vec::with_capacity(p);
+        for to_grid in rx_grid.iter_mut() {
+            let (tx, rx) = unbounded();
+            row.push(tx);
+            to_grid.push(rx);
+        }
+        tx_rows.push(row);
+    }
+    tx_rows
+        .into_iter()
+        .zip(rx_grid)
+        .enumerate()
+        .map(|(rank, (txs, rxs))| SharedMemComm {
+            st: EndpointState::new(rank, p, Arc::clone(poison)),
+            txs,
+            rxs,
+            pending: (0..p).map(|_| VecDeque::new()).collect(),
+        })
+        .collect()
+}
+
+/// A typed panic payload injected into ranks that must abandon a blocked
+/// receive because peer rank `origin` panicked first. Only the origin's
+/// own payload escapes `try_run_ranks`; aborts are collateral.
+#[derive(Clone, Copy, Debug)]
+pub struct RankAbort {
+    /// The rank whose panic triggered the teardown.
+    pub origin: usize,
+}
+
+/// The typed error [`try_run_ranks`] returns when a rank panics: which
+/// rank failed first, carrying its original panic payload.
+pub struct RankPanic {
+    rank: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+impl RankPanic {
+    /// The rank that panicked first.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Best-effort text of the panic payload (`&str`/`String` payloads;
+    /// a placeholder otherwise).
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(a) = self.payload.downcast_ref::<RankAbort>() {
+            format!("aborted: rank {} panicked first", a.origin)
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// The original panic payload, for `resume_unwind` or downcasting.
+    pub fn into_payload(self) -> Box<dyn Any + Send> {
+        self.payload
+    }
+}
+
+impl std::fmt::Debug for RankPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RankPanic {{ rank: {}, message: {:?} }}",
+            self.rank,
+            self.message()
+        )
+    }
+}
+
+impl std::fmt::Display for RankPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message())
+    }
+}
+
+impl std::error::Error for RankPanic {}
+
+/// Runs `f` on `p` rank threads over the ambient transport
+/// ([`CommTransport::from_env`]) and returns their results in rank order.
 ///
 /// This stands in for the MPI/NCCL process group of the original system.
 /// Payload moves through channels by value, exactly like wire transfers.
@@ -274,59 +684,144 @@ impl Comm {
 /// parallelism compose instead of oversubscribing the host. The calling
 /// thread's explicit thread override (if any) is propagated into every
 /// rank thread.
+///
+/// # Panics
+/// If any rank panics, re-raises the first panicking rank's original
+/// payload on the caller — identically on both transports (the other
+/// ranks are unblocked and torn down first; see [`try_run_ranks`]).
 pub fn run_ranks<R, F>(p: usize, f: F) -> Vec<R>
 where
     R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
+    F: Fn(&mut dyn Comm) -> R + Sync,
+{
+    run_ranks_on(CommTransport::from_env(), p, f)
+}
+
+/// [`run_ranks`] pinned to an explicit transport.
+pub fn run_ranks_on<R, F>(transport: CommTransport, p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut dyn Comm) -> R + Sync,
+{
+    match try_run_ranks_on(transport, p, f) {
+        Ok(results) => results,
+        Err(e) => resume_unwind(e.into_payload()),
+    }
+}
+
+/// Fallible [`run_ranks`]: a rank panic tears the group down (no
+/// deadlock — blocked peers abort via the poison flag) and is returned as
+/// a typed [`RankPanic`] identifying the first failing rank.
+pub fn try_run_ranks<R, F>(p: usize, f: F) -> Result<Vec<R>, RankPanic>
+where
+    R: Send,
+    F: Fn(&mut dyn Comm) -> R + Sync,
+{
+    try_run_ranks_on(CommTransport::from_env(), p, f)
+}
+
+/// [`try_run_ranks`] pinned to an explicit transport.
+pub fn try_run_ranks_on<R, F>(transport: CommTransport, p: usize, f: F) -> Result<Vec<R>, RankPanic>
+where
+    R: Send,
+    F: Fn(&mut dyn Comm) -> R + Sync,
 {
     assert!(p >= 1);
-    let (txs, rxs): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded()).unzip();
-    let mut comms: Vec<Comm> = rxs
-        .into_iter()
-        .enumerate()
-        .map(|(rank, rx)| Comm {
-            rank,
-            world: p,
-            txs: txs.clone(),
-            rx,
-            pending: Vec::new(),
-            next_collective: 0,
-            bytes_sent: 0,
-            busy_ns: 0,
-        })
-        .collect();
-    drop(txs);
+    let poison = Arc::new(AtomicUsize::new(0));
+    match transport {
+        CommTransport::Sim => drive(p, f, build_sim(p, &poison), &poison),
+        CommTransport::SharedMem => drive(p, f, build_shm(p, &poison), &poison),
+    }
+}
+
+fn drive<C, R, F>(
+    p: usize,
+    f: F,
+    mut comms: Vec<C>,
+    poison: &Arc<AtomicUsize>,
+) -> Result<Vec<R>, RankPanic>
+where
+    C: Comm + Send,
+    R: Send,
+    F: Fn(&mut dyn Comm) -> R + Sync,
+{
     let f = &f;
     let ambient_threads = dgnn_tensor::pool::thread_override();
     let _ranks = dgnn_tensor::pool::RankScope::enter(p);
-    crossbeam::thread::scope(|scope| {
+    // `comms` outlives the scope, so every channel endpoint stays alive
+    // until all rank threads have exited: sends cannot fail mid-teardown.
+    let outcomes: Vec<Result<R, Box<dyn Any + Send>>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .iter_mut()
-            .map(|comm| {
+            .enumerate()
+            .map(|(rank, comm)| {
+                let poison = Arc::clone(poison);
                 scope.spawn(move |_| {
                     let _threads = dgnn_tensor::pool::scoped_threads(ambient_threads);
                     // Tag the thread so spans export under this rank's pid
                     // lane; the tag dies with the scoped thread.
-                    trace::set_rank(comm.rank() as u32);
-                    f(comm)
+                    trace::set_rank(rank as u32);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(comm as &mut dyn Comm)));
+                    if outcome.is_err() {
+                        // First panicking rank wins the flag; peers blocked
+                        // in receives see it and abort instead of hanging.
+                        let _ = poison.compare_exchange(
+                            0,
+                            rank + 1,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                    }
+                    outcome
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
+            .map(|h| h.join().expect("rank thread died outside catch_unwind"))
             .collect()
     })
-    .expect("scope panicked")
+    .expect("scope panicked");
+
+    if outcomes.iter().all(Result::is_ok) {
+        return Ok(outcomes
+            .into_iter()
+            .map(|o| o.unwrap_or_else(|_| unreachable!()))
+            .collect());
+    }
+    let origin = poison.load(Ordering::SeqCst).saturating_sub(1);
+    let mut fallback = None;
+    for (rank, outcome) in outcomes.into_iter().enumerate() {
+        if let Err(payload) = outcome {
+            if rank == origin {
+                return Err(RankPanic { rank, payload });
+            }
+            fallback.get_or_insert(RankPanic { rank, payload });
+        }
+    }
+    Err(fallback.expect("at least one rank failed"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Runs `f` over both transports and asserts their results agree —
+    /// every routing/accounting test below holds transport-independently.
+    fn on_both<R, F>(p: usize, f: F) -> Vec<R>
+    where
+        R: Send + PartialEq + std::fmt::Debug,
+        F: Fn(&mut dyn Comm) -> R + Sync,
+    {
+        let sim = run_ranks_on(CommTransport::Sim, p, &f);
+        let shm = run_ranks_on(CommTransport::SharedMem, p, &f);
+        assert_eq!(sim, shm, "transports disagree");
+        sim
+    }
+
     #[test]
     fn all_to_all_routes_chunks() {
-        let results = run_ranks(3, |comm| {
+        let results = on_both(3, |comm| {
             let parts: Vec<Dense> = (0..3)
                 .map(|q| Dense::full(1, 1, (comm.rank() * 10 + q) as f32))
                 .collect();
@@ -343,7 +838,7 @@ mod tests {
 
     #[test]
     fn all_reduce_sums_identically() {
-        let results = run_ranks(4, |comm| {
+        let results = on_both(4, |comm| {
             let mut data = vec![comm.rank() as f32 + 1.0, 1.0];
             comm.all_reduce_sum(&mut data);
             data
@@ -355,7 +850,7 @@ mod tests {
 
     #[test]
     fn broadcast_reaches_everyone() {
-        let results = run_ranks(3, |comm| {
+        let results = on_both(3, |comm| {
             let payload = if comm.rank() == 1 {
                 Payload::Floats(vec![7.0, 8.0])
             } else {
@@ -373,7 +868,7 @@ mod tests {
 
     #[test]
     fn tagged_p2p_delivery() {
-        let results = run_ranks(2, |comm| {
+        let results = on_both(2, |comm| {
             if comm.rank() == 0 {
                 comm.send_tagged(1, 5, Payload::Floats(vec![3.0]));
                 comm.send_tagged(1, 6, Payload::Floats(vec![4.0]));
@@ -396,18 +891,19 @@ mod tests {
 
     #[test]
     fn volume_accounting_counts_bytes() {
-        let results = run_ranks(2, |comm| {
+        let results = on_both(2, |comm| {
             let parts = vec![Dense::zeros(4, 4), Dense::zeros(4, 4)];
             let _ = comm.all_to_all_dense(parts);
             comm.bytes_sent()
         });
-        // Each rank sends one 4x4 f32 matrix to the other: 64 bytes.
+        // Each rank sends one 4x4 f32 matrix to the other: 64 bytes —
+        // identical volume accounting on both transports.
         assert_eq!(results, vec![64, 64]);
     }
 
     #[test]
     fn repeated_collectives_do_not_cross_talk() {
-        let results = run_ranks(2, |comm| {
+        let results = on_both(2, |comm| {
             let mut out = Vec::new();
             for round in 0..5 {
                 let parts = vec![
@@ -427,7 +923,7 @@ mod tests {
 
     #[test]
     fn sparse_payload_roundtrip() {
-        let results = run_ranks(2, |comm| {
+        let results = on_both(2, |comm| {
             if comm.rank() == 0 {
                 let m = Csr::from_edges(3, &[(0, 1), (2, 0)]);
                 comm.send_tagged(1, 1, Payload::Sparse(m));
@@ -440,5 +936,47 @@ mod tests {
             }
         });
         assert_eq!(results[1], 2);
+    }
+
+    #[test]
+    fn self_send_delivers_on_both_transports() {
+        let results = on_both(2, |comm| {
+            let me = comm.rank();
+            comm.send_tagged(me, 9, Payload::Floats(vec![me as f32]));
+            match comm.recv_tagged(me, 9) {
+                Payload::Floats(f) => f[0],
+                _ => panic!(),
+            }
+        });
+        assert_eq!(results, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn world_of_one_runs_collectives() {
+        let results = on_both(1, |comm| {
+            let mut data = vec![2.5f32];
+            comm.all_reduce_sum(&mut data);
+            let gathered = comm.all_gather(Payload::Floats(vec![1.0]));
+            comm.barrier();
+            (data[0], gathered.len(), comm.bytes_sent())
+        });
+        assert_eq!(results, vec![(2.5, 1, 0)]);
+    }
+
+    #[test]
+    fn scoped_transport_overrides_and_restores() {
+        // The ambient transport may come from `DGNN_COMM` (the CI matrix
+        // sets it), so assert override/restore relative to it.
+        let ambient = CommTransport::from_env();
+        {
+            let _guard = scoped_transport(CommTransport::SharedMem);
+            assert_eq!(CommTransport::from_env(), CommTransport::SharedMem);
+            {
+                let _inner = scoped_transport(CommTransport::Sim);
+                assert_eq!(CommTransport::from_env(), CommTransport::Sim);
+            }
+            assert_eq!(CommTransport::from_env(), CommTransport::SharedMem);
+        }
+        assert_eq!(CommTransport::from_env(), ambient);
     }
 }

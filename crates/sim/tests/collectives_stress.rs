@@ -5,7 +5,7 @@
 //! trainers rely on — the communicator's per-rank operation-counter
 //! matching is oblivious to what the rank's worker threads are doing.
 
-use dgnn_sim::{run_ranks, Payload};
+use dgnn_sim::{run_ranks_on, CommTransport, Payload};
 use dgnn_tensor::{pool, Csr, Dense};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,118 +20,133 @@ fn stamp(rank: usize, round: usize, dest: usize) -> f32 {
 fn all_to_all_randomized_payloads_with_zero_rows() {
     const P: usize = 4;
     const ROUNDS: usize = 25;
-    run_ranks(P, |comm| {
-        let _threads = pool::scoped_threads(Some(2));
-        // All ranks derive each round's shape table from the same seed, so
-        // receivers know what to expect without extra coordination.
-        let mut shape_rng = StdRng::seed_from_u64(4242);
-        for round in 0..ROUNDS {
-            // rows[src][dst] for this round; ~1 in 3 payloads is empty.
-            let rows: Vec<Vec<usize>> = (0..P)
-                .map(|_| {
-                    (0..P)
-                        .map(|_| {
-                            if shape_rng.gen_bool(0.33) {
-                                0
-                            } else {
-                                shape_rng.gen_range(1..7)
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
-            let cols = shape_rng.gen_range(1..5usize);
-            let me = comm.rank();
-            let parts: Vec<Dense> = (0..P)
-                .map(|dst| Dense::full(rows[me][dst], cols, stamp(me, round, dst)))
-                .collect();
-            let got = comm.all_to_all_dense(parts);
-            for (src, d) in got.iter().enumerate() {
-                assert_eq!(
-                    d.shape(),
-                    (rows[src][me], cols),
-                    "round {round}: bad shape from rank {src}"
-                );
-                assert!(
-                    d.data().iter().all(|&v| v == stamp(src, round, me)),
-                    "round {round}: bad payload from rank {src}"
-                );
+    // Byte accounting must agree between transports as well as routing.
+    let mut volumes: Vec<Vec<u64>> = Vec::new();
+    for transport in CommTransport::all() {
+        volumes.push(run_ranks_on(transport, P, |comm| {
+            let _threads = pool::scoped_threads(Some(2));
+            // All ranks derive each round's shape table from the same seed, so
+            // receivers know what to expect without extra coordination.
+            let mut shape_rng = StdRng::seed_from_u64(4242);
+            for round in 0..ROUNDS {
+                // rows[src][dst] for this round; ~1 in 3 payloads is empty.
+                let rows: Vec<Vec<usize>> = (0..P)
+                    .map(|_| {
+                        (0..P)
+                            .map(|_| {
+                                if shape_rng.gen_bool(0.33) {
+                                    0
+                                } else {
+                                    shape_rng.gen_range(1..7)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let cols = shape_rng.gen_range(1..5usize);
+                let me = comm.rank();
+                let parts: Vec<Dense> = (0..P)
+                    .map(|dst| Dense::full(rows[me][dst], cols, stamp(me, round, dst)))
+                    .collect();
+                let got = comm.all_to_all_dense(parts);
+                for (src, d) in got.iter().enumerate() {
+                    assert_eq!(
+                        d.shape(),
+                        (rows[src][me], cols),
+                        "round {round}: bad shape from rank {src}"
+                    );
+                    assert!(
+                        d.data().iter().all(|&v| v == stamp(src, round, me)),
+                        "round {round}: bad payload from rank {src}"
+                    );
+                }
             }
-        }
-        comm.bytes_sent()
-    });
+            comm.bytes_sent()
+        }));
+    }
+    assert_eq!(volumes[0], volumes[1], "transports disagree on volume");
 }
 
 #[test]
 fn collectives_interleave_with_pool_parallel_kernels() {
     const P: usize = 3;
     const ROUNDS: usize = 8;
-    let results = run_ranks(P, |comm| {
-        // 3 pool threads per rank on top of 3 rank threads: deliberately
-        // oversubscribed so pool workers and rank threads contend.
-        let _threads = pool::scoped_threads(Some(3));
-        let me = comm.rank();
-        let mut rng = StdRng::seed_from_u64(1000 + me as u64);
-        let mut digests: Vec<f32> = Vec::new();
-        for round in 0..ROUNDS {
-            // Pool-parallel work between collectives: an SpMM + GEMM big
-            // enough to engage the pool, seeded identically on all ranks.
-            let n = 300;
-            let edges: Vec<(u32, u32)> = {
-                let mut g = StdRng::seed_from_u64(round as u64);
-                (0..1500)
-                    .map(|_| (g.gen_range(0..n as u32), g.gen_range(0..n as u32)))
-                    .collect()
-            };
-            let a = Csr::from_edges(n, &edges);
-            let x = Dense::from_fn(n, 24, |r, c| ((r * 31 + c * 7 + round) % 13) as f32 - 6.0);
-            let agg = a.spmm(&x);
-            let w = Dense::from_fn(24, 24, |r, c| if r == c { 1.5 } else { -0.01 });
-            let z = agg.matmul(&w);
-            // All ranks computed the same product from the same inputs:
-            // the all-reduce of its digest must equal P times one digest.
-            let digest = z.sum();
-            let mut buf = vec![digest];
-            comm.all_reduce_sum(&mut buf);
-            assert_eq!(
-                buf[0].to_bits(),
-                (digest * P as f32).to_bits(),
-                "round {round}: ranks computed different kernel results"
-            );
-            digests.push(buf[0]);
+    let mut streams: Vec<Vec<f32>> = Vec::new();
+    for transport in CommTransport::all() {
+        let results = run_ranks_on(transport, P, |comm| {
+            // 3 pool threads per rank on top of 3 rank threads: deliberately
+            // oversubscribed so pool workers and rank threads contend.
+            let _threads = pool::scoped_threads(Some(3));
+            let me = comm.rank();
+            let mut rng = StdRng::seed_from_u64(1000 + me as u64);
+            let mut digests: Vec<f32> = Vec::new();
+            for round in 0..ROUNDS {
+                // Pool-parallel work between collectives: an SpMM + GEMM big
+                // enough to engage the pool, seeded identically on all ranks.
+                let n = 300;
+                let edges: Vec<(u32, u32)> = {
+                    let mut g = StdRng::seed_from_u64(round as u64);
+                    (0..1500)
+                        .map(|_| (g.gen_range(0..n as u32), g.gen_range(0..n as u32)))
+                        .collect()
+                };
+                let a = Csr::from_edges(n, &edges);
+                let x = Dense::from_fn(n, 24, |r, c| ((r * 31 + c * 7 + round) % 13) as f32 - 6.0);
+                let agg = a.spmm(&x);
+                let w = Dense::from_fn(24, 24, |r, c| if r == c { 1.5 } else { -0.01 });
+                let z = agg.matmul(&w);
+                // All ranks computed the same product from the same inputs:
+                // the all-reduce of its digest must equal P times one digest.
+                let digest = z.sum();
+                let mut buf = vec![digest];
+                comm.all_reduce_sum(&mut buf);
+                assert_eq!(
+                    buf[0].to_bits(),
+                    (digest * P as f32).to_bits(),
+                    "round {round}: ranks computed different kernel results"
+                );
+                digests.push(buf[0]);
 
-            // Randomized-size all-gather (zero-row payloads included).
-            let rows = rng.gen_range(0..5usize);
-            let gathered = comm.all_gather(Payload::Dense(Dense::full(rows, 2, me as f32)));
-            for (src, p) in gathered.iter().enumerate() {
-                match p {
-                    Payload::Dense(d) => {
-                        assert_eq!(d.cols(), 2);
-                        assert!(d.data().iter().all(|&v| v == src as f32));
+                // Randomized-size all-gather (zero-row payloads included).
+                let rows = rng.gen_range(0..5usize);
+                let gathered = comm.all_gather(Payload::Dense(Dense::full(rows, 2, me as f32)));
+                for (src, p) in gathered.iter().enumerate() {
+                    match p {
+                        Payload::Dense(d) => {
+                            assert_eq!(d.cols(), 2);
+                            assert!(d.data().iter().all(|&v| v == src as f32));
+                        }
+                        other => panic!("expected dense, got {other:?}"),
                     }
-                    other => panic!("expected dense, got {other:?}"),
                 }
+                comm.barrier();
             }
-            comm.barrier();
+            digests
+        });
+        // Every rank saw the identical all-reduced digest stream.
+        for r in 1..P {
+            assert_eq!(results[0], results[r], "digest streams diverge on rank {r}");
         }
-        digests
-    });
-    // Every rank saw the identical all-reduced digest stream.
-    for r in 1..P {
-        assert_eq!(results[0], results[r], "digest streams diverge on rank {r}");
+        streams.push(results.into_iter().next().expect("rank 0"));
     }
+    // And the stream itself is transport-invariant, bitwise.
+    assert_eq!(streams[0], streams[1], "transports disagree on reductions");
 }
 
 #[test]
 fn rank_pools_do_not_leak_thread_overrides() {
     // The override installed inside run_ranks' rank threads must not
-    // survive into the caller, and the caller's override must propagate in.
+    // survive into the caller, and the caller's override must propagate in
+    // — on either transport.
     let _outer = pool::scoped_threads(Some(5));
-    let seen = run_ranks(2, |_comm| pool::effective_threads());
-    assert_eq!(
-        seen,
-        vec![5, 5],
-        "caller override should reach rank threads"
-    );
-    assert_eq!(pool::effective_threads(), 5);
+    for transport in CommTransport::all() {
+        let seen = run_ranks_on(transport, 2, |_comm| pool::effective_threads());
+        assert_eq!(
+            seen,
+            vec![5, 5],
+            "caller override should reach rank threads ({})",
+            transport.name()
+        );
+        assert_eq!(pool::effective_threads(), 5);
+    }
 }

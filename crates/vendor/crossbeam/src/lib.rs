@@ -9,7 +9,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
 
     /// The sending half of an unbounded channel.
     pub struct Sender<T>(mpsc::Sender<T>);
@@ -39,6 +39,14 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks for at most `timeout` waiting for a message. Lets
+        /// receivers interleave waiting with checking an out-of-band
+        /// condition (e.g. a peer-failure flag) instead of blocking
+        /// indefinitely on a peer that will never send.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 
